@@ -1,0 +1,141 @@
+// Command stegattack plays the adversary of Section 3: it inspects a StegFS
+// volume image the way an attacker with full access would, and reports what
+// can (and cannot) be learned.
+//
+// Usage:
+//
+//	stegattack -vol v.img scan          # raw-disk randomness scan
+//	stegattack -vol v.img bruteforce    # used-but-unlisted block census
+//	stegattack -vol v.img snapshot -out bm.snap     # save a bitmap snapshot
+//	stegattack -vol v.img delta -prev bm.snap       # diff against a snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stegfs/internal/adversary"
+	"stegfs/internal/bitmapvec"
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stegattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("stegattack", flag.ExitOnError)
+	vol := global.String("vol", "", "volume image path (required)")
+	bs := global.Int("bs", 1<<10, "block size")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 || *vol == "" {
+		return fmt.Errorf("usage: stegattack -vol IMG <scan|bruteforce|snapshot|delta>")
+	}
+	store, err := vdisk.OpenFileStore(*vol, *bs)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	fs, err := stegfs.Mount(store)
+	if err != nil {
+		return err
+	}
+
+	switch rest[0] {
+	case "scan":
+		return attackScan(fs, store)
+	case "bruteforce":
+		return attackBruteForce(fs)
+	case "snapshot":
+		fl := flag.NewFlagSet("snapshot", flag.ExitOnError)
+		out := fl.String("out", "bitmap.snap", "snapshot output path")
+		fl.Parse(rest[1:])
+		return os.WriteFile(*out, fs.Bitmap().Marshal(), 0o644)
+	case "delta":
+		fl := flag.NewFlagSet("delta", flag.ExitOnError)
+		prev := fl.String("prev", "", "earlier bitmap snapshot")
+		fl.Parse(rest[1:])
+		return attackDelta(fs, *prev)
+	default:
+		return fmt.Errorf("unknown attack %q", rest[0])
+	}
+}
+
+// attackScan samples blocks across the volume and reports whether any stand
+// out statistically. On a correctly formatted StegFS volume nothing does:
+// free space is random fill and hidden data is AES ciphertext.
+func attackScan(fs *stegfs.FS, dev vdisk.Device) error {
+	n := dev.NumBlocks()
+	var sample []int64
+	step := n / 512
+	if step < 1 {
+		step = 1
+	}
+	for b := fs.DataStart(); b < n; b += step {
+		sample = append(sample, b)
+	}
+	st, err := adversary.ScanBlocks(dev, sample, 400)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanned %d blocks: mean chi2=%.1f max chi2=%.1f flagged=%d\n",
+		st.Blocks, st.MeanChi, st.MaxChi, st.Flagged)
+	if st.Flagged == 0 {
+		fmt.Println("verdict: no block distinguishable from random fill")
+	} else {
+		fmt.Println("verdict: WARNING - some blocks look structured (plain files are expected to)")
+	}
+	return nil
+}
+
+// attackBruteForce counts blocks that are marked used but unreachable from
+// the central directory — the §3.1 brute-force examination. The census mixes
+// hidden data, dummies, pools and abandoned blocks indistinguishably.
+func attackBruteForce(fs *stegfs.FS) error {
+	bm := fs.Bitmap()
+	// The attacker can enumerate plain files (central directory is public).
+	plainRefs := make(map[int64]bool)
+	for _, name := range fs.PlainNames() {
+		_ = name // block-level enumeration below uses the FS's own accounting
+	}
+	refs, err := fs.PlainReferencedBlocks()
+	if err != nil {
+		return err
+	}
+	for b := range refs {
+		plainRefs[b] = true
+	}
+	cands := adversary.UsedUnlisted(bm, plainRefs, fs.DataStart())
+	total := bm.Len() - fs.DataStart()
+	fmt.Printf("data region: %d blocks; used-but-unlisted: %d (%.2f%%)\n",
+		total, len(cands), 100*float64(len(cands))/float64(total))
+	fmt.Println("these blocks mix hidden data, dummy files, internal free pools and")
+	fmt.Println("abandoned blocks; nothing in the image separates one from another")
+	return nil
+}
+
+// attackDelta diffs the live bitmap against an earlier snapshot, the §3.1
+// intruder who monitors allocations over time.
+func attackDelta(fs *stegfs.FS, prevPath string) error {
+	raw, err := os.ReadFile(prevPath)
+	if err != nil {
+		return err
+	}
+	prev, err := bitmapvec.Unmarshal(fs.Bitmap().Len(), raw)
+	if err != nil {
+		return err
+	}
+	newBlocks := bitmapvec.NewlySet(prev, fs.Bitmap())
+	fmt.Printf("blocks newly allocated since snapshot: %d\n", len(newBlocks))
+	fmt.Println("candidates include dummy-file churn and hidden files' internal free")
+	fmt.Println("pools; the attacker cannot tell which newly allocated blocks hold data")
+	return nil
+}

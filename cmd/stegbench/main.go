@@ -1,0 +1,224 @@
+// Command stegbench regenerates the tables and figures of the paper's
+// evaluation (Section 5). Each experiment prints the same rows/series the
+// paper reports; values are simulated-disk seconds (see internal/vdisk).
+//
+// Usage:
+//
+//	stegbench -exp all                     # everything, paper-scale
+//	stegbench -exp fig7 -scale small       # one experiment, test-scale
+//	stegbench -exp space -volume 1073741824 -bs 1024
+//
+// Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
+// ablate-pool, ablate-dummy, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stegfs/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ida|all")
+		scale  = flag.String("scale", "small", "workload scale: paper|small")
+		volume = flag.Int64("volume", 0, "override volume size in bytes")
+		bs     = flag.Int("bs", 0, "override block size in bytes")
+		files  = flag.Int("files", 0, "override number of files")
+		ops    = flag.Int("ops", 0, "override file operations per user")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var cfg bench.Config
+	switch *scale {
+	case "paper":
+		cfg = bench.PaperConfig()
+	case "small":
+		cfg = bench.SmallConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *volume > 0 {
+		cfg.VolumeBytes = *volume
+	}
+	if *bs > 0 {
+		cfg.BlockSize = *bs
+	}
+	if *files > 0 {
+		cfg.NumFiles = *files
+	}
+	if *ops > 0 {
+		cfg.OpsPerUser = *ops
+	}
+	cfg.Seed = *seed
+
+	run := func(name string, fn func(bench.Config) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("space", runSpace)
+	run("fig6", runFig6)
+	run("fig7", runFig7)
+	run("fig8", runFig8)
+	run("fig9", runFig9)
+	run("ablate-abandoned", runAblateAbandoned)
+	run("ablate-pool", runAblatePool)
+	run("ablate-dummy", runAblateDummy)
+	run("ida", runIDA)
+}
+
+func runIDA(cfg bench.Config) error {
+	rows := bench.IDAComparison(cfg, nil, 4)
+	fmt.Println("Extension E-IDA — replication vs Rabin IDA at equal overhead:")
+	for _, line := range bench.FormatIDARows(rows) {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func runSpace(cfg bench.Config) error {
+	rows, err := bench.SpaceTable(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Effective space utilization (§5.2):")
+	for _, r := range rows {
+		fmt.Printf("  %-10s %6.1f%%   %s\n", r.Scheme, r.Utilization*100, r.Note)
+	}
+	return nil
+}
+
+func runFig6(cfg bench.Config) error {
+	series := bench.StegRandSpaceCurve(cfg, nil, nil)
+	fmt.Println("Figure 6 — StegRand space utilization vs replication factor:")
+	printSeries(series, "repl", "util")
+	return nil
+}
+
+func runFig7(cfg bench.Config) error {
+	readS, writeS, err := bench.ConcurrencyCurve(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7(a) — read access time (s) vs concurrent users:")
+	printSeries(readS, "users", "sec")
+	fmt.Println("Figure 7(b) — write access time (s) vs concurrent users:")
+	printSeries(writeS, "users", "sec")
+	return nil
+}
+
+func runFig8(cfg bench.Config) error {
+	sizes := scaledFig8Sizes(cfg)
+	readS, writeS, err := bench.FileSizeCurve(cfg, sizes, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 8(a) — normalized read time (s/KB) vs file size (KB):")
+	printSeries(readS, "KB", "s/KB")
+	fmt.Println("Figure 8(b) — normalized write time (s/KB) vs file size (KB):")
+	printSeries(writeS, "KB", "s/KB")
+	return nil
+}
+
+// scaledFig8Sizes keeps the Figure 8 sweep inside the configured file-size
+// range when running at reduced scale.
+func scaledFig8Sizes(cfg bench.Config) []int {
+	if cfg.FileHi >= 2<<20 {
+		return nil // paper scale: use the figure's own axis
+	}
+	hiKB := int(cfg.FileHi >> 10)
+	var out []int
+	for f := 1; f <= 10; f++ {
+		out = append(out, hiKB*f/10)
+	}
+	return out
+}
+
+func runFig9(cfg bench.Config) error {
+	readS, writeS, err := bench.BlockSizeCurve(cfg, nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9(a) — serial read access time (s) vs block size (KB):")
+	printSeries(readS, "KB", "sec")
+	fmt.Println("Figure 9(b) — serial write access time (s) vs block size (KB):")
+	printSeries(writeS, "KB", "sec")
+	return nil
+}
+
+func runAblateAbandoned(cfg bench.Config) error {
+	rows, err := bench.AbandonedSweep(cfg, nil, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A1 — abandoned-block percentage:")
+	fmt.Println("  pct%   util%   candidates  hidden  guesswork")
+	for _, r := range rows {
+		fmt.Printf("  %4.0f  %6.1f  %10d  %6d  %9.2f\n",
+			r.PctAbandoned*100, r.Utilization*100, r.Candidates, r.HiddenBlocks, r.GuessWork)
+	}
+	return nil
+}
+
+func runAblatePool(cfg bench.Config) error {
+	rows, err := bench.FreePoolSweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A2 — hidden-file free-pool size:")
+	fmt.Println("  FreeMax  attack-precision  create-sec")
+	for _, r := range rows {
+		fmt.Printf("  %7d  %16.3f  %10.4f\n", r.FreeMax, r.AttackPrecision, r.CreateSeconds)
+	}
+	return nil
+}
+
+func runAblateDummy(cfg bench.Config) error {
+	rows, err := bench.DummySweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A3 — dummy hidden files:")
+	fmt.Println("  NDummy  attack-precision  candidates")
+	for _, r := range rows {
+		fmt.Printf("  %6d  %16.3f  %10d\n", r.NDummy, r.AttackPrecision, r.Candidates)
+	}
+	return nil
+}
+
+// printSeries renders series as aligned columns, one row per X value.
+func printSeries(series []bench.Series, xLabel, yLabel string) {
+	if len(series) == 0 {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %8s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %12s", s.Label)
+	}
+	fmt.Println(b.String())
+	for i := range series[0].Points {
+		b.Reset()
+		fmt.Fprintf(&b, "  %8.4g", series[0].Points[i].X)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, "  %12.5g", s.Points[i].Y)
+			}
+		}
+		fmt.Println(b.String())
+	}
+	_ = yLabel
+}

@@ -1,0 +1,73 @@
+// Quickstart: format an in-memory StegFS volume, store a plain file and a
+// hidden file, and show what an administrator can and cannot see.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+)
+
+func main() {
+	// 1. A 16 MB volume with 1 KB blocks (Table 3 uses 1 GB; everything
+	//    scales). Format writes random patterns everywhere, abandons 1% of
+	//    blocks and creates 4 small dummy hidden files.
+	store, err := vdisk.NewMemStore(16<<10, 1<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := stegfs.DefaultParams()
+	params.NDummy = 4
+	params.DummyAvgSize = 64 << 10
+	fs, err := stegfs.Format(store, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Plain files go through the central directory, like any file system.
+	if err := fs.Create("address-book.txt", []byte("mum: 555-0101\n")); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Hidden files need a user session and a user access key (UAK). The
+	//    UAK unlocks a per-user directory of (name, file-access-key) pairs;
+	//    each hidden file is encrypted under its own random FAK.
+	alice, err := fs.NewSession("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	uak := []byte("correct horse battery staple")
+	budget := []byte("Q3 acquisition budget: $40M\n")
+	if err := alice.CreateHidden("budget.xls", uak, stegfs.FlagFile, budget); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Reading it back requires connecting it to the session first
+	//    (steg_connect); after logoff it is invisible again.
+	if err := alice.Connect("budget.xls", uak); err != nil {
+		log.Fatal(err)
+	}
+	got, err := alice.ReadHidden("budget.xls")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hidden file contents: %s", got)
+	alice.Logoff()
+
+	// 5. What the administrator sees: the central directory lists only the
+	//    plain file. The hidden file, the dummies and the abandoned blocks
+	//    are indistinguishable encrypted/random blocks.
+	fmt.Println("central directory:", fs.PlainNames())
+	fmt.Printf("bitmap: %d used / %d blocks (hidden data is in there somewhere...)\n",
+		fs.Bitmap().CountSet(), fs.Bitmap().Len())
+
+	// 6. A wrong key does not error differently from a missing file —
+	//    plausible deniability means "no such file" is all anyone learns.
+	if err := alice.Connect("budget.xls", []byte("wrong key")); err != nil {
+		fmt.Println("with a wrong UAK:", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Sharing: the multi-user workflow of §3.2 / Figure 4 — Alice shares one
+// hidden file with Bob without exposing her UAK or her other hidden files,
+// then revokes the share.
+//
+//	go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stegfs/internal/sgcrypto"
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+)
+
+func main() {
+	store, err := vdisk.NewMemStore(16<<10, 1<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := stegfs.DefaultParams()
+	params.NDummy = 2
+	params.DummyAvgSize = 32 << 10
+	fs, err := stegfs.Format(store, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	aliceUAK := []byte("alice-secret-key")
+	bobUAK := []byte("bob-secret-key")
+
+	alice, _ := fs.NewSession("alice")
+	bob, _ := fs.NewSession("bob")
+
+	// Alice has two hidden files; she will share only one.
+	must(alice.CreateHidden("reports", aliceUAK, stegfs.FlagDir, nil))
+	must(alice.CreateHidden("reports/q3.txt", aliceUAK, stegfs.FlagFile, []byte("Q3 numbers\n")))
+	must(alice.CreateHidden("diary.txt", aliceUAK, stegfs.FlagFile, []byte("dear diary...\n")))
+
+	// Bob generates a key pair; Alice encrypts the (name, FAK) entry of the
+	// shared file with Bob's public key (steg_getentry).
+	bobPriv, err := sgcrypto.GenerateKeyPair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	entryfile, err := alice.GetEntry("reports/q3.txt", aliceUAK, &bobPriv.PublicKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Alice -> Bob: %d-byte encrypted entry file (e.g. via email)\n", len(entryfile))
+
+	// Bob decrypts and adds the entry to his own UAK directory
+	// (steg_addentry); the ciphertext would then be destroyed.
+	must(bob.AddEntry(entryfile, bobPriv, bobUAK))
+	must(bob.Connect("q3.txt", bobUAK))
+	got, err := bob.ReadHidden("q3.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bob reads the shared file: %s", got)
+
+	// The share exposes nothing else: Bob cannot see Alice's diary.
+	if err := bob.Connect("diary.txt", bobUAK); err != nil {
+		fmt.Println("Bob trying Alice's diary:", err)
+	}
+
+	// Alice revokes: a fresh copy under a new FAK, the original removed.
+	// Bob's stale entry now dangles — the old FAK no longer opens anything.
+	must(alice.Revoke("reports/q3.txt", "reports/q3.txt", aliceUAK))
+	bob.Logoff()
+	if err := bob.Connect("q3.txt", bobUAK); err != nil {
+		fmt.Println("Bob after revocation:", err)
+	}
+
+	// Alice still reads her fresh copy.
+	must(alice.Connect("reports", aliceUAK))
+	got, err = alice.ReadHidden("reports/q3.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Alice after revocation still has: %s", got)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

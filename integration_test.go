@@ -1,0 +1,313 @@
+package stegfs_test
+
+// Integration tests: full cross-module lifecycles — format, multi-user
+// hidden/plain activity, dummy maintenance, sharing, backup, crash,
+// recovery, remount — on both memory- and file-backed volumes.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"stegfs/internal/adversary"
+	"stegfs/internal/sgcrypto"
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+	"stegfs/internal/workload"
+)
+
+func testParams() stegfs.Params {
+	p := stegfs.DefaultParams()
+	p.NDummy = 3
+	p.DummyAvgSize = 16 << 10
+	p.MaxPlainFiles = 64
+	return p
+}
+
+// TestIntegrationFullLifecycle drives a realistic multi-user month on one
+// volume: plain files, hidden files at several access levels, hide/unhide
+// conversions, sharing, revocation, dummy ticks, then a backup, a crash and
+// a recovery — asserting every byte survives where the paper says it should.
+func TestIntegrationFullLifecycle(t *testing.T) {
+	store, err := vdisk.NewMemStore(32<<10, 1<<10) // 32 MB volume
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := stegfs.Format(store, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain activity (what an auditor sees).
+	plainRef := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("public-%d.txt", i)
+		plainRef[name] = payload(3000+913*i, byte(i))
+		if err := fs.Create(name, plainRef[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Alice: two access levels; level 2 holds the valuable data.
+	alice, err := fs.NewSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uaks := [][]byte{[]byte("alice-l1"), []byte("alice-l2")}
+	if err := alice.CreateHidden("contacts", uaks[0], stegfs.FlagFile, payload(2000, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.CreateHidden("vault", uaks[1], stegfs.FlagDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	budget := payload(40_000, 11)
+	if err := alice.CreateHidden("vault/budget.xls", uaks[1], stegfs.FlagFile, budget); err != nil {
+		t.Fatal(err)
+	}
+
+	// Convert a plain file into a hidden one (steg_hide).
+	if err := alice.Hide("public-0.txt", "was-public", uaks[0]); err != nil {
+		t.Fatal(err)
+	}
+	hidden0 := plainRef["public-0.txt"]
+	delete(plainRef, "public-0.txt")
+
+	// System maintenance between user actions.
+	if err := fs.TickDummies(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob receives vault/budget.xls via the Figure 4 protocol.
+	bob, err := fs.NewSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobPriv, err := sgcrypto.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := alice.GetEntry("vault/budget.xls", uaks[1], &bobPriv.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.AddEntry(entry, bobPriv, []byte("bob-uak")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Connect("budget.xls", []byte("bob-uak")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.ReadHidden("budget.xls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, budget) {
+		t.Fatal("shared file mismatch")
+	}
+
+	// Backup, crash, recover.
+	var backup bytes.Buffer
+	if err := fs.Backup(&backup); err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0x77}, 1<<10)
+	for b := int64(0); b < store.NumBlocks(); b++ {
+		_ = store.WriteBlock(b, junk)
+	}
+	fs, err = stegfs.Recover(store, bytes.NewReader(backup.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything survives: plain files, both levels, the hidden conversion,
+	// Bob's share, the dummies.
+	for name, want := range plainRef {
+		got, err := fs.Read(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("plain %s lost in recovery (%v)", name, err)
+		}
+	}
+	alice2, _ := fs.NewSession("alice")
+	if err := alice2.ConnectLevel(uaks, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = alice2.ReadHidden("vault/budget.xls")
+	if err != nil || !bytes.Equal(got, budget) {
+		t.Fatalf("budget lost in recovery (%v)", err)
+	}
+	got, err = alice2.ReadHidden("was-public")
+	if err != nil || !bytes.Equal(got, hidden0) {
+		t.Fatalf("hidden conversion lost in recovery (%v)", err)
+	}
+	bob2, _ := fs.NewSession("bob")
+	if err := bob2.Connect("budget.xls", []byte("bob-uak")); err != nil {
+		t.Fatalf("bob's share lost in recovery: %v", err)
+	}
+	if err := fs.TickDummies(); err != nil {
+		t.Fatalf("dummies lost in recovery: %v", err)
+	}
+
+	// Revocation after recovery still works.
+	if err := alice2.Revoke("vault/budget.xls", "vault/budget.xls", uaks[1]); err != nil {
+		t.Fatal(err)
+	}
+	bob2.Logoff()
+	if err := bob2.Connect("budget.xls", []byte("bob-uak")); err == nil {
+		t.Fatal("bob retains access after revocation")
+	}
+}
+
+// TestIntegrationFileBackedVolume exercises the persistent path end to end:
+// mkfs, unmount, remount across separate FileStore instances.
+func TestIntegrationFileBackedVolume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.img")
+	store, err := vdisk.CreateFileStore(path, 8<<10, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := stegfs.Format(store, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := fs.NewSession("u")
+	want := payload(20_000, 3)
+	if err := s.CreateHidden("diary", []byte("k"), stegfs.FlagFile, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := vdisk.OpenFileStore(path, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	fs2, err := stegfs.Mount(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := fs2.NewSession("u")
+	if err := s2.Connect("diary", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ReadHidden("diary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("file-backed volume lost hidden data across remount")
+	}
+}
+
+// TestIntegrationDeniabilityUnderTimeline simulates the strongest intruder
+// of §3.1: present from format time, snapshotting the bitmap after every
+// event. Even so, the delta attack's precision must stay well below 1.
+func TestIntegrationDeniabilityUnderTimeline(t *testing.T) {
+	store, err := vdisk.NewMemStore(16<<10, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.NDummy = 6
+	fs, err := stegfs.Format(store, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := fs.NewHiddenView("victim")
+	truth := map[int64]bool{}
+	var worstPrecision float64
+
+	prev := fs.Bitmap()
+	for round := 0; round < 5; round++ {
+		// Victim hides a file; the system ticks dummies; plain activity too.
+		name := fmt.Sprintf("secret-%d", round)
+		if err := view.Create(name, payload(12_000, byte(round))); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.TickDummies(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Create(fmt.Sprintf("plain-%d", round), payload(2_000, byte(round))); err != nil {
+			t.Fatal(err)
+		}
+		data, _, err := view.BlocksOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTruth := map[int64]bool{}
+		for _, b := range data {
+			roundTruth[b] = true
+			truth[b] = true
+		}
+		cur := fs.Bitmap()
+		newPlain, err := fs.PlainReferencedBlocks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := adversary.DeltaAttack(prev, cur, newPlain, roundTruth)
+		if res.Precision > worstPrecision {
+			worstPrecision = res.Precision
+		}
+		prev = cur
+	}
+	if worstPrecision > 0.75 {
+		t.Fatalf("delta attack precision reached %.2f — cover traffic insufficient", worstPrecision)
+	}
+}
+
+// TestIntegrationMixedWorkloadReplay replays the same seeded workload
+// against StegFS twice and asserts simulated costs are identical —
+// experiments are exactly reproducible.
+func TestIntegrationMixedWorkloadReplay(t *testing.T) {
+	run := func() (int64, []byte) {
+		store, err := vdisk.NewMemStore(16<<10, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk := vdisk.NewDisk(store, vdisk.DefaultGeometry())
+		p := testParams()
+		p.FillVolume = false
+		p.DeterministicKeys = true
+		fs, err := stegfs.Format(disk, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := fs.NewHiddenView("bench")
+		rng := rand.New(rand.NewSource(99))
+		specs := workload.UniformSpecs(rng, 10, 8<<10, 16<<10, "w")
+		if err := workload.Populate(view, specs, 5); err != nil {
+			t.Fatal(err)
+		}
+		disk.ResetClock()
+		res, err := workload.RunInterleaved(disk, view, specs, 4, 2, workload.OpRead, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := view.Read(specs[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.TotalTime), sum
+	}
+	t1, d1 := run()
+	t2, d2 := run()
+	if t1 != t2 {
+		t.Fatalf("replay not deterministic: %d vs %d", t1, t2)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("replay content differs")
+	}
+}
+
+func payload(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag ^ byte(i*17)
+	}
+	return out
+}

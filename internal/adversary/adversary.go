@@ -1,0 +1,140 @@
+// Package adversary implements the attacks the paper designs StegFS to
+// resist, so the deniability claims can be tested rather than asserted:
+//
+//   - raw-disk inspection: used blocks must be statistically
+//     indistinguishable from free (random-filled) blocks;
+//   - the brute-force examination of §3.1: "locate hidden data by looking
+//     for blocks that are marked in the bitmap as having been assigned, yet
+//     are not listed in the central directory" — foiled by abandoned blocks;
+//   - the bitmap-snapshot attack of §3.1: an intruder who images the bitmap
+//     repeatedly and attributes newly allocated non-plain blocks to hidden
+//     data — blunted by dummy-file churn and the hidden files' internal
+//     free-block pools.
+package adversary
+
+import (
+	"math"
+
+	"stegfs/internal/bitmapvec"
+	"stegfs/internal/vdisk"
+)
+
+// ChiSquare returns the chi-square statistic of the byte histogram of data
+// against the uniform distribution. For a 1 KB random block the statistic
+// concentrates around 255 (the degrees of freedom); structured plaintext
+// scores orders of magnitude higher.
+func ChiSquare(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var hist [256]int
+	for _, b := range data {
+		hist[b]++
+	}
+	expected := float64(len(data)) / 256
+	var chi float64
+	for _, c := range hist {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	return chi
+}
+
+// BlockStats summarizes a scan of the raw volume.
+type BlockStats struct {
+	Blocks  int
+	MeanChi float64
+	MaxChi  float64
+	// Flagged counts blocks whose chi-square exceeds the given threshold —
+	// blocks that "stand out" to an observer.
+	Flagged int
+}
+
+// ScanBlocks computes chi-square statistics over a set of blocks. threshold
+// flags blocks that look non-random (a practical threshold for 256-bin
+// chi-square is ~400: P[chi > 400] < 1e-8 for uniform data of >= 1 KB).
+func ScanBlocks(dev vdisk.Device, blocks []int64, threshold float64) (BlockStats, error) {
+	buf := make([]byte, dev.BlockSize())
+	var st BlockStats
+	for _, b := range blocks {
+		if err := dev.ReadBlock(b, buf); err != nil {
+			return st, err
+		}
+		chi := ChiSquare(buf)
+		st.Blocks++
+		st.MeanChi += chi
+		if chi > st.MaxChi {
+			st.MaxChi = chi
+		}
+		if chi > threshold {
+			st.Flagged++
+		}
+	}
+	if st.Blocks > 0 {
+		st.MeanChi /= float64(st.Blocks)
+	}
+	return st, nil
+}
+
+// UsedUnlisted performs the brute-force examination: every block marked used
+// in the bitmap that is not referenced by the central directory and is not
+// file-system metadata. The result mixes hidden data, dummy files, internal
+// free pools and abandoned blocks — the attacker cannot tell which is which.
+func UsedUnlisted(bm *bitmapvec.Bitmap, plainRefs map[int64]bool, metaEnd int64) []int64 {
+	var out []int64
+	for b := metaEnd; b < bm.Len(); b++ {
+		if bm.Test(b) && !plainRefs[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DeltaResult quantifies a bitmap-snapshot attack.
+type DeltaResult struct {
+	// Candidates is the number of newly allocated non-plain blocks the
+	// attacker attributes to hidden data.
+	Candidates int
+	// TruePositives is how many candidates actually hold user hidden data.
+	TruePositives int
+	// Precision = TruePositives / Candidates (1.0 means the attacker's
+	// inference is exact; lower is better for the defender).
+	Precision float64
+	// Recall = TruePositives / |truth| — how much of the hidden data the
+	// attacker found.
+	Recall float64
+}
+
+// DeltaAttack evaluates the snapshot attack: prev and cur are bitmap images
+// taken before and after the victim's activity; newPlain are blocks newly
+// referenced by plain files (the attacker can enumerate those); truth is the
+// ground-truth set of blocks holding real user hidden data.
+func DeltaAttack(prev, cur *bitmapvec.Bitmap, newPlain map[int64]bool, truth map[int64]bool) DeltaResult {
+	var res DeltaResult
+	for _, b := range bitmapvec.NewlySet(prev, cur) {
+		if newPlain[b] {
+			continue
+		}
+		res.Candidates++
+		if truth[b] {
+			res.TruePositives++
+		}
+	}
+	if res.Candidates > 0 {
+		res.Precision = float64(res.TruePositives) / float64(res.Candidates)
+	}
+	if len(truth) > 0 {
+		res.Recall = float64(res.TruePositives) / float64(len(truth))
+	}
+	return res
+}
+
+// GuessWork estimates the expected number of blocks an attacker must examine
+// to hit one block of real hidden data when probing the used-unlisted set
+// uniformly: candidates / truth (infinite when there is no hidden data).
+func GuessWork(candidates, truth int) float64 {
+	if truth == 0 {
+		return math.Inf(1)
+	}
+	return float64(candidates) / float64(truth)
+}

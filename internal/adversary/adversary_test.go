@@ -1,0 +1,119 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"stegfs/internal/bitmapvec"
+	"stegfs/internal/sgcrypto"
+	"stegfs/internal/vdisk"
+)
+
+func TestChiSquareDiscriminates(t *testing.T) {
+	random := make([]byte, 4096)
+	sgcrypto.NewRandomFiller([]byte("x")).Fill(random)
+	text := make([]byte, 4096)
+	const phrase = "the quick brown fox jumps over the lazy dog "
+	for i := range text {
+		text[i] = phrase[i%len(phrase)]
+	}
+	chiRandom := ChiSquare(random)
+	chiText := ChiSquare(text)
+	if chiRandom > 400 {
+		t.Fatalf("random data chi2 = %.1f, expected ~255", chiRandom)
+	}
+	if chiText < 10*chiRandom {
+		t.Fatalf("structured text chi2 %.1f should dwarf random %.1f", chiText, chiRandom)
+	}
+	if ChiSquare(nil) != 0 {
+		t.Fatal("empty input should score 0")
+	}
+}
+
+func TestScanBlocks(t *testing.T) {
+	store, err := vdisk.NewMemStore(16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := sgcrypto.NewRandomFiller([]byte("y"))
+	buf := make([]byte, 1024)
+	for b := int64(0); b < 8; b++ {
+		filler.Fill(buf)
+		if err := store.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Blocks 8..15 are zeros (structured).
+	st, err := ScanBlocks(store, []int64{0, 1, 2, 3}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flagged != 0 {
+		t.Fatalf("random blocks flagged: %+v", st)
+	}
+	st, err = ScanBlocks(store, []int64{8, 9}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flagged != 2 {
+		t.Fatalf("zero blocks not flagged: %+v", st)
+	}
+}
+
+func TestUsedUnlisted(t *testing.T) {
+	bm := bitmapvec.New(32)
+	for _, b := range []int64{0, 1, 2, 10, 11, 20} {
+		_ = bm.Set(b)
+	}
+	plain := map[int64]bool{10: true}
+	got := UsedUnlisted(bm, plain, 3) // metadata is [0,3)
+	want := []int64{11, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeltaAttackScoring(t *testing.T) {
+	prev := bitmapvec.New(64)
+	cur := prev.Clone()
+	for _, b := range []int64{5, 6, 7, 8} {
+		_ = cur.Set(b)
+	}
+	truth := map[int64]bool{5: true, 6: true}
+	newPlain := map[int64]bool{8: true}
+	res := DeltaAttack(prev, cur, newPlain, truth)
+	if res.Candidates != 3 { // 5,6,7 (8 is plain)
+		t.Fatalf("candidates = %d, want 3", res.Candidates)
+	}
+	if res.TruePositives != 2 {
+		t.Fatalf("TP = %d, want 2", res.TruePositives)
+	}
+	if math.Abs(res.Precision-2.0/3.0) > 1e-9 {
+		t.Fatalf("precision = %v", res.Precision)
+	}
+	if math.Abs(res.Recall-1.0) > 1e-9 {
+		t.Fatalf("recall = %v", res.Recall)
+	}
+}
+
+func TestDeltaAttackEmpty(t *testing.T) {
+	prev := bitmapvec.New(8)
+	res := DeltaAttack(prev, prev.Clone(), nil, nil)
+	if res.Candidates != 0 || res.Precision != 0 || res.Recall != 0 {
+		t.Fatalf("empty delta: %+v", res)
+	}
+}
+
+func TestGuessWork(t *testing.T) {
+	if !math.IsInf(GuessWork(100, 0), 1) {
+		t.Fatal("no hidden data should be infinite guess work")
+	}
+	if GuessWork(100, 10) != 10 {
+		t.Fatal("guess work miscalculated")
+	}
+}

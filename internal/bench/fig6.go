@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"stegfs/internal/stegrand"
+)
+
+// Fig6Replications are the replication factors swept in Figure 6.
+var Fig6Replications = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig6BlockSizes are the block sizes (bytes) swept in Figure 6.
+var Fig6BlockSizes = []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+// StegRandSpaceCurve reproduces Figure 6: the effective space utilization of
+// StegRand as a function of the replication factor, one series per block
+// size. Files are loaded one at a time until all copies of any data block
+// are overwritten; utilization counts each file once.
+func StegRandSpaceCurve(cfg Config, blockSizes []int, replications []int) []Series {
+	if blockSizes == nil {
+		blockSizes = Fig6BlockSizes
+	}
+	if replications == nil {
+		replications = Fig6Replications
+	}
+	out := make([]Series, 0, len(blockSizes))
+	for _, bs := range blockSizes {
+		s := Series{Label: fmt.Sprintf("block size = %gkb", float64(bs)/1024)}
+		numBlocks := cfg.VolumeBytes / int64(bs)
+		for _, r := range replications {
+			// Average a few seeded runs; the loading process has high
+			// variance near the loss threshold.
+			const runs = 3
+			var sum float64
+			for k := 0; k < runs; k++ {
+				res := stegrand.SimulateLoad(numBlocks, bs, r, cfg.Seed+int64(k),
+					stegrand.UniformFileSize(cfg.FileLo, cfg.FileHi))
+				sum += res.Utilization
+			}
+			s.Points = append(s.Points, Point{X: float64(r), Y: sum / runs})
+		}
+		out = append(out, s)
+	}
+	return out
+}

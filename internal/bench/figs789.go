@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"stegfs/internal/workload"
+)
+
+// Fig7Users are the concurrency levels of Figure 7.
+var Fig7Users = []int{1, 2, 4, 8, 16, 32}
+
+// ConcurrencyCurve reproduces Figure 7: read and write access times versus
+// the number of concurrent users for all five schemes (1 KB blocks, 1 GB
+// volume, (1,2] MB files, interleaved access). It returns one read series
+// and one write series per scheme.
+func ConcurrencyCurve(cfg Config, users []int) (readS, writeS []Series, err error) {
+	if users == nil {
+		users = Fig7Users
+	}
+	specs := cfg.Specs()
+	for _, scheme := range SchemeNames {
+		rs := Series{Label: scheme}
+		ws := Series{Label: scheme}
+		for _, u := range users {
+			inst, err := BuildInstance(scheme, cfg, specs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig7 %s u=%d: %w", scheme, u, err)
+			}
+			res, err := workload.RunInterleaved(inst.Disk, inst.FS, specs, u, cfg.OpsPerUser, workload.OpRead, cfg.Seed)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig7 %s u=%d read: %w", scheme, u, err)
+			}
+			rs.Points = append(rs.Points, Point{X: float64(u), Y: seconds(res.AvgPerOp)})
+			inst.Disk.ResetClock()
+			res, err = workload.RunInterleaved(inst.Disk, inst.FS, specs, u, cfg.OpsPerUser, workload.OpWrite, cfg.Seed+7)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig7 %s u=%d write: %w", scheme, u, err)
+			}
+			ws.Points = append(ws.Points, Point{X: float64(u), Y: seconds(res.AvgPerOp)})
+		}
+		readS = append(readS, rs)
+		writeS = append(writeS, ws)
+	}
+	return readS, writeS, nil
+}
+
+// Fig8SizesKB are the file sizes (KB) of Figure 8.
+var Fig8SizesKB = []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+
+// FileSizeCurve reproduces Figure 8: normalized access time (seconds per KB)
+// versus file size under a fixed degree of concurrency (the interleaved
+// multi-user regime of Figure 7; the paper's point is that the relative
+// trade-offs are independent of file size).
+func FileSizeCurve(cfg Config, sizesKB []int, users int) (readS, writeS []Series, err error) {
+	if sizesKB == nil {
+		sizesKB = Fig8SizesKB
+	}
+	if users <= 0 {
+		users = 16
+	}
+	for _, scheme := range SchemeNames {
+		rs := Series{Label: scheme}
+		ws := Series{Label: scheme}
+		for _, kb := range sizesKB {
+			sized := cfg
+			sized.FileLo = int64(kb) << 10
+			sized.FileHi = int64(kb) << 10
+			if sized.CoverBytes < sized.FileHi {
+				sized.CoverBytes = sized.FileHi
+			}
+			// Keep the populated volume roughly as full as the base config.
+			sized.NumFiles = int(cfg.VolumeBytes / 2 / sized.FileHi)
+			if sized.NumFiles > cfg.NumFiles {
+				sized.NumFiles = cfg.NumFiles
+			}
+			if sized.NumFiles < users {
+				sized.NumFiles = users
+			}
+			specs := workload.FixedSpecs(sized.NumFiles, int64(kb)<<10, "f")
+			inst, err := BuildInstance(scheme, sized, specs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig8 %s %dKB: %w", scheme, kb, err)
+			}
+			res, err := workload.RunInterleaved(inst.Disk, inst.FS, specs, users, sized.OpsPerUser, workload.OpRead, sized.Seed)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig8 %s %dKB read: %w", scheme, kb, err)
+			}
+			rs.Points = append(rs.Points, Point{X: float64(kb), Y: seconds(res.AvgPerOp) / float64(kb)})
+			inst.Disk.ResetClock()
+			res, err = workload.RunInterleaved(inst.Disk, inst.FS, specs, users, sized.OpsPerUser, workload.OpWrite, sized.Seed+7)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig8 %s %dKB write: %w", scheme, kb, err)
+			}
+			ws.Points = append(ws.Points, Point{X: float64(kb), Y: seconds(res.AvgPerOp) / float64(kb)})
+		}
+		readS = append(readS, rs)
+		writeS = append(writeS, ws)
+	}
+	return readS, writeS, nil
+}
+
+// Fig9BlockSizes are the block sizes (bytes) of Figure 9.
+var Fig9BlockSizes = []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+// BlockSizeCurve reproduces Figure 9: serial (single-user) access time
+// versus block size, each file retrieved in its entirety before the next is
+// opened, with the file size fixed (paper: 1 MB).
+func BlockSizeCurve(cfg Config, blockSizes []int, fileSize int64) (readS, writeS []Series, err error) {
+	if blockSizes == nil {
+		blockSizes = Fig9BlockSizes
+	}
+	if fileSize <= 0 {
+		fileSize = cfg.FileHi / 2
+	}
+	for _, scheme := range SchemeNames {
+		rs := Series{Label: scheme}
+		ws := Series{Label: scheme}
+		for _, bs := range blockSizes {
+			sized := cfg
+			sized.BlockSize = bs
+			sized.FileLo = fileSize
+			sized.FileHi = fileSize
+			if sized.CoverBytes < fileSize {
+				sized.CoverBytes = fileSize
+			}
+			sized.NumFiles = int(cfg.VolumeBytes / 2 / fileSize)
+			if sized.NumFiles > cfg.NumFiles {
+				sized.NumFiles = cfg.NumFiles
+			}
+			// Respect StegFS's per-file overhead (header + free pool): with
+			// large blocks and small files it dominates, so bound the file
+			// count to what fits in ~60% of the volume.
+			fileBlocks := (fileSize + int64(bs) - 1) / int64(bs)
+			perFile := fileBlocks + int64(sized.Steg.FreeMax) + 2
+			if maxN := int(sized.VolumeBytes / int64(bs) * 6 / 10 / perFile); sized.NumFiles > maxN {
+				sized.NumFiles = maxN
+			}
+			if sized.NumFiles < 1 {
+				sized.NumFiles = 1
+			}
+			specs := workload.FixedSpecs(sized.NumFiles, fileSize, "f")
+			inst, err := BuildInstance(scheme, sized, specs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig9 %s bs=%d: %w", scheme, bs, err)
+			}
+			res, err := workload.RunInterleaved(inst.Disk, inst.FS, specs, 1, sized.OpsPerUser, workload.OpRead, sized.Seed)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig9 %s bs=%d read: %w", scheme, bs, err)
+			}
+			rs.Points = append(rs.Points, Point{X: float64(bs) / 1024, Y: seconds(res.AvgPerOp)})
+			inst.Disk.ResetClock()
+			res, err = workload.RunInterleaved(inst.Disk, inst.FS, specs, 1, sized.OpsPerUser, workload.OpWrite, sized.Seed+7)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig9 %s bs=%d write: %w", scheme, bs, err)
+			}
+			ws.Points = append(ws.Points, Point{X: float64(bs) / 1024, Y: seconds(res.AvgPerOp)})
+		}
+		readS = append(readS, rs)
+		writeS = append(writeS, ws)
+	}
+	return readS, writeS, nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"stegfs/internal/stegrand"
+)
+
+// IDARow compares replication and IDA dispersal at equal storage overhead —
+// the extension experiment motivated by the paper's §2 discussion of
+// Mnemosyne [10]: "this is achieved at the expense of higher storage and
+// read/write overheads, and there is still the possibility of data loss".
+type IDARow struct {
+	Overhead        float64 // storage blow-up factor (k for replication, n/m for IDA)
+	ReplUtilization float64 // Figure 6 procedure with k-fold replication
+	IDAUtilization  float64 // same procedure with (m, n) dispersal
+	IDAM, IDAN      int
+}
+
+// IDAComparison sweeps equal-overhead pairs: replication k versus IDA
+// (m, n = k*m). IDA tolerates any n-m share losses instead of requiring one
+// intact copy, so its utilization at the safe-recovery limit is higher.
+func IDAComparison(cfg Config, overheads []int, m int) []IDARow {
+	if overheads == nil {
+		overheads = []int{2, 4, 8}
+	}
+	if m <= 0 {
+		m = 4
+	}
+	var out []IDARow
+	numBlocks := cfg.NumBlocks()
+	sizes := stegrand.UniformFileSize(cfg.FileLo, cfg.FileHi)
+	const runs = 3
+	for _, k := range overheads {
+		var replU, idaU float64
+		for s := int64(0); s < runs; s++ {
+			replU += stegrand.SimulateLoad(numBlocks, cfg.BlockSize, k, cfg.Seed+s, sizes).Utilization
+			idaU += stegrand.SimulateLoadIDA(numBlocks, cfg.BlockSize, m, k*m, cfg.Seed+s, sizes).Utilization
+		}
+		out = append(out, IDARow{
+			Overhead:        float64(k),
+			ReplUtilization: replU / runs,
+			IDAUtilization:  idaU / runs,
+			IDAM:            m,
+			IDAN:            k * m,
+		})
+	}
+	return out
+}
+
+// FormatIDARows renders the comparison as aligned text lines.
+func FormatIDARows(rows []IDARow) []string {
+	out := []string{"  overhead  replication-util%  IDA-util%  (m,n)"}
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("  %8.0fx  %17.2f  %9.2f  (%d,%d)",
+			r.Overhead, r.ReplUtilization*100, r.IDAUtilization*100, r.IDAM, r.IDAN))
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package bench
+
+// Shape tests: each experiment must reproduce the qualitative result the
+// paper reports — who wins, by roughly what factor, where the crossovers
+// fall. These are the automated checks behind EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"stegfs/internal/workload"
+)
+
+func shapeConfig() Config {
+	cfg := SmallConfig()
+	cfg.VolumeBytes = 24 << 20
+	cfg.FileLo = 48 << 10
+	cfg.FileHi = 96 << 10
+	cfg.NumFiles = 32
+	cfg.CoverBytes = 96 << 10
+	cfg.OpsPerUser = 2
+	cfg.Steg.DummyAvgSize = 48 << 10
+	cfg.Steg.NDummy = 4
+	return cfg
+}
+
+// latencies returns per-scheme read/write latencies at a given concurrency.
+func latencies(t *testing.T, cfg Config, users int) (map[string]float64, map[string]float64) {
+	t.Helper()
+	specs := cfg.Specs()
+	reads := map[string]float64{}
+	writes := map[string]float64{}
+	for _, scheme := range SchemeNames {
+		inst, err := BuildInstance(scheme, cfg, specs)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		res, err := workload.RunInterleaved(inst.Disk, inst.FS, specs, users, cfg.OpsPerUser, workload.OpRead, cfg.Seed)
+		if err != nil {
+			t.Fatalf("%s read: %v", scheme, err)
+		}
+		reads[scheme] = res.AvgPerOp.Seconds()
+		inst.Disk.ResetClock()
+		res, err = workload.RunInterleaved(inst.Disk, inst.FS, specs, users, cfg.OpsPerUser, workload.OpWrite, cfg.Seed+7)
+		if err != nil {
+			t.Fatalf("%s write: %v", scheme, err)
+		}
+		writes[scheme] = res.AvgPerOp.Seconds()
+	}
+	return reads, writes
+}
+
+// TestShapeSpaceUtilization asserts the §5.2 result: StegFS > StegCover >>
+// StegRand, with StegFS above 80% and StegRand below 10%.
+func TestShapeSpaceUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := shapeConfig()
+	rows, err := SpaceTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := map[string]float64{}
+	for _, r := range rows {
+		util[r.Scheme] = r.Utilization
+	}
+	if util["StegFS"] < 0.80 {
+		t.Fatalf("StegFS utilization %.2f < 0.80 (paper: >80%%)", util["StegFS"])
+	}
+	if util["StegCover"] < 0.60 || util["StegCover"] > 0.85 {
+		t.Fatalf("StegCover utilization %.2f outside the ~75%% band", util["StegCover"])
+	}
+	if util["StegRand"] > 0.10 {
+		t.Fatalf("StegRand utilization %.2f > 0.10 (paper: ~5%%)", util["StegRand"])
+	}
+	if util["StegFS"] < 10*util["StegRand"] {
+		t.Fatalf("StegFS (%.2f) should be >= 10x StegRand (%.2f) — the paper's headline",
+			util["StegFS"], util["StegRand"])
+	}
+}
+
+// TestShapeFig6 asserts the Figure 6 shape: utilization peaks in the 8..16
+// replication window and declines by 64; smaller blocks do not beat larger
+// blocks at the peak.
+func TestShapeFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := shapeConfig()
+	series := StegRandSpaceCurve(cfg, []int{512, 4 << 10}, []int{1, 2, 4, 8, 16, 32, 64})
+	for _, s := range series {
+		byRepl := map[float64]float64{}
+		for _, p := range s.Points {
+			byRepl[p.X] = p.Y
+		}
+		peak := byRepl[8]
+		if byRepl[16] > peak {
+			peak = byRepl[16]
+		}
+		if peak <= byRepl[1] {
+			t.Fatalf("%s: peak %.4f not above replication-1 %.4f", s.Label, peak, byRepl[1])
+		}
+		if byRepl[64] >= peak {
+			t.Fatalf("%s: replication 64 (%.4f) should trail the 8-16 window (%.4f)", s.Label, byRepl[64], peak)
+		}
+		if peak > 0.15 {
+			t.Fatalf("%s: peak %.4f beyond the paper's <10%% band", s.Label, peak)
+		}
+	}
+}
+
+// TestShapeFig7 asserts the Figure 7 ordering and convergence: StegCover and
+// StegRand pay large penalties; StegFS approaches the native baselines as
+// concurrency grows.
+func TestShapeFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := shapeConfig()
+	reads1, _ := latencies(t, cfg, 1)
+	reads16, writes16 := latencies(t, cfg, 16)
+
+	// (a) Ordering under load: native fastest, StegCover/StegRand slowest.
+	if reads16["CleanDisk"] > reads16["StegFS"] {
+		t.Fatalf("CleanDisk read (%.3f) slower than StegFS (%.3f) at 16 users",
+			reads16["CleanDisk"], reads16["StegFS"])
+	}
+	if reads16["StegCover"] < 2*reads16["StegFS"] {
+		t.Fatalf("StegCover read (%.3f) should be >> StegFS (%.3f)",
+			reads16["StegCover"], reads16["StegFS"])
+	}
+	if writes16["StegRand"] < 2*writes16["StegFS"] {
+		t.Fatalf("StegRand write (%.3f) should be >> StegFS (%.3f) — all replicas updated",
+			writes16["StegRand"], writes16["StegFS"])
+	}
+	if writes16["StegCover"] < 3*writes16["CleanDisk"] {
+		t.Fatalf("StegCover write (%.3f) should be an order worse than CleanDisk (%.3f)",
+			writes16["StegCover"], writes16["CleanDisk"])
+	}
+
+	// (b) Convergence: the StegFS:FragDisk ratio shrinks with concurrency
+	// and lands near 1 under load (paper: matches native from 8-16 users).
+	gap1 := reads1["StegFS"] / reads1["FragDisk"]
+	gap16 := reads16["StegFS"] / reads16["FragDisk"]
+	if gap16 >= gap1 {
+		t.Fatalf("interleaving should close the StegFS/native gap: %.2fx -> %.2fx", gap1, gap16)
+	}
+	if gap16 > 1.5 {
+		t.Fatalf("StegFS should track FragDisk at 16 users, got %.2fx", gap16)
+	}
+
+	// (c) Latency grows with concurrency for every scheme.
+	for _, s := range SchemeNames {
+		if reads16[s] <= reads1[s] {
+			t.Fatalf("%s: 16-user read (%.3f) not above 1-user (%.3f)", s, reads16[s], reads1[s])
+		}
+	}
+}
+
+// TestShapeFig9 asserts the Figure 9 shape: serial single-user access gets
+// cheaper as blocks grow, CleanDisk dominates, StegFS pays the per-block
+// seek penalty that shrinks with block size.
+func TestShapeFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := shapeConfig()
+	readS, _, err := BlockSizeCurve(cfg, []int{512, 4 << 10, 32 << 10}, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := map[string][]Point{}
+	for _, s := range readS {
+		curves[s.Label] = s.Points
+	}
+	for scheme, pts := range curves {
+		if len(pts) != 3 {
+			t.Fatalf("%s: %d points", scheme, len(pts))
+		}
+		if pts[0].Y <= pts[2].Y {
+			t.Fatalf("%s: cost should fall with block size: %.4f -> %.4f", scheme, pts[0].Y, pts[2].Y)
+		}
+	}
+	// CleanDisk best at every block size; StegFS penalty more pronounced at
+	// small blocks.
+	for i := 0; i < 3; i++ {
+		if curves["CleanDisk"][i].Y > curves["StegFS"][i].Y {
+			t.Fatalf("CleanDisk slower than StegFS at point %d", i)
+		}
+	}
+	ratioSmall := curves["StegFS"][0].Y / curves["CleanDisk"][0].Y
+	ratioLarge := curves["StegFS"][2].Y / curves["CleanDisk"][2].Y
+	if ratioSmall <= ratioLarge {
+		t.Fatalf("StegFS penalty should shrink with block size: %.1fx -> %.1fx", ratioSmall, ratioLarge)
+	}
+}
+
+// TestShapeAblations asserts the ablation trends: more abandoned blocks =
+// more attacker guess-work and less utilization; larger free pools and more
+// dummies = lower snapshot-attack precision.
+func TestShapeAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := shapeConfig()
+
+	ab, err := AbandonedSweep(cfg, []float64{0, 0.10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab[1].Candidates <= ab[0].Candidates {
+		t.Fatalf("10%% abandoned should add census candidates: %d -> %d", ab[0].Candidates, ab[1].Candidates)
+	}
+	if ab[1].GuessWork <= ab[0].GuessWork {
+		t.Fatalf("abandoned blocks should raise guess-work: %.2f -> %.2f", ab[0].GuessWork, ab[1].GuessWork)
+	}
+
+	fp, err := FreePoolSweep(cfg, []int{0, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp[1].AttackPrecision >= fp[0].AttackPrecision {
+		t.Fatalf("larger pools should cut attack precision: %.2f -> %.2f",
+			fp[0].AttackPrecision, fp[1].AttackPrecision)
+	}
+
+	dm, err := DummySweep(cfg, []int{0, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm[1].AttackPrecision >= dm[0].AttackPrecision {
+		t.Fatalf("dummy churn should cut attack precision: %.2f -> %.2f",
+			dm[0].AttackPrecision, dm[1].AttackPrecision)
+	}
+	if dm[1].Candidates <= dm[0].Candidates {
+		t.Fatalf("dummies should add delta candidates: %d -> %d", dm[0].Candidates, dm[1].Candidates)
+	}
+}
+
+// TestShapeIDA asserts the E-IDA extension result: at equal storage
+// overhead, Rabin dispersal sustains a higher safe load than replication.
+func TestShapeIDA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := shapeConfig()
+	rows := IDAComparison(cfg, []int{4}, 4)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].IDAUtilization <= rows[0].ReplUtilization {
+		t.Fatalf("IDA (%.4f) should beat replication (%.4f) at 4x overhead",
+			rows[0].IDAUtilization, rows[0].ReplUtilization)
+	}
+}

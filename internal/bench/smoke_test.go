@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"stegfs/internal/workload"
+)
+
+// tinyConfig is a very small configuration for fast harness tests.
+func tinyConfig() Config {
+	cfg := SmallConfig()
+	cfg.VolumeBytes = 8 << 20
+	cfg.BlockSize = 1 << 10
+	cfg.NumFiles = 12
+	cfg.FileLo = 16 << 10
+	cfg.FileHi = 32 << 10
+	cfg.CoverBytes = 32 << 10
+	cfg.OpsPerUser = 2
+	cfg.Steg.DummyAvgSize = 16 << 10
+	cfg.Steg.NDummy = 2
+	return cfg
+}
+
+func TestSmokeAllSchemesRun(t *testing.T) {
+	cfg := tinyConfig()
+	specs := cfg.Specs()
+	for _, scheme := range SchemeNames {
+		inst, err := BuildInstance(scheme, cfg, specs)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		res, err := workload.RunInterleaved(inst.Disk, inst.FS, specs, 2, 2, workload.OpRead, 1)
+		if err != nil {
+			t.Fatalf("%s read: %v", scheme, err)
+		}
+		if res.Ops != 4 || res.AvgPerOp <= 0 {
+			t.Fatalf("%s read: bad result %+v", scheme, res)
+		}
+		res, err = workload.RunInterleaved(inst.Disk, inst.FS, specs, 2, 2, workload.OpWrite, 2)
+		if err != nil {
+			t.Fatalf("%s write: %v", scheme, err)
+		}
+		if res.Ops != 4 || res.AvgPerOp <= 0 {
+			t.Fatalf("%s write: bad result %+v", scheme, res)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package fsapi defines the common file-system interface that the benchmark
+// harness drives. All five systems evaluated in the paper — StegFS,
+// StegCover, StegRand, CleanDisk and FragDisk — implement it, so every
+// experiment runs the same workload code against each scheme.
+//
+// Besides whole-file operations, the interface exposes block-granular
+// cursors. The paper's multi-user experiments (Figures 7 and 8) interleave
+// the I/O of concurrent users on a single spindle; cursors let the workload
+// mixer round-robin individual block requests across users, which is what
+// erodes the native file system's sequential advantage exactly as in the
+// paper.
+package fsapi
+
+import "errors"
+
+// Sentinel errors shared across implementations.
+var (
+	// ErrNotFound reports that the named file does not exist (or, for
+	// steganographic schemes, cannot be located with the given key — the two
+	// cases are deliberately indistinguishable).
+	ErrNotFound = errors.New("fsapi: file not found")
+	// ErrExists reports a create of a name that is already present.
+	ErrExists = errors.New("fsapi: file already exists")
+	// ErrNoSpace reports volume exhaustion.
+	ErrNoSpace = errors.New("fsapi: no space left on volume")
+	// ErrCorrupt reports unrecoverable data loss (StegRand overwrites).
+	ErrCorrupt = errors.New("fsapi: file data corrupted")
+	// ErrIsDir reports a file operation applied to a directory.
+	ErrIsDir = errors.New("fsapi: is a directory")
+	// ErrNotDir reports a directory operation applied to a file.
+	ErrNotDir = errors.New("fsapi: not a directory")
+)
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Name   string // file name as given at creation
+	Size   int64  // logical size in bytes
+	Blocks int64  // number of data blocks occupied
+}
+
+// FileSystem is the whole-file interface every scheme implements.
+type FileSystem interface {
+	// SchemeName identifies the scheme ("StegFS", "StegCover", ...).
+	SchemeName() string
+	// Create stores a new file with the given contents.
+	Create(name string, data []byte) error
+	// Read returns the full contents of the named file.
+	Read(name string) ([]byte, error)
+	// Write replaces the contents of an existing file.
+	Write(name string, data []byte) error
+	// Delete removes the named file and frees its space.
+	Delete(name string) error
+	// Stat describes the named file.
+	Stat(name string) (FileInfo, error)
+}
+
+// Cursor performs one file operation a block at a time so a scheduler can
+// interleave several users' requests. Each Step issues the physical I/O for
+// one logical block of the file (which may be several device operations: a
+// StegCover step touches every cover file; a StegRand write step updates all
+// replicas).
+type Cursor interface {
+	// Step performs the next logical-block I/O. It returns done=true when
+	// the file operation has completed; calling Step again after done is an
+	// error.
+	Step() (done bool, err error)
+	// Remaining returns the number of logical block steps still to perform.
+	Remaining() int
+}
+
+// CursorFS is implemented by schemes that support interleaved block-level
+// access for the concurrency experiments.
+type CursorFS interface {
+	FileSystem
+	// ReadCursor starts a block-by-block read of the named file.
+	ReadCursor(name string) (Cursor, error)
+	// WriteCursor starts a block-by-block overwrite of the named file with
+	// data (same length category as created; schemes may reallocate).
+	WriteCursor(name string, data []byte) (Cursor, error)
+}
+
+// Drain runs a cursor to completion and returns the number of steps taken.
+func Drain(c Cursor) (int, error) {
+	steps := 0
+	for {
+		done, err := c.Step()
+		if err != nil {
+			return steps, err
+		}
+		steps++
+		if done {
+			return steps, nil
+		}
+	}
+}

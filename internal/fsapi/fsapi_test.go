@@ -1,0 +1,61 @@
+package fsapi
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeCursor counts steps until n.
+type fakeCursor struct {
+	n, pos int
+	failAt int
+}
+
+func (c *fakeCursor) Step() (bool, error) {
+	if c.failAt > 0 && c.pos == c.failAt {
+		return false, errors.New("boom")
+	}
+	if c.pos >= c.n {
+		return true, errors.New("past end")
+	}
+	c.pos++
+	return c.pos == c.n, nil
+}
+
+func (c *fakeCursor) Remaining() int { return c.n - c.pos }
+
+func TestDrainCompletes(t *testing.T) {
+	c := &fakeCursor{n: 5}
+	steps, err := Drain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+	if c.Remaining() != 0 {
+		t.Fatal("cursor not drained")
+	}
+}
+
+func TestDrainPropagatesError(t *testing.T) {
+	c := &fakeCursor{n: 5, failAt: 3}
+	steps, err := Drain(c)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if steps != 3 {
+		t.Fatalf("steps before failure = %d, want 3", steps)
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrNotFound, ErrExists, ErrNoSpace, ErrCorrupt, ErrIsDir, ErrNotDir}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("error %v conflated with %v", a, b)
+			}
+		}
+	}
+}

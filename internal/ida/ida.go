@@ -1,0 +1,202 @@
+// Package ida implements Rabin's Information Dispersal Algorithm
+// ("Efficient dispersal of information for security, load balancing, and
+// fault tolerance", JACM 1989 — the paper's reference [15]).
+//
+// A file is encoded into n shares such that any m of them suffice to
+// reconstruct it, with total storage n/m times the original — the scheme
+// Hand & Roscoe's Mnemosyne [10] uses in place of naive replication for
+// pseudorandom-addressing steganographic storage. The reproduction uses it
+// for the resilience-versus-overhead ablation that extends Figure 6.
+//
+// Encoding multiplies m-byte columns of the input by an n x m Cauchy matrix
+// over GF(2^8); any m rows of a Cauchy matrix are invertible, giving the
+// any-m-of-n property.
+package ida
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"stegfs/internal/gf256"
+)
+
+// MaxShares bounds n: the Cauchy construction needs n + m <= 256 distinct
+// field elements.
+const MaxShares = 128
+
+// Share is one dispersal fragment.
+type Share struct {
+	// Index identifies the matrix row used to build this share (0..n-1).
+	Index int
+	// Data is the fragment payload, ceil(len(input)/m) + header bytes.
+	Data []byte
+}
+
+// Params describes an (m, n) dispersal: n shares, any m reconstruct.
+type Params struct {
+	M int // quorum
+	N int // total shares
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.M <= 0 || p.N < p.M {
+		return fmt.Errorf("ida: invalid (m=%d, n=%d)", p.M, p.N)
+	}
+	if p.N+p.M > 2*MaxShares {
+		return fmt.Errorf("ida: n=%d exceeds the field (max %d)", p.N, MaxShares)
+	}
+	return nil
+}
+
+// Overhead returns the storage blow-up factor n/m.
+func (p Params) Overhead() float64 { return float64(p.N) / float64(p.M) }
+
+// cauchyRow returns row i of the n x m Cauchy matrix: a[i][j] =
+// 1 / (x_i + y_j) with x_i = i and y_j = 128 + j (disjoint sets).
+func cauchyRow(i, m int) []byte {
+	row := make([]byte, m)
+	for j := 0; j < m; j++ {
+		row[j] = gf256.Inv(gf256.Add(byte(i), byte(128+j)))
+	}
+	return row
+}
+
+// Split encodes data into n shares, any m of which reconstruct it.
+func Split(data []byte, p Params) ([]Share, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := p.M, p.N
+	// Pad to a multiple of m; the original length travels in each share.
+	cols := (len(data) + m - 1) / m
+	padded := make([]byte, cols*m)
+	copy(padded, data)
+
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		row := cauchyRow(i, m)
+		frag := make([]byte, 8+cols)
+		binary.BigEndian.PutUint64(frag, uint64(len(data)))
+		out := frag[8:]
+		for j := 0; j < m; j++ {
+			// Column-major: byte j of every column forms a stride-m view.
+			gf256.MulSlice(row[j], out, stride(padded, j, m, cols))
+		}
+		shares[i] = Share{Index: i, Data: frag}
+	}
+	return shares, nil
+}
+
+// stride extracts the lazily-materialized j-th byte of every m-byte column.
+func stride(padded []byte, j, m, cols int) []byte {
+	out := make([]byte, cols)
+	for c := 0; c < cols; c++ {
+		out[c] = padded[c*m+j]
+	}
+	return out
+}
+
+// Reconstruct rebuilds the original data from any m distinct shares.
+func Reconstruct(shares []Share, p Params) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.M
+	if len(shares) < m {
+		return nil, fmt.Errorf("ida: %d shares < quorum %d", len(shares), m)
+	}
+	use := shares[:m]
+	cols := len(use[0].Data) - 8
+	if cols < 0 {
+		return nil, fmt.Errorf("ida: share too short")
+	}
+	origLen := int(binary.BigEndian.Uint64(use[0].Data))
+	seen := map[int]bool{}
+	for _, s := range use {
+		if s.Index < 0 || s.Index >= p.N {
+			return nil, fmt.Errorf("ida: share index %d out of range", s.Index)
+		}
+		if seen[s.Index] {
+			return nil, fmt.Errorf("ida: duplicate share index %d", s.Index)
+		}
+		seen[s.Index] = true
+		if len(s.Data)-8 != cols {
+			return nil, fmt.Errorf("ida: share lengths differ")
+		}
+		if int(binary.BigEndian.Uint64(s.Data)) != origLen {
+			return nil, fmt.Errorf("ida: share headers disagree on length")
+		}
+	}
+	if origLen > cols*m {
+		return nil, fmt.Errorf("ida: header length %d exceeds capacity %d", origLen, cols*m)
+	}
+
+	// Invert the m x m submatrix formed by the chosen rows.
+	mat := make([][]byte, m)
+	for r, s := range use {
+		mat[r] = cauchyRow(s.Index, m)
+	}
+	inv, err := invert(mat)
+	if err != nil {
+		return nil, err
+	}
+
+	// padded column bytes: padded[c*m+j] = sum_k inv[j][k] * share_k[c].
+	padded := make([]byte, cols*m)
+	for j := 0; j < m; j++ {
+		acc := make([]byte, cols)
+		for k := 0; k < m; k++ {
+			gf256.MulSlice(inv[j][k], acc, use[k].Data[8:])
+		}
+		for c := 0; c < cols; c++ {
+			padded[c*m+j] = acc[c]
+		}
+	}
+	return padded[:origLen], nil
+}
+
+// invert returns the inverse of a square matrix over GF(2^8) via
+// Gauss-Jordan elimination.
+func invert(mat [][]byte) ([][]byte, error) {
+	m := len(mat)
+	a := make([][]byte, m)
+	inv := make([][]byte, m)
+	for i := range mat {
+		a[i] = append([]byte(nil), mat[i]...)
+		inv[i] = make([]byte, m)
+		inv[i][i] = 1
+	}
+	for col := 0; col < m; col++ {
+		pivot := -1
+		for r := col; r < m; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("ida: singular matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		// Normalize the pivot row.
+		pinv := gf256.Inv(a[col][col])
+		for j := 0; j < m; j++ {
+			a[col][j] = gf256.Mul(a[col][j], pinv)
+			inv[col][j] = gf256.Mul(inv[col][j], pinv)
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < m; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < m; j++ {
+				a[r][j] = gf256.Add(a[r][j], gf256.Mul(f, a[col][j]))
+				inv[r][j] = gf256.Add(inv[r][j], gf256.Mul(f, inv[col][j]))
+			}
+		}
+	}
+	return inv, nil
+}

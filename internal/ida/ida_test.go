@@ -1,0 +1,191 @@
+package ida
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mk(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag ^ byte(i*13)
+	}
+	return out
+}
+
+func TestSplitReconstructFirstM(t *testing.T) {
+	p := Params{M: 3, N: 7}
+	data := mk(1000, 1)
+	shares, err := Split(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 7 {
+		t.Fatalf("got %d shares", len(shares))
+	}
+	got, err := Reconstruct(shares[:3], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("first-m reconstruction failed")
+	}
+}
+
+func TestReconstructAnySubset(t *testing.T) {
+	p := Params{M: 4, N: 10}
+	data := mk(2333, 2) // deliberately not a multiple of m
+	shares, err := Split(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(10)[:4]
+		subset := make([]Share, 4)
+		for i, idx := range perm {
+			subset[i] = shares[idx]
+		}
+		got, err := Reconstruct(subset, p)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, perm, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d (%v): mismatch", trial, perm)
+		}
+	}
+}
+
+func TestShareSizesAndOverhead(t *testing.T) {
+	p := Params{M: 4, N: 8}
+	data := mk(4000, 3)
+	shares, err := Split(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShare := len(shares[0].Data)
+	if perShare != 8+1000 { // header + ceil(4000/4)
+		t.Fatalf("share size %d, want 1008", perShare)
+	}
+	total := perShare * len(shares)
+	// Total ~= (n/m) x data (+ headers); for (4,8) that is 2x.
+	if float64(total) > 2.1*float64(len(data)) {
+		t.Fatalf("overhead %d/%d exceeds n/m", total, len(data))
+	}
+	if p.Overhead() != 2.0 {
+		t.Fatalf("Overhead() = %v", p.Overhead())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	if _, err := Split(mk(10, 1), Params{M: 0, N: 3}); err == nil {
+		t.Fatal("m=0 should fail")
+	}
+	if _, err := Split(mk(10, 1), Params{M: 4, N: 3}); err == nil {
+		t.Fatal("n<m should fail")
+	}
+	if _, err := Split(mk(10, 1), Params{M: 2, N: 1000}); err == nil {
+		t.Fatal("oversized n should fail")
+	}
+	// m=n=1 degenerates to a copy.
+	p := Params{M: 1, N: 1}
+	shares, err := Split(mk(100, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(shares, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mk(100, 4)) {
+		t.Fatal("(1,1) round trip failed")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	p := Params{M: 3, N: 5}
+	data := mk(300, 5)
+	shares, _ := Split(data, p)
+	if _, err := Reconstruct(shares[:2], p); err == nil {
+		t.Fatal("below quorum should fail")
+	}
+	dup := []Share{shares[0], shares[0], shares[1]}
+	if _, err := Reconstruct(dup, p); err == nil {
+		t.Fatal("duplicate shares should fail")
+	}
+	bad := []Share{shares[0], shares[1], {Index: 99, Data: shares[2].Data}}
+	if _, err := Reconstruct(bad, p); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	short := []Share{shares[0], shares[1], {Index: 2, Data: shares[2].Data[:10]}}
+	if _, err := Reconstruct(short, p); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	p := Params{M: 3, N: 5}
+	for _, n := range []int{0, 1, 2, 3, 4} {
+		data := mk(n, 7)
+		shares, err := Split(data, p)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := Reconstruct(shares[1:4], p)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d mismatch", n)
+		}
+	}
+}
+
+// TestPropertyRoundTrip: any data, any valid (m, n), any m-subset.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(data []byte, mRaw, nRaw, pick uint8) bool {
+		m := int(mRaw)%8 + 1
+		n := m + int(nRaw)%8
+		p := Params{M: m, N: n}
+		shares, err := Split(data, p)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(int64(pick)))
+		perm := rng.Perm(n)[:m]
+		subset := make([]Share, m)
+		for i, idx := range perm {
+			subset[i] = shares[idx]
+		}
+		got, err := Reconstruct(subset, p)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossResilience: exactly the property that motivates IDA over
+// replication — losing up to n-m shares is harmless, n-m+1 is fatal.
+func TestLossResilience(t *testing.T) {
+	p := Params{M: 5, N: 8}
+	data := mk(5000, 9)
+	shares, _ := Split(data, p)
+	// Lose 3 (= n-m): fine.
+	got, err := Reconstruct(shares[3:], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstruction after max loss failed")
+	}
+	// Lose 4: impossible.
+	if _, err := Reconstruct(shares[4:], p); err == nil {
+		t.Fatal("reconstruction beyond loss budget should fail")
+	}
+}

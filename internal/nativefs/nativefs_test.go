@@ -1,0 +1,224 @@
+package nativefs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/vdisk"
+)
+
+func newNative(t *testing.T, clean bool, numBlocks int64, bs int) (*FS, *vdisk.MemStore) {
+	t.Helper()
+	store, err := vdisk.NewMemStore(numBlocks, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(store, clean, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, store
+}
+
+func mk(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag + byte(i%251)
+	}
+	return out
+}
+
+func TestCleanDiskRoundTrip(t *testing.T) {
+	fs, _ := newNative(t, true, 4096, 512)
+	if fs.SchemeName() != "CleanDisk" {
+		t.Fatalf("scheme = %s", fs.SchemeName())
+	}
+	want := mk(10_000, 1)
+	if err := fs.Create("f", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFragDiskRoundTrip(t *testing.T) {
+	fs, _ := newNative(t, false, 4096, 512)
+	if fs.SchemeName() != "FragDisk" {
+		t.Fatalf("scheme = %s", fs.SchemeName())
+	}
+	want := mk(30_000, 2)
+	if err := fs.Create("f", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPersistenceAcrossMount(t *testing.T) {
+	fs, store := newNative(t, true, 4096, 512)
+	want := mk(5_000, 3)
+	if err := fs.Create("persist", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.SchemeName() != "CleanDisk" {
+		t.Fatalf("mounted scheme = %s", fs2.SchemeName())
+	}
+	got, err := fs2.Read("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mount lost content")
+	}
+	// Allocations from the remounted bitmap must not collide with the
+	// persisted file.
+	if err := fs2.Create("more", mk(5_000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs2.Read("persist")
+	if !bytes.Equal(got, want) {
+		t.Fatal("new allocation clobbered persisted file")
+	}
+}
+
+func TestMountRejectsForeign(t *testing.T) {
+	store, _ := vdisk.NewMemStore(128, 512)
+	if _, err := Mount(store, 1); err == nil {
+		t.Fatal("unformatted volume should not mount")
+	}
+}
+
+func TestCleanVsFragLayout(t *testing.T) {
+	span := func(clean bool) int64 {
+		fs, _ := newNative(t, clean, 8192, 512)
+		if err := fs.Create("f", mk(512*32, 1)); err != nil {
+			t.Fatal(err)
+		}
+		refs, err := fs.vol.ReferencedBlocks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var min, max int64 = 1 << 62, 0
+		for b := range refs {
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		return max - min
+	}
+	cleanSpan := span(true)
+	fragSpan := span(false)
+	if cleanSpan >= fragSpan {
+		t.Fatalf("CleanDisk span %d should be tighter than FragDisk span %d", cleanSpan, fragSpan)
+	}
+}
+
+func TestSequentialAdvantage(t *testing.T) {
+	// The defining property of the baselines: serial reads on CleanDisk are
+	// much cheaper than on FragDisk (simulated time).
+	cost := func(clean bool) int64 {
+		store, _ := vdisk.NewMemStore(8192, 512)
+		disk := vdisk.NewDisk(store, vdisk.DefaultGeometry())
+		fs, err := Format(disk, clean, 64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Create("f", mk(512*64, 1)); err != nil {
+			t.Fatal(err)
+		}
+		disk.ResetClock()
+		if _, err := fs.Read("f"); err != nil {
+			t.Fatal(err)
+		}
+		return int64(disk.Elapsed())
+	}
+	clean, frag := cost(true), cost(false)
+	if clean >= frag {
+		t.Fatalf("CleanDisk read (%d) should beat FragDisk (%d)", clean, frag)
+	}
+}
+
+func TestDeleteAndNoSpace(t *testing.T) {
+	fs, _ := newNative(t, true, 256, 512)
+	if err := fs.Create("f", mk(512*16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("g", mk(512*1000, 1)); !errors.Is(err, fsapi.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if err := fs.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("f"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("deleted file still stats")
+	}
+}
+
+func TestCursorsWork(t *testing.T) {
+	for _, clean := range []bool{true, false} {
+		fs, _ := newNative(t, clean, 4096, 512)
+		want := mk(512*9, 5)
+		if err := fs.Create("f", want); err != nil {
+			t.Fatal(err)
+		}
+		rc, err := fs.ReadCursor("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps, err := fsapi.Drain(rc); err != nil || steps != 9 {
+			t.Fatalf("clean=%v: steps=%d err=%v", clean, steps, err)
+		}
+		wc, err := fs.WriteCursor("f", mk(512*9, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsapi.Drain(wc); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := fs.Read("f")
+		if !bytes.Equal(got, mk(512*9, 6)) {
+			t.Fatalf("clean=%v cursor write mismatch", clean)
+		}
+	}
+}
+
+func TestManyFiles(t *testing.T) {
+	fs, _ := newNative(t, false, 8192, 512)
+	ref := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		ref[name] = mk(1000+i*300, byte(i))
+		if err := fs.Create(name, ref[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, want := range ref {
+		got, err := fs.Read(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s mismatch (%v)", name, err)
+		}
+	}
+}

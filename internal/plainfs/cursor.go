@@ -1,0 +1,107 @@
+package plainfs
+
+import (
+	"errors"
+	"fmt"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/ptree"
+)
+
+// readCursor steps through a file one data block per Step.
+type readCursor struct {
+	v      *Volume
+	blocks []int64
+	pos    int
+	buf    []byte
+}
+
+// ReadCursor implements fsapi.CursorFS: a block-by-block read of name.
+func (v *Volume) ReadCursor(name string) (fsapi.Cursor, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	in, err := v.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := ptree.Read(rawIO{v.dev}, in.root, in.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	return &readCursor{v: v, blocks: blocks, buf: make([]byte, v.dev.BlockSize())}, nil
+}
+
+// Step reads the next data block.
+func (c *readCursor) Step() (bool, error) {
+	if c.pos >= len(c.blocks) {
+		return true, errors.New("plainfs: Step past end of cursor")
+	}
+	if err := c.v.dev.ReadBlock(c.blocks[c.pos], c.buf); err != nil {
+		return false, err
+	}
+	c.pos++
+	return c.pos == len(c.blocks), nil
+}
+
+// Remaining returns the number of block steps left.
+func (c *readCursor) Remaining() int { return len(c.blocks) - c.pos }
+
+// writeCursor overwrites a file's existing blocks one per Step.
+type writeCursor struct {
+	v      *Volume
+	blocks []int64
+	data   []byte
+	pos    int
+	buf    []byte
+}
+
+// WriteCursor implements fsapi.CursorFS: a block-by-block in-place overwrite
+// of name with data. The payload must need the same number of blocks as the
+// file currently occupies (the benchmark workloads rewrite like-sized
+// content, as the paper's write experiments do).
+func (v *Volume) WriteCursor(name string, data []byte) (fsapi.Cursor, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	slot, ok := v.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", fsapi.ErrNotFound, name)
+	}
+	in := v.nodes[slot]
+	if v.blocksFor(len(data)) != in.nblocks {
+		return nil, fmt.Errorf("plainfs: write cursor size mismatch: %d blocks vs %d", v.blocksFor(len(data)), in.nblocks)
+	}
+	blocks, err := ptree.Read(rawIO{v.dev}, in.root, in.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	in.size = int64(len(data))
+	if err := v.flushInode(slot); err != nil {
+		return nil, err
+	}
+	return &writeCursor{v: v, blocks: blocks, data: data, buf: make([]byte, v.dev.BlockSize())}, nil
+}
+
+// Step writes the next data block.
+func (c *writeCursor) Step() (bool, error) {
+	if c.pos >= len(c.blocks) {
+		return true, errors.New("plainfs: Step past end of cursor")
+	}
+	bs := len(c.buf)
+	for j := range c.buf {
+		c.buf[j] = 0
+	}
+	off := c.pos * bs
+	if off < len(c.data) {
+		copy(c.buf, c.data[off:])
+	}
+	if err := c.v.dev.WriteBlock(c.blocks[c.pos], c.buf); err != nil {
+		return false, err
+	}
+	c.pos++
+	return c.pos == len(c.blocks), nil
+}
+
+// Remaining returns the number of block steps left.
+func (c *writeCursor) Remaining() int { return len(c.blocks) - c.pos }
+
+var _ fsapi.CursorFS = (*Volume)(nil)

@@ -1,0 +1,385 @@
+package plainfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"stegfs/internal/bitmapvec"
+	"stegfs/internal/fsapi"
+	"stegfs/internal/ptree"
+	"stegfs/internal/vdisk"
+)
+
+// newTestVolume builds an embedded volume over a fresh MemStore: block 0
+// reserved, 8 inode blocks, rest data.
+func newTestVolume(t *testing.T, policy Policy, numBlocks int64, bs int) *Volume {
+	t.Helper()
+	store, err := vdisk.NewMemStore(numBlocks, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := bitmapvec.New(numBlocks)
+	cfg := DefaultConfig(policy)
+	cfg.MaxFiles = 32
+	const inoStart = 1
+	inoLen := InodeBlocksFor(store, cfg.MaxFiles)
+	for b := int64(0); b < inoStart+inoLen; b++ {
+		_ = bm.Set(b)
+	}
+	v, err := NewEmbedded(store, bm, inoStart, inoLen, inoStart+inoLen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func payload(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag + byte(i%13)
+	}
+	return out
+}
+
+func TestInodeCodecRoundTrip(t *testing.T) {
+	in := &inode{used: true, name: "hello/world.txt", size: 12345, nblocks: 13}
+	in.root = rootWith(13)
+	buf := make([]byte, InodeSize)
+	if err := encodeInode(in, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeInode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.name != in.name || got.size != in.size || got.nblocks != in.nblocks {
+		t.Fatalf("decode mismatch: %+v", got)
+	}
+	for i := range in.root.Direct {
+		if got.root.Direct[i] != in.root.Direct[i] {
+			t.Fatalf("direct[%d] mismatch", i)
+		}
+	}
+}
+
+func rootWith(n int) ptree.Root {
+	r := ptree.NewRoot(NumDirect)
+	for i := 0; i < NumDirect && i < n; i++ {
+		r.Direct[i] = int64(100 + i)
+	}
+	r.Single, r.Double = 7, 9
+	return r
+}
+
+func TestInodeNameTooLong(t *testing.T) {
+	in := &inode{used: true, name: string(make([]byte, 300))}
+	in.root = rootWith(0)
+	if err := encodeInode(in, make([]byte, InodeSize)); err == nil {
+		t.Fatal("oversized name should fail")
+	}
+}
+
+func TestCreateReadAllPolicies(t *testing.T) {
+	for _, policy := range []Policy{Contiguous, Fragmented, Random} {
+		t.Run(policy.String(), func(t *testing.T) {
+			v := newTestVolume(t, policy, 4096, 512)
+			want := payload(10_000, 3)
+			if err := v.Create("f", want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.Read("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("round trip mismatch")
+			}
+			fi, err := v.Stat("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size != int64(len(want)) || fi.Blocks != 20 {
+				t.Fatalf("Stat = %+v", fi)
+			}
+		})
+	}
+}
+
+func TestContiguousIsContiguous(t *testing.T) {
+	v := newTestVolume(t, Contiguous, 4096, 512)
+	if err := v.Create("f", payload(5120, 1)); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := v.ReferencedBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max int64 = 1 << 62, 0
+	for b := range refs {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	// 10 data blocks, contiguous (no indirect needed under 24 direct).
+	if max-min != 9 {
+		t.Fatalf("contiguous file spans [%d,%d]", min, max)
+	}
+}
+
+func TestFragmentedScatters(t *testing.T) {
+	v := newTestVolume(t, Fragmented, 8192, 512)
+	if err := v.Create("f", payload(512*24, 1)); err != nil { // 24 blocks = 3 fragments
+		t.Fatal(err)
+	}
+	refs, err := v.ReferencedBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max int64 = 1 << 62, 0
+	for b := range refs {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max-min < 30 {
+		t.Fatalf("fragments not scattered: span %d", max-min)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	v := newTestVolume(t, Random, 1024, 512)
+	if err := v.Create("f", payload(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create("f", payload(100, 2)); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	v := newTestVolume(t, Random, 1024, 512)
+	if _, err := v.Read("nope"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := v.Delete("nope"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("delete: want ErrNotFound, got %v", err)
+	}
+	if _, err := v.Stat("nope"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("stat: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestWriteSameShapeInPlace(t *testing.T) {
+	v := newTestVolume(t, Random, 2048, 512)
+	if err := v.Create("f", payload(2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := v.ReferencedBlocks()
+	want := payload(1900, 9) // same block count (4)
+	if err := v.Write("f", want); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := v.ReferencedBlocks()
+	if len(before) != len(after) {
+		t.Fatalf("in-place write changed block count %d -> %d", len(before), len(after))
+	}
+	for b := range before {
+		if !after[b] {
+			t.Fatal("in-place write moved blocks")
+		}
+	}
+	got, err := v.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after in-place write")
+	}
+}
+
+func TestWriteResizeReallocates(t *testing.T) {
+	v := newTestVolume(t, Random, 2048, 512)
+	if err := v.Create("f", payload(2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := payload(6000, 5)
+	if err := v.Write("f", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after grow")
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	v := newTestVolume(t, Random, 1024, 512)
+	free0 := v.Bitmap().CountFree()
+	if err := v.Create("f", payload(512*40, 1)); err != nil { // needs indirect
+		t.Fatal(err)
+	}
+	if v.Bitmap().CountFree() >= free0 {
+		t.Fatal("create did not consume space")
+	}
+	if err := v.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Bitmap().CountFree() != free0 {
+		t.Fatalf("delete leaked: free %d -> %d", free0, v.Bitmap().CountFree())
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	v := newTestVolume(t, Contiguous, 64, 512)
+	set0 := v.Bitmap().CountSet() // metadata only
+	err := v.Create("f", payload(512*100, 1))
+	if !errors.Is(err, fsapi.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// Failed create must not leak blocks.
+	if v.Bitmap().CountSet() != set0 {
+		t.Fatalf("failed create leaked blocks: %d set, want %d", v.Bitmap().CountSet(), set0)
+	}
+}
+
+func TestPersistenceAcrossRemount(t *testing.T) {
+	store, err := vdisk.NewMemStore(2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := bitmapvec.New(2048)
+	for b := int64(0); b < 9; b++ {
+		_ = bm.Set(b)
+	}
+	cfg := DefaultConfig(Random)
+	cfg.MaxFiles = 16
+	v, err := NewEmbedded(store, bm, 1, 8, 9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload(3000, 4)
+	if err := v.Create("persist", want); err != nil {
+		t.Fatal(err)
+	}
+	// Remount over the same device with the same bitmap: inodes reload.
+	v2, err := NewEmbedded(store, bm, 1, 8, 9, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.Read("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("remounted volume lost content")
+	}
+}
+
+func TestCursorsMatchWholeFileOps(t *testing.T) {
+	v := newTestVolume(t, Random, 4096, 512)
+	want := payload(7000, 2)
+	if err := v.Create("f", want); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := v.ReadCursor("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := fsapi.Drain(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 14 { // ceil(7000/512)
+		t.Fatalf("read cursor took %d steps, want 14", steps)
+	}
+	want2 := payload(7000, 8)
+	wc, err := v.WriteCursor("f", want2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.Drain(wc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want2) {
+		t.Fatal("write cursor content mismatch")
+	}
+}
+
+func TestWriteCursorSizeMismatch(t *testing.T) {
+	v := newTestVolume(t, Random, 2048, 512)
+	if err := v.Create("f", payload(1024, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.WriteCursor("f", payload(5000, 1)); err == nil {
+		t.Fatal("size-changing write cursor should fail")
+	}
+}
+
+func TestStepPastEnd(t *testing.T) {
+	v := newTestVolume(t, Random, 1024, 512)
+	if err := v.Create("f", payload(512, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := v.ReadCursor("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.Drain(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(); err == nil {
+		t.Fatal("Step past end should error")
+	}
+}
+
+// TestPropertyCreateReadDelete: arbitrary create/read/delete sequences keep
+// contents and the free-space ledger consistent.
+func TestPropertyCreateReadDelete(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		v := newTestVolume(t, Random, 8192, 512)
+		ref := map[string][]byte{}
+		free0 := v.Bitmap().CountFree()
+		for i, szRaw := range sizes {
+			if i >= 10 {
+				break
+			}
+			name := fmt.Sprintf("f%d", i)
+			data := payload(int(szRaw)%20000+1, byte(i))
+			if err := v.Create(name, data); err != nil {
+				return false
+			}
+			ref[name] = data
+		}
+		for name, want := range ref {
+			got, err := v.Read(name)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		for name := range ref {
+			if err := v.Delete(name); err != nil {
+				return false
+			}
+		}
+		return v.Bitmap().CountFree() == free0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

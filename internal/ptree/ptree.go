@@ -1,0 +1,258 @@
+// Package ptree implements the inode pointer tree shared by plain files and
+// hidden files: a fixed number of direct block pointers followed by one
+// single-indirect and one double-indirect pointer, as in classic Unix inodes
+// (the paper models its central directory "after the inode table in Unix",
+// and each hidden file carries "a link to an inode table that indexes all
+// the data blocks in the file").
+//
+// The tree is written through a BlockIO, so the same code serves both sides:
+// plain inodes write raw pointer blocks, while hidden files pass an
+// encrypting BlockIO so their inode-table blocks are indistinguishable from
+// random data on disk.
+package ptree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NilBlock is the pointer value meaning "no block". Block 0 always holds a
+// superblock in every scheme in this repository, so it can never be a data
+// or pointer block.
+const NilBlock int64 = 0
+
+// BlockIO is the minimal block access the tree needs. Implementations may
+// encrypt transparently.
+type BlockIO interface {
+	ReadBlock(n int64, buf []byte) error
+	WriteBlock(n int64, buf []byte) error
+	BlockSize() int
+}
+
+// AllocFunc returns a fresh block to hold pointer (indirect) data.
+type AllocFunc func() (int64, error)
+
+// FreeFunc releases a pointer block.
+type FreeFunc func(int64)
+
+// Root is the pointer set stored inside an inode or hidden-file header.
+type Root struct {
+	Direct []int64 // len fixed by the owner's on-disk format
+	Single int64   // single-indirect pointer block (NilBlock if unused)
+	Double int64   // double-indirect pointer block (NilBlock if unused)
+}
+
+// NewRoot returns an empty root with nDirect direct slots.
+func NewRoot(nDirect int) Root {
+	d := make([]int64, nDirect)
+	for i := range d {
+		d[i] = NilBlock
+	}
+	return Root{Direct: d, Single: NilBlock, Double: NilBlock}
+}
+
+// ErrTooLarge reports a file that exceeds the addressable range of the tree.
+var ErrTooLarge = errors.New("ptree: file exceeds maximum addressable size")
+
+// MaxBlocks returns the number of data blocks addressable with nDirect
+// direct pointers and the given block size.
+func MaxBlocks(nDirect, blockSize int) int64 {
+	ppb := int64(blockSize / 8)
+	return int64(nDirect) + ppb + ppb*ppb
+}
+
+// ptrsPerBlock returns how many 8-byte pointers fit in one block.
+func ptrsPerBlock(io BlockIO) int64 { return int64(io.BlockSize() / 8) }
+
+// Write stores the data-block list under a root, allocating indirect blocks
+// with alloc as needed. It returns the root and the list of indirect blocks
+// it allocated (the owner must account for them, e.g. mark them in a bitmap
+// or report them in Stat).
+func Write(io BlockIO, alloc AllocFunc, nDirect int, blocks []int64) (Root, []int64, error) {
+	root := NewRoot(nDirect)
+	var meta []int64
+	n := len(blocks)
+	if int64(n) > MaxBlocks(nDirect, io.BlockSize()) {
+		return root, nil, fmt.Errorf("%w: %d blocks", ErrTooLarge, n)
+	}
+
+	// Direct pointers.
+	for i := 0; i < nDirect && i < n; i++ {
+		root.Direct[i] = blocks[i]
+	}
+	if n <= nDirect {
+		return root, meta, nil
+	}
+	rest := blocks[nDirect:]
+	ppb := ptrsPerBlock(io)
+
+	// Single indirect.
+	cnt := int64(len(rest))
+	if cnt > ppb {
+		cnt = ppb
+	}
+	sb, err := writePtrBlock(io, alloc, rest[:cnt])
+	if err != nil {
+		return root, meta, err
+	}
+	root.Single = sb
+	meta = append(meta, sb)
+	rest = rest[cnt:]
+	if len(rest) == 0 {
+		return root, meta, nil
+	}
+
+	// Double indirect.
+	var l1 []int64
+	for len(rest) > 0 {
+		cnt = int64(len(rest))
+		if cnt > ppb {
+			cnt = ppb
+		}
+		ib, err := writePtrBlock(io, alloc, rest[:cnt])
+		if err != nil {
+			return root, meta, err
+		}
+		meta = append(meta, ib)
+		l1 = append(l1, ib)
+		rest = rest[cnt:]
+	}
+	if int64(len(l1)) > ppb {
+		return root, meta, fmt.Errorf("%w: needs %d L1 pointers", ErrTooLarge, len(l1))
+	}
+	db, err := writePtrBlock(io, alloc, l1)
+	if err != nil {
+		return root, meta, err
+	}
+	root.Double = db
+	meta = append(meta, db)
+	return root, meta, nil
+}
+
+// writePtrBlock allocates a block and writes the pointers into it (remaining
+// slots are NilBlock).
+func writePtrBlock(io BlockIO, alloc AllocFunc, ptrs []int64) (int64, error) {
+	b, err := alloc()
+	if err != nil {
+		return NilBlock, err
+	}
+	buf := make([]byte, io.BlockSize())
+	for i, p := range ptrs {
+		binary.BigEndian.PutUint64(buf[i*8:], uint64(p))
+	}
+	if err := io.WriteBlock(b, buf); err != nil {
+		return NilBlock, err
+	}
+	return b, nil
+}
+
+// readPtrBlock reads up to max pointers from a pointer block, stopping at
+// the first NilBlock.
+func readPtrBlock(io BlockIO, b int64, max int64) ([]int64, error) {
+	buf := make([]byte, io.BlockSize())
+	if err := io.ReadBlock(b, buf); err != nil {
+		return nil, err
+	}
+	ppb := ptrsPerBlock(io)
+	if max > ppb {
+		max = ppb
+	}
+	out := make([]int64, 0, max)
+	for i := int64(0); i < max; i++ {
+		p := int64(binary.BigEndian.Uint64(buf[i*8:]))
+		if p == NilBlock {
+			break
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Read returns the data-block list of a file with nBlocks blocks stored
+// under root.
+func Read(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
+	if nBlocks < 0 {
+		return nil, fmt.Errorf("ptree: negative block count %d", nBlocks)
+	}
+	out := make([]int64, 0, nBlocks)
+	for i := 0; int64(i) < nBlocks && i < len(root.Direct); i++ {
+		out = append(out, root.Direct[i])
+	}
+	if int64(len(out)) == nBlocks {
+		return out, nil
+	}
+	if root.Single == NilBlock {
+		return nil, errors.New("ptree: missing single-indirect block")
+	}
+	ptrs, err := readPtrBlock(io, root.Single, nBlocks-int64(len(out)))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ptrs...)
+	if int64(len(out)) == nBlocks {
+		return out, nil
+	}
+	if root.Double == NilBlock {
+		return nil, errors.New("ptree: missing double-indirect block")
+	}
+	l1, err := readPtrBlock(io, root.Double, ptrsPerBlock(io))
+	if err != nil {
+		return nil, err
+	}
+	for _, ib := range l1 {
+		ptrs, err := readPtrBlock(io, ib, nBlocks-int64(len(out)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ptrs...)
+		if int64(len(out)) == nBlocks {
+			return out, nil
+		}
+	}
+	if int64(len(out)) != nBlocks {
+		return nil, fmt.Errorf("ptree: found %d of %d blocks", len(out), nBlocks)
+	}
+	return out, nil
+}
+
+// MetaBlocks returns the indirect blocks reachable from root for a file of
+// nBlocks data blocks (in read order), so owners can free or image them.
+func MetaBlocks(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
+	var out []int64
+	nd := int64(len(root.Direct))
+	if nBlocks <= nd {
+		return out, nil
+	}
+	if root.Single == NilBlock {
+		return nil, errors.New("ptree: missing single-indirect block")
+	}
+	out = append(out, root.Single)
+	rem := nBlocks - nd - ptrsPerBlock(io)
+	if rem <= 0 {
+		return out, nil
+	}
+	if root.Double == NilBlock {
+		return nil, errors.New("ptree: missing double-indirect block")
+	}
+	l1, err := readPtrBlock(io, root.Double, ptrsPerBlock(io))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, l1...)
+	out = append(out, root.Double)
+	return out, nil
+}
+
+// Free releases all indirect blocks of the tree via free. Data blocks are
+// the owner's responsibility.
+func Free(io BlockIO, root Root, nBlocks int64, free FreeFunc) error {
+	meta, err := MetaBlocks(io, root, nBlocks)
+	if err != nil {
+		return err
+	}
+	for _, b := range meta {
+		free(b)
+	}
+	return nil
+}

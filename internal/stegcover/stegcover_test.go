@@ -1,0 +1,273 @@
+package stegcover
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/vdisk"
+)
+
+func newTestFS(t *testing.T, numBlocks int64, bs int, covers int, coverBytes int64) *FS {
+	t.Helper()
+	store, err := vdisk.NewMemStore(numBlocks, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(store, Config{NumCovers: covers, CoverBytes: coverBytes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func mk(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag ^ byte(i*7)
+	}
+	return out
+}
+
+func TestRoundTripSingleFile(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 4, 16<<10)
+	want := mk(10_000, 1)
+	if err := fs.Create("f", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMultipleLevelsCoexist(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 4, 16<<10)
+	ref := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("f%d", i)
+		ref[name] = mk(3000+i*500, byte(i))
+		if err := fs.Create(name, ref[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, want := range ref {
+		got, err := fs.Read(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s mismatch", name)
+		}
+	}
+}
+
+func TestWritePreservesOtherLevels(t *testing.T) {
+	// The scheme's hard case: rewriting a low level must re-fix all higher
+	// occupied levels.
+	fs := newTestFS(t, 1024, 512, 4, 16<<10)
+	a, b, c := mk(4000, 1), mk(4000, 2), mk(4000, 3)
+	if err := fs.Create("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("c", c); err != nil {
+		t.Fatal(err)
+	}
+	a2 := mk(5000, 9)
+	if err := fs.Write("a", a2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		want []byte
+	}{{"a", a2}, {"b", b}, {"c", c}} {
+		got, err := fs.Read(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Fatalf("%s corrupted by write to lower level", tc.name)
+		}
+	}
+}
+
+func TestCapacityOneFilePerCover(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 4, 16<<10)
+	if fs.Capacity() < 4 {
+		t.Fatalf("capacity %d < 4", fs.Capacity())
+	}
+	for i := 0; i < fs.Capacity(); i++ {
+		if err := fs.Create(fmt.Sprintf("f%d", i), mk(100, byte(i))); err != nil {
+			t.Fatalf("file %d of %d: %v", i, fs.Capacity(), err)
+		}
+	}
+	if err := fs.Create("overflow", mk(100, 0)); !errors.Is(err, fsapi.ErrNoSpace) {
+		t.Fatalf("beyond capacity: want ErrNoSpace, got %v", err)
+	}
+}
+
+func TestDeleteFreesLevel(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 2, 8<<10)
+	for i := 0; i < fs.Capacity(); i++ {
+		if err := fs.Create(fmt.Sprintf("f%d", i), mk(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Delete("f0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("fresh", mk(200, 7)); err != nil {
+		t.Fatalf("freed level not reusable: %v", err)
+	}
+	got, err := fs.Read("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mk(200, 7)) {
+		t.Fatal("reused level mismatch")
+	}
+}
+
+func TestFileTooLargeForCover(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 4, 4<<10)
+	if err := fs.Create("big", mk(5<<10, 1)); !errors.Is(err, fsapi.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+}
+
+func TestErrNotFound(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 4, 4<<10)
+	if _, err := fs.Read("missing"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("Read missing should be ErrNotFound")
+	}
+	if err := fs.Write("missing", nil); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("Write missing should be ErrNotFound")
+	}
+	if err := fs.Delete("missing"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("Delete missing should be ErrNotFound")
+	}
+}
+
+func TestCursorsStepCounts(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 4, 16<<10)
+	if err := fs.Create("f", mk(2048, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := fs.ReadCursor("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := fsapi.Drain(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 4 { // 2048 / 512
+		t.Fatalf("read cursor %d steps, want 4", steps)
+	}
+	wc, err := fs.WriteCursor("f", mk(2048, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.Drain(wc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mk(2048, 8)) {
+		t.Fatal("cursor write mismatch")
+	}
+}
+
+func TestReadCostScalesWithLevel(t *testing.T) {
+	// Reading level j costs j device reads per logical block: the source of
+	// StegCover's order-of-magnitude penalty.
+	store, err := vdisk.NewMemStore(4096, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := vdisk.NewDisk(store, vdisk.DefaultGeometry())
+	fs, err := Format(disk, Config{NumCovers: 8, CoverBytes: 8 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := fs.Create(fmt.Sprintf("f%d", i), mk(4096, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats0 := disk.Stats()
+	if _, err := fs.Read("f0"); err != nil { // level 1
+		t.Fatal(err)
+	}
+	readsL1 := disk.Stats().Reads - stats0.Reads
+	stats0 = disk.Stats()
+	if _, err := fs.Read("f3"); err != nil { // level 4
+		t.Fatal(err)
+	}
+	readsL4 := disk.Stats().Reads - stats0.Reads
+	if readsL4 != 4*readsL1 {
+		t.Fatalf("level-4 read cost %d, want 4x level-1 cost %d", readsL4, readsL1)
+	}
+}
+
+func TestSpaceUtilizationMetric(t *testing.T) {
+	fs := newTestFS(t, 1024, 512, 2, 8<<10)
+	if u := fs.SpaceUtilization(); u != 0 {
+		t.Fatalf("empty volume utilization %v", u)
+	}
+	if err := fs.Create("f", mk(8<<10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	u := fs.SpaceUtilization()
+	want := float64(8<<10) / float64(1024*512)
+	if u != want {
+		t.Fatalf("utilization %v, want %v", u, want)
+	}
+}
+
+// TestPropertyLevelAlgebra: for arbitrary interleavings of creates and
+// rewrites across levels, every file reads back its latest contents.
+func TestPropertyLevelAlgebra(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fs := newTestFS(t, 2048, 512, 5, 8<<10)
+		ref := map[string][]byte{}
+		for j, op := range ops {
+			if j >= 12 {
+				break
+			}
+			name := fmt.Sprintf("f%d", int(op)%5)
+			data := mk(int(op)%8000+1, byte(j))
+			if _, ok := ref[name]; !ok {
+				if err := fs.Create(name, data); err != nil {
+					return false
+				}
+			} else {
+				if err := fs.Write(name, data); err != nil {
+					return false
+				}
+			}
+			ref[name] = data
+		}
+		for name, want := range ref {
+			got, err := fs.Read(name)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,427 @@
+package stegdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// BTree is a B-tree over a Pager with variable-length byte-string keys and
+// values, kept fully inside hidden pages. Deletions are simple removals
+// (no eager rebalancing): pages may run underfull, which costs space, not
+// correctness — the trade the original paper's DBMS direction also faces,
+// since merging pages changes the allocation picture an intruder sees.
+type BTree struct {
+	pg *Pager
+}
+
+// MaxEntry bounds key+value length so any two entries fit in a page after a
+// split.
+const MaxEntry = (PageSize - pageHdr) / 4
+
+const (
+	pageHdr      = 3 // type(1) + nkeys(2)
+	nodeLeaf     = 1
+	nodeInternal = 2
+)
+
+// kv is one leaf entry.
+type kv struct {
+	key, val []byte
+}
+
+// node is the in-memory form of a B-tree page.
+type node struct {
+	leaf     bool
+	entries  []kv     // leaf: key/value pairs, sorted
+	keys     [][]byte // internal: separator keys, sorted
+	children []int64  // internal: len(keys)+1 child pages
+}
+
+// NewBTree opens the tree rooted in the pager's meta (creating an empty
+// tree if none exists).
+func NewBTree(pg *Pager) *BTree { return &BTree{pg: pg} }
+
+func (t *BTree) root() int64 { return t.pg.getMeta(metaBTreeRoot) }
+
+func (t *BTree) setRoot(id int64) error {
+	t.pg.setMeta(metaBTreeRoot, id)
+	return t.pg.flushMeta()
+}
+
+// --- node codec --------------------------------------------------------------
+
+func encodeNode(n *node, buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = nodeLeaf
+		binary.BigEndian.PutUint16(buf[1:], uint16(len(n.entries)))
+		off := pageHdr
+		for _, e := range n.entries {
+			need := 4 + len(e.key) + len(e.val)
+			if off+need > PageSize {
+				return fmt.Errorf("stegdb: leaf overflow during encode (%d entries)", len(n.entries))
+			}
+			binary.BigEndian.PutUint16(buf[off:], uint16(len(e.key)))
+			binary.BigEndian.PutUint16(buf[off+2:], uint16(len(e.val)))
+			off += 4
+			copy(buf[off:], e.key)
+			off += len(e.key)
+			copy(buf[off:], e.val)
+			off += len(e.val)
+		}
+		return nil
+	}
+	buf[0] = nodeInternal
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := pageHdr
+	binary.BigEndian.PutUint64(buf[off:], uint64(n.children[0]))
+	off += 8
+	for i, k := range n.keys {
+		need := 2 + len(k) + 8
+		if off+need > PageSize {
+			return fmt.Errorf("stegdb: internal overflow during encode (%d keys)", len(n.keys))
+		}
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		copy(buf[off:], k)
+		off += len(k)
+		binary.BigEndian.PutUint64(buf[off:], uint64(n.children[i+1]))
+		off += 8
+	}
+	return nil
+}
+
+func decodeNode(buf []byte) (*node, error) {
+	n := &node{}
+	count := int(binary.BigEndian.Uint16(buf[1:]))
+	off := pageHdr
+	switch buf[0] {
+	case nodeLeaf:
+		n.leaf = true
+		for i := 0; i < count; i++ {
+			if off+4 > PageSize {
+				return nil, fmt.Errorf("stegdb: corrupt leaf page")
+			}
+			kl := int(binary.BigEndian.Uint16(buf[off:]))
+			vl := int(binary.BigEndian.Uint16(buf[off+2:]))
+			off += 4
+			if off+kl+vl > PageSize {
+				return nil, fmt.Errorf("stegdb: corrupt leaf entry")
+			}
+			e := kv{
+				key: append([]byte(nil), buf[off:off+kl]...),
+				val: append([]byte(nil), buf[off+kl:off+kl+vl]...),
+			}
+			off += kl + vl
+			n.entries = append(n.entries, e)
+		}
+	case nodeInternal:
+		n.children = append(n.children, int64(binary.BigEndian.Uint64(buf[off:])))
+		off += 8
+		for i := 0; i < count; i++ {
+			if off+2 > PageSize {
+				return nil, fmt.Errorf("stegdb: corrupt internal page")
+			}
+			kl := int(binary.BigEndian.Uint16(buf[off:]))
+			off += 2
+			if off+kl+8 > PageSize {
+				return nil, fmt.Errorf("stegdb: corrupt internal entry")
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			off += kl
+			n.children = append(n.children, int64(binary.BigEndian.Uint64(buf[off:])))
+			off += 8
+		}
+	default:
+		return nil, fmt.Errorf("stegdb: unknown node type %d", buf[0])
+	}
+	return n, nil
+}
+
+// encodedSize returns the byte size the node needs.
+func (n *node) encodedSize() int {
+	size := pageHdr
+	if n.leaf {
+		for _, e := range n.entries {
+			size += 4 + len(e.key) + len(e.val)
+		}
+		return size
+	}
+	size += 8
+	for _, k := range n.keys {
+		size += 2 + len(k) + 8
+	}
+	return size
+}
+
+func (t *BTree) load(id int64) (*node, error) {
+	buf := make([]byte, PageSize)
+	if err := t.pg.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	return decodeNode(buf)
+}
+
+func (t *BTree) store(id int64, n *node) error {
+	buf := make([]byte, PageSize)
+	if err := encodeNode(n, buf); err != nil {
+		return err
+	}
+	return t.pg.WritePage(id, buf)
+}
+
+// --- operations ----------------------------------------------------------------
+
+// Get returns the value stored under key, or (nil, false).
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	id := t.root()
+	for id != nilPage {
+		n, err := t.load(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if bytes.Equal(e.key, key) {
+					return e.val, true, nil
+				}
+			}
+			return nil, false, nil
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+	return nil, false, nil
+}
+
+// childIndex returns the child slot for key: the number of separators <= key.
+func childIndex(keys [][]byte, key []byte) int {
+	i := 0
+	for i < len(keys) && bytes.Compare(key, keys[i]) >= 0 {
+		i++
+	}
+	return i
+}
+
+// Put inserts or replaces key -> val.
+func (t *BTree) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("stegdb: empty key")
+	}
+	if len(key)+len(val) > MaxEntry {
+		return fmt.Errorf("stegdb: entry %d bytes exceeds max %d", len(key)+len(val), MaxEntry)
+	}
+	if t.root() == nilPage {
+		id, err := t.pg.AllocPage()
+		if err != nil {
+			return err
+		}
+		if err := t.store(id, &node{leaf: true, entries: []kv{{key: key, val: val}}}); err != nil {
+			return err
+		}
+		return t.setRoot(id)
+	}
+	splitKey, rightID, err := t.insert(t.root(), key, val)
+	if err != nil {
+		return err
+	}
+	if rightID == nilPage {
+		return nil
+	}
+	// Root split: grow the tree by one level.
+	newRoot, err := t.pg.AllocPage()
+	if err != nil {
+		return err
+	}
+	rn := &node{keys: [][]byte{splitKey}, children: []int64{t.root(), rightID}}
+	if err := t.store(newRoot, rn); err != nil {
+		return err
+	}
+	return t.setRoot(newRoot)
+}
+
+// insert descends into page id; on split it returns the promoted key and the
+// new right sibling's page id.
+func (t *BTree) insert(id int64, key, val []byte) ([]byte, int64, error) {
+	n, err := t.load(id)
+	if err != nil {
+		return nil, nilPage, err
+	}
+	if n.leaf {
+		pos := 0
+		for pos < len(n.entries) && bytes.Compare(n.entries[pos].key, key) < 0 {
+			pos++
+		}
+		if pos < len(n.entries) && bytes.Equal(n.entries[pos].key, key) {
+			n.entries[pos].val = val
+		} else {
+			n.entries = append(n.entries, kv{})
+			copy(n.entries[pos+1:], n.entries[pos:])
+			n.entries[pos] = kv{key: key, val: val}
+		}
+	} else {
+		ci := childIndex(n.keys, key)
+		splitKey, rightID, err := t.insert(n.children[ci], key, val)
+		if err != nil {
+			return nil, nilPage, err
+		}
+		if rightID != nilPage {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[ci+1:], n.keys[ci:])
+			n.keys[ci] = splitKey
+			n.children = append(n.children, nilPage)
+			copy(n.children[ci+2:], n.children[ci+1:])
+			n.children[ci+1] = rightID
+		}
+	}
+	if n.encodedSize() <= PageSize {
+		return nil, nilPage, t.store(id, n)
+	}
+	return t.split(id, n)
+}
+
+// split divides an overflowing node roughly in half by encoded size, keeps
+// the left half in place and returns the promoted separator plus the new
+// right page.
+func (t *BTree) split(id int64, n *node) ([]byte, int64, error) {
+	rightID, err := t.pg.AllocPage()
+	if err != nil {
+		return nil, nilPage, err
+	}
+	if n.leaf {
+		mid := splitPointLeaf(n.entries)
+		right := &node{leaf: true, entries: append([]kv(nil), n.entries[mid:]...)}
+		n.entries = n.entries[:mid]
+		if err := t.store(id, n); err != nil {
+			return nil, nilPage, err
+		}
+		if err := t.store(rightID, right); err != nil {
+			return nil, nilPage, err
+		}
+		// Copy-up: the separator is the right leaf's first key.
+		sep := append([]byte(nil), right.entries[0].key...)
+		return sep, rightID, nil
+	}
+	mid := len(n.keys) / 2
+	sep := append([]byte(nil), n.keys[mid]...)
+	right := &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]int64(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.store(id, n); err != nil {
+		return nil, nilPage, err
+	}
+	if err := t.store(rightID, right); err != nil {
+		return nil, nilPage, err
+	}
+	return sep, rightID, nil
+}
+
+// splitPointLeaf finds the entry index closest to half the encoded size.
+func splitPointLeaf(entries []kv) int {
+	total := 0
+	for _, e := range entries {
+		total += 4 + len(e.key) + len(e.val)
+	}
+	acc := 0
+	for i, e := range entries {
+		acc += 4 + len(e.key) + len(e.val)
+		if acc*2 >= total {
+			if i+1 >= len(entries) {
+				return len(entries) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(entries) / 2
+}
+
+// Delete removes key if present, reporting whether it was found. Pages are
+// not rebalanced; an emptied root leaf resets the tree.
+func (t *BTree) Delete(key []byte) (bool, error) {
+	id := t.root()
+	if id == nilPage {
+		return false, nil
+	}
+	path := []int64{}
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf {
+			for i, e := range n.entries {
+				if bytes.Equal(e.key, key) {
+					n.entries = append(n.entries[:i], n.entries[i+1:]...)
+					if err := t.store(id, n); err != nil {
+						return false, err
+					}
+					if len(n.entries) == 0 && len(path) == 0 {
+						if err := t.pg.FreePage(id); err != nil {
+							return false, err
+						}
+						return true, t.setRoot(nilPage)
+					}
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		path = append(path, id)
+		id = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// Scan visits every key/value pair in key order. fn returning false stops
+// the scan early.
+func (t *BTree) Scan(fn func(key, val []byte) bool) error {
+	_, err := t.scan(t.root(), fn)
+	return err
+}
+
+func (t *BTree) scan(id int64, fn func(k, v []byte) bool) (bool, error) {
+	if id == nilPage {
+		return true, nil
+	}
+	n, err := t.load(id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if !fn(e.key, e.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, c := range n.children {
+		cont, err := t.scan(c, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Height returns the tree height (0 = empty).
+func (t *BTree) Height() (int, error) {
+	h := 0
+	id := t.root()
+	for id != nilPage {
+		h++
+		n, err := t.load(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			break
+		}
+		id = n.children[0]
+	}
+	return h, nil
+}

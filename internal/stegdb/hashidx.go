@@ -1,0 +1,301 @@
+package stegdb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// HashIndex is a bucket-chain hash index over the pager: a directory page
+// of bucket head pointers, each bucket a chain of pages holding entries.
+// Lookups cost one directory read plus the chain walk — O(1) expected —
+// which is the access pattern the paper's future work wants to preserve
+// while keeping every page hidden.
+type HashIndex struct {
+	pg       *Pager
+	nBuckets int
+}
+
+// hash bucket page layout: next(8) nentries(2) then entries
+// [klen u16][vlen u16][key][val]...
+const bucketHdr = 10
+
+// dirCapacity is how many bucket heads fit in the directory page.
+const dirCapacity = (PageSize - 8) / 8 // count(8) + heads
+
+// NewHashIndex opens (or initializes) the index stored under the pager's
+// hash root. nBuckets is fixed at creation; reopening ignores the argument.
+func NewHashIndex(pg *Pager, nBuckets int) (*HashIndex, error) {
+	if root := pg.getMeta(metaHashRoot); root != nilPage {
+		buf := make([]byte, PageSize)
+		if err := pg.ReadPage(root, buf); err != nil {
+			return nil, err
+		}
+		return &HashIndex{pg: pg, nBuckets: int(binary.BigEndian.Uint64(buf))}, nil
+	}
+	if nBuckets <= 0 || nBuckets > dirCapacity {
+		return nil, fmt.Errorf("stegdb: nBuckets %d out of (0,%d]", nBuckets, dirCapacity)
+	}
+	root, err := pg.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, PageSize)
+	binary.BigEndian.PutUint64(buf, uint64(nBuckets))
+	if err := pg.WritePage(root, buf); err != nil {
+		return nil, err
+	}
+	pg.setMeta(metaHashRoot, root)
+	if err := pg.flushMeta(); err != nil {
+		return nil, err
+	}
+	return &HashIndex{pg: pg, nBuckets: nBuckets}, nil
+}
+
+// bucketOf returns the bucket number for a key.
+func (h *HashIndex) bucketOf(key []byte) int {
+	s := sha256.Sum256(key)
+	return int(binary.BigEndian.Uint64(s[:8]) % uint64(h.nBuckets))
+}
+
+// dir reads the directory page and returns (rootID, heads slice view, buf).
+func (h *HashIndex) dir() (int64, []byte, error) {
+	root := h.pg.getMeta(metaHashRoot)
+	buf := make([]byte, PageSize)
+	if err := h.pg.ReadPage(root, buf); err != nil {
+		return 0, nil, err
+	}
+	return root, buf, nil
+}
+
+func headOf(dirBuf []byte, bucket int) int64 {
+	return int64(binary.BigEndian.Uint64(dirBuf[8+bucket*8:]))
+}
+
+func setHead(dirBuf []byte, bucket int, id int64) {
+	binary.BigEndian.PutUint64(dirBuf[8+bucket*8:], uint64(id))
+}
+
+// bucketPage is a decoded chain page.
+type bucketPage struct {
+	next    int64
+	entries []kv
+}
+
+func decodeBucket(buf []byte) (*bucketPage, error) {
+	bp := &bucketPage{next: int64(binary.BigEndian.Uint64(buf))}
+	n := int(binary.BigEndian.Uint16(buf[8:]))
+	off := bucketHdr
+	for i := 0; i < n; i++ {
+		if off+4 > PageSize {
+			return nil, fmt.Errorf("stegdb: corrupt bucket page")
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off:]))
+		vl := int(binary.BigEndian.Uint16(buf[off+2:]))
+		off += 4
+		if off+kl+vl > PageSize {
+			return nil, fmt.Errorf("stegdb: corrupt bucket entry")
+		}
+		bp.entries = append(bp.entries, kv{
+			key: append([]byte(nil), buf[off:off+kl]...),
+			val: append([]byte(nil), buf[off+kl:off+kl+vl]...),
+		})
+		off += kl + vl
+	}
+	return bp, nil
+}
+
+func encodeBucket(bp *bucketPage, buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.BigEndian.PutUint64(buf, uint64(bp.next))
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(bp.entries)))
+	off := bucketHdr
+	for _, e := range bp.entries {
+		need := 4 + len(e.key) + len(e.val)
+		if off+need > PageSize {
+			return fmt.Errorf("stegdb: bucket overflow during encode")
+		}
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(e.key)))
+		binary.BigEndian.PutUint16(buf[off+2:], uint16(len(e.val)))
+		off += 4
+		copy(buf[off:], e.key)
+		off += len(e.key)
+		copy(buf[off:], e.val)
+		off += len(e.val)
+	}
+	return nil
+}
+
+func (bp *bucketPage) size() int {
+	s := bucketHdr
+	for _, e := range bp.entries {
+		s += 4 + len(e.key) + len(e.val)
+	}
+	return s
+}
+
+// Put inserts or replaces key -> val in the index.
+func (h *HashIndex) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("stegdb: empty key")
+	}
+	if len(key)+len(val) > MaxEntry {
+		return fmt.Errorf("stegdb: entry exceeds max %d", MaxEntry)
+	}
+	bucket := h.bucketOf(key)
+	root, dirBuf, err := h.dir()
+	if err != nil {
+		return err
+	}
+	id := headOf(dirBuf, bucket)
+	buf := make([]byte, PageSize)
+	// Replace in place anywhere in the chain.
+	for cur := id; cur != nilPage; {
+		if err := h.pg.ReadPage(cur, buf); err != nil {
+			return err
+		}
+		bp, err := decodeBucket(buf)
+		if err != nil {
+			return err
+		}
+		for i := range bp.entries {
+			if bytes.Equal(bp.entries[i].key, key) {
+				bp.entries[i].val = val
+				if bp.size() <= PageSize {
+					if err := encodeBucket(bp, buf); err != nil {
+						return err
+					}
+					return h.pg.WritePage(cur, buf)
+				}
+				// Replacement grew past the page: remove here, reinsert.
+				bp.entries = append(bp.entries[:i], bp.entries[i+1:]...)
+				if err := encodeBucket(bp, buf); err != nil {
+					return err
+				}
+				if err := h.pg.WritePage(cur, buf); err != nil {
+					return err
+				}
+				return h.Put(key, val)
+			}
+		}
+		cur = bp.next
+	}
+	// Insert into the head page if it fits; otherwise prepend a new page.
+	if id != nilPage {
+		if err := h.pg.ReadPage(id, buf); err != nil {
+			return err
+		}
+		bp, err := decodeBucket(buf)
+		if err != nil {
+			return err
+		}
+		bp.entries = append(bp.entries, kv{key: key, val: val})
+		if bp.size() <= PageSize {
+			if err := encodeBucket(bp, buf); err != nil {
+				return err
+			}
+			return h.pg.WritePage(id, buf)
+		}
+	}
+	fresh, err := h.pg.AllocPage()
+	if err != nil {
+		return err
+	}
+	bp := &bucketPage{next: id, entries: []kv{{key: key, val: val}}}
+	if err := encodeBucket(bp, buf); err != nil {
+		return err
+	}
+	if err := h.pg.WritePage(fresh, buf); err != nil {
+		return err
+	}
+	setHead(dirBuf, bucket, fresh)
+	return h.pg.WritePage(root, dirBuf)
+}
+
+// Get returns the value stored under key, or (nil, false).
+func (h *HashIndex) Get(key []byte) ([]byte, bool, error) {
+	_, dirBuf, err := h.dir()
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, PageSize)
+	for cur := headOf(dirBuf, h.bucketOf(key)); cur != nilPage; {
+		if err := h.pg.ReadPage(cur, buf); err != nil {
+			return nil, false, err
+		}
+		bp, err := decodeBucket(buf)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, e := range bp.entries {
+			if bytes.Equal(e.key, key) {
+				return e.val, true, nil
+			}
+		}
+		cur = bp.next
+	}
+	return nil, false, nil
+}
+
+// Delete removes key, reporting whether it was present. Emptied chain pages
+// are returned to the pager.
+func (h *HashIndex) Delete(key []byte) (bool, error) {
+	bucket := h.bucketOf(key)
+	root, dirBuf, err := h.dir()
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, PageSize)
+	prev := nilPage
+	for cur := headOf(dirBuf, bucket); cur != nilPage; {
+		if err := h.pg.ReadPage(cur, buf); err != nil {
+			return false, err
+		}
+		bp, err := decodeBucket(buf)
+		if err != nil {
+			return false, err
+		}
+		for i := range bp.entries {
+			if !bytes.Equal(bp.entries[i].key, key) {
+				continue
+			}
+			bp.entries = append(bp.entries[:i], bp.entries[i+1:]...)
+			if len(bp.entries) > 0 {
+				if err := encodeBucket(bp, buf); err != nil {
+					return false, err
+				}
+				return true, h.pg.WritePage(cur, buf)
+			}
+			// Unlink the empty page from the chain.
+			if prev == nilPage {
+				setHead(dirBuf, bucket, bp.next)
+				if err := h.pg.WritePage(root, dirBuf); err != nil {
+					return false, err
+				}
+			} else {
+				pbuf := make([]byte, PageSize)
+				if err := h.pg.ReadPage(prev, pbuf); err != nil {
+					return false, err
+				}
+				pbp, err := decodeBucket(pbuf)
+				if err != nil {
+					return false, err
+				}
+				pbp.next = bp.next
+				if err := encodeBucket(pbp, pbuf); err != nil {
+					return false, err
+				}
+				if err := h.pg.WritePage(prev, pbuf); err != nil {
+					return false, err
+				}
+			}
+			return true, h.pg.FreePage(cur)
+		}
+		prev = cur
+		cur = bp.next
+	}
+	return false, nil
+}

@@ -1,0 +1,166 @@
+// Package stegdb implements the paper's stated future work (§6): "we are
+// investigating how database tables, hash indices and B-trees can be hidden
+// effectively" — database structures stored entirely inside StegFS hidden
+// files, so their very existence is deniable.
+//
+// The package provides a page store (Pager) over a hidden file, a B-tree
+// and a bucket-chain hash index over the pager, and a Table combining them.
+// Everything an adversary can observe is the same encrypted, unlisted
+// blocks as any other hidden file; even the fact that a database exists is
+// hidden behind the (name, key) pair.
+package stegdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"stegfs/internal/stegfs"
+)
+
+// PageSize is the fixed database page size. It is independent of the volume
+// block size; the pager maps pages onto hidden-file offsets.
+const PageSize = 4096
+
+// pagerMagic marks page 0 of a database file.
+const pagerMagic = "SGDB0001"
+
+// metaLayout (page 0): magic(8) numPages(8) freeHead(8) btreeRoot(8)
+// hashRoot(8) rows(8).
+const (
+	metaNumPages  = 8
+	metaFreeHead  = 16
+	metaBTreeRoot = 24
+	metaHashRoot  = 32
+	metaRows      = 40
+)
+
+// nilPage is the null page id (page 0 is the meta page, never allocatable).
+const nilPage int64 = 0
+
+// Pager provides page-granular storage inside one hidden file, with a
+// free-list for recycling and amortized-doubling growth.
+type Pager struct {
+	view *stegfs.HiddenView
+	name string
+	meta [PageSize]byte
+}
+
+// CreatePager creates the named hidden file and initializes an empty
+// database in it. The file starts with capacity for a handful of pages and
+// doubles as needed.
+func CreatePager(view *stegfs.HiddenView, name string) (*Pager, error) {
+	if err := view.Create(name, make([]byte, 8*PageSize)); err != nil {
+		return nil, err
+	}
+	p := &Pager{view: view, name: name}
+	copy(p.meta[:], pagerMagic)
+	p.setMeta(metaNumPages, 1) // the meta page itself
+	if err := p.flushMeta(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenPager opens an existing database file.
+func OpenPager(view *stegfs.HiddenView, name string) (*Pager, error) {
+	p := &Pager{view: view, name: name}
+	if _, err := view.ReadAt(name, p.meta[:], 0); err != nil {
+		return nil, fmt.Errorf("stegdb: read meta page: %w", err)
+	}
+	if string(p.meta[:8]) != pagerMagic {
+		return nil, errors.New("stegdb: not a stegdb file (bad magic)")
+	}
+	return p, nil
+}
+
+func (p *Pager) getMeta(off int) int64 { return int64(binary.BigEndian.Uint64(p.meta[off:])) }
+
+func (p *Pager) setMeta(off int, v int64) { binary.BigEndian.PutUint64(p.meta[off:], uint64(v)) }
+
+// flushMeta persists page 0.
+func (p *Pager) flushMeta() error {
+	_, err := p.view.WriteAt(p.name, p.meta[:], 0)
+	return err
+}
+
+// NumPages returns the number of pages in use (including the meta page).
+func (p *Pager) NumPages() int64 { return p.getMeta(metaNumPages) }
+
+// ReadPage reads page id into buf (len PageSize).
+func (p *Pager) ReadPage(id int64, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("stegdb: page buffer %d != %d", len(buf), PageSize)
+	}
+	if id <= nilPage || id >= p.NumPages() {
+		return fmt.Errorf("stegdb: page %d out of range [1,%d)", id, p.NumPages())
+	}
+	_, err := p.view.ReadAt(p.name, buf, id*PageSize)
+	return err
+}
+
+// WritePage writes buf (len PageSize) to page id.
+func (p *Pager) WritePage(id int64, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("stegdb: page buffer %d != %d", len(buf), PageSize)
+	}
+	if id <= nilPage || id >= p.NumPages() {
+		return fmt.Errorf("stegdb: page %d out of range [1,%d)", id, p.NumPages())
+	}
+	_, err := p.view.WriteAt(p.name, buf, id*PageSize)
+	return err
+}
+
+// AllocPage returns a zeroed page, reusing the free list when possible.
+func (p *Pager) AllocPage() (int64, error) {
+	if head := p.getMeta(metaFreeHead); head != nilPage {
+		buf := make([]byte, PageSize)
+		if err := p.ReadPage(head, buf); err != nil {
+			return 0, err
+		}
+		next := int64(binary.BigEndian.Uint64(buf))
+		p.setMeta(metaFreeHead, next)
+		if err := p.flushMeta(); err != nil {
+			return 0, err
+		}
+		zero := make([]byte, PageSize)
+		if err := p.WritePage(head, zero); err != nil {
+			return 0, err
+		}
+		return head, nil
+	}
+	id := p.NumPages()
+	// Grow the backing hidden file when the next page would not fit.
+	fi, err := p.view.Stat(p.name)
+	if err != nil {
+		return 0, err
+	}
+	if (id+1)*PageSize > fi.Size {
+		newSize := fi.Size * 2
+		if newSize < (id+1)*PageSize {
+			newSize = (id + 1) * PageSize
+		}
+		if err := p.view.Resize(p.name, newSize); err != nil {
+			return 0, err
+		}
+	}
+	p.setMeta(metaNumPages, id+1)
+	if err := p.flushMeta(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// FreePage returns a page to the free list.
+func (p *Pager) FreePage(id int64) error {
+	if id <= nilPage || id >= p.NumPages() {
+		return fmt.Errorf("stegdb: freeing page %d out of range", id)
+	}
+	buf := make([]byte, PageSize)
+	binary.BigEndian.PutUint64(buf, uint64(p.getMeta(metaFreeHead)))
+	if err := p.WritePage(id, buf); err != nil {
+		return err
+	}
+	p.setMeta(metaFreeHead, id)
+	return p.flushMeta()
+}

@@ -1,0 +1,154 @@
+package stegdb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"stegfs/internal/stegfs"
+)
+
+// Table is a hidden key-value table: rows live in a B-tree (ordered access,
+// range scans) with an optional hash index for O(1) point lookups — the
+// three structures the paper's future work names (tables, B-trees, hash
+// indices), all stored in one deniable hidden file.
+type Table struct {
+	pg    *Pager
+	tree  *BTree
+	hash  *HashIndex
+	hashy bool
+}
+
+// CreateTable creates a new hidden table in the named hidden file.
+// withHash adds the hash index (nBuckets buckets).
+func CreateTable(view *stegfs.HiddenView, name string, withHash bool, nBuckets int) (*Table, error) {
+	pg, err := CreatePager(view, name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{pg: pg, tree: NewBTree(pg), hashy: withHash}
+	if withHash {
+		if t.hash, err = NewHashIndex(pg, nBuckets); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// OpenTable opens an existing hidden table.
+func OpenTable(view *stegfs.HiddenView, name string) (*Table, error) {
+	pg, err := OpenPager(view, name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{pg: pg, tree: NewBTree(pg)}
+	if pg.getMeta(metaHashRoot) != nilPage {
+		t.hashy = true
+		if t.hash, err = NewHashIndex(pg, 0); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Put inserts or replaces a row.
+func (t *Table) Put(key, val []byte) error {
+	if err := t.tree.Put(key, val); err != nil {
+		return err
+	}
+	if t.hashy {
+		if err := t.hash.Put(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the row stored under key. With a hash index it takes the O(1)
+// path; otherwise the B-tree.
+func (t *Table) Get(key []byte) ([]byte, bool, error) {
+	if t.hashy {
+		return t.hash.Get(key)
+	}
+	return t.tree.Get(key)
+}
+
+// GetOrdered always uses the B-tree (for verification and range queries).
+func (t *Table) GetOrdered(key []byte) ([]byte, bool, error) { return t.tree.Get(key) }
+
+// Delete removes a row, reporting whether it existed.
+func (t *Table) Delete(key []byte) (bool, error) {
+	found, err := t.tree.Delete(key)
+	if err != nil {
+		return false, err
+	}
+	if t.hashy {
+		if _, err := t.hash.Delete(key); err != nil {
+			return false, err
+		}
+	}
+	return found, nil
+}
+
+// Scan visits rows in key order.
+func (t *Table) Scan(fn func(key, val []byte) bool) error { return t.tree.Scan(fn) }
+
+// Range visits rows with lo <= key < hi in order (nil bounds are open).
+func (t *Table) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
+	return t.tree.Scan(func(k, v []byte) bool {
+		if lo != nil && string(k) < string(lo) {
+			return true
+		}
+		if hi != nil && string(k) >= string(hi) {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// Rows counts the rows by scanning (the table is hidden; nothing may be
+// cached outside it).
+func (t *Table) Rows() (int64, error) {
+	var n int64
+	err := t.tree.Scan(func(k, v []byte) bool { n++; return true })
+	return n, err
+}
+
+// Pages reports the pager footprint (pages in use).
+func (t *Table) Pages() int64 { return t.pg.NumPages() }
+
+// PutUint64 is a convenience for integer-keyed rows.
+func (t *Table) PutUint64(key uint64, val []byte) error {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], key)
+	return t.Put(k[:], val)
+}
+
+// GetUint64 fetches an integer-keyed row.
+func (t *Table) GetUint64(key uint64) ([]byte, bool, error) {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], key)
+	return t.Get(k[:])
+}
+
+// Check verifies internal consistency: every B-tree row resolves through
+// the hash index (when present) and vice versa counts match.
+func (t *Table) Check() error {
+	if !t.hashy {
+		return nil
+	}
+	var missed int
+	err := t.tree.Scan(func(k, v []byte) bool {
+		hv, ok, err := t.hash.Get(k)
+		if err != nil || !ok || string(hv) != string(v) {
+			missed++
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if missed > 0 {
+		return fmt.Errorf("stegdb: %d rows missing or stale in hash index", missed)
+	}
+	return nil
+}

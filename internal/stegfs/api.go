@@ -1,0 +1,498 @@
+package stegfs
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"strings"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/sgcrypto"
+)
+
+// reserved physical-name prefixes. User ids may not contain NUL, so user
+// objects (physName = uid + "/" + path) can never collide with these.
+const (
+	physUAKDir = "\x00uakdir"
+	physDummy  = "\x00dummy/"
+)
+
+// uakDirFAK derives the file access key of the hidden directory that stores
+// a user's (name, FAK) pairs for one UAK. The directory itself is "encrypted
+// with the UAK and stored as a hidden file on the file system" (§3.2). The
+// user id is mixed in so that two users who happen to choose the same UAK
+// string get distinct, mutually invisible directories.
+func uakDirFAK(uid string, uak []byte) []byte {
+	sig := sgcrypto.Signature("stegfs.uakdir.fak\x00"+uid, uak)
+	return sig[:]
+}
+
+// uakDirPhys returns the physical name of a user's UAK directory.
+func uakDirPhys(uid string) string { return physUAKDir + "/" + uid }
+
+// Session is a user's login session. Hidden objects become visible only
+// after an explicit Connect and vanish again on Disconnect or Logoff,
+// mirroring the steg_connect/steg_disconnect semantics of §4.
+type Session struct {
+	fs      *FS
+	uid     string
+	visible map[string]Entry
+}
+
+// NewSession starts a session for the given user id.
+func (fs *FS) NewSession(uid string) (*Session, error) {
+	if strings.ContainsRune(uid, 0) || uid == "" {
+		return nil, fmt.Errorf("stegfs: invalid user id %q", uid)
+	}
+	return &Session{fs: fs, uid: uid, visible: make(map[string]Entry)}, nil
+}
+
+// UID returns the session's user id.
+func (s *Session) UID() string { return s.uid }
+
+// physFor builds the physical name of a user object: "the physical file name
+// is derived by concatenating the user id with the complete path name of the
+// file" (§3.1), preventing cross-user collisions on (name, key).
+func (s *Session) physFor(objname string) string { return s.uid + "/" + objname }
+
+// --- UAK directory plumbing -------------------------------------------------
+
+// loadUAKDir returns the entries of the UAK's directory; a missing directory
+// reads as empty (its absence is itself deniable).
+func (fs *FS) loadUAKDir(uid string, uak []byte) ([]Entry, error) {
+	r, err := fs.probeHeader(uakDirPhys(uid), uakDirFAK(uid, uak))
+	if err != nil {
+		return nil, nil // no directory yet
+	}
+	payload, err := fs.readHidden(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntries(payload)
+}
+
+// saveUAKDir writes the UAK directory, creating it on first use.
+func (fs *FS) saveUAKDir(uid string, uak []byte, entries []Entry) error {
+	payload := encodeEntries(entries)
+	fak := uakDirFAK(uid, uak)
+	if r, err := fs.probeHeader(uakDirPhys(uid), fak); err == nil {
+		return fs.rewriteHidden(r, payload)
+	}
+	_, err := fs.createHidden(uakDirPhys(uid), fak, FlagDir, payload)
+	return err
+}
+
+// resolve walks a slash-separated object name starting from the UAK
+// directory, descending through hidden directories.
+func (fs *FS) resolve(uid string, uak []byte, objname string) (Entry, error) {
+	comps := strings.Split(objname, "/")
+	entries, err := fs.loadUAKDir(uid, uak)
+	if err != nil {
+		return Entry{}, err
+	}
+	var cur Entry
+	for i, comp := range comps {
+		idx := findEntry(entries, comp)
+		if idx < 0 {
+			return Entry{}, fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, objname)
+		}
+		cur = entries[idx]
+		if i == len(comps)-1 {
+			return cur, nil
+		}
+		if cur.Flags&FlagDir == 0 {
+			return Entry{}, fmt.Errorf("%w: %q", fsapi.ErrNotDir, strings.Join(comps[:i+1], "/"))
+		}
+		r, err := fs.probeHeader(cur.Phys, cur.FAK)
+		if err != nil {
+			return Entry{}, err
+		}
+		payload, err := fs.readHidden(r)
+		if err != nil {
+			return Entry{}, err
+		}
+		if entries, err = decodeEntries(payload); err != nil {
+			return Entry{}, err
+		}
+	}
+	return cur, nil
+}
+
+// updateParent rewrites the entry list that contains the last component of
+// objname, applying fn to it. For top-level names that is the UAK directory;
+// for nested names it is the parent hidden directory.
+func (fs *FS) updateParent(uid string, uak []byte, objname string, fn func([]Entry) ([]Entry, error)) error {
+	comps := strings.Split(objname, "/")
+	if len(comps) == 1 {
+		entries, err := fs.loadUAKDir(uid, uak)
+		if err != nil {
+			return err
+		}
+		if entries, err = fn(entries); err != nil {
+			return err
+		}
+		return fs.saveUAKDir(uid, uak, entries)
+	}
+	parent, err := fs.resolve(uid, uak, strings.Join(comps[:len(comps)-1], "/"))
+	if err != nil {
+		return err
+	}
+	if parent.Flags&FlagDir == 0 {
+		return fmt.Errorf("%w: %q", fsapi.ErrNotDir, parent.Name)
+	}
+	r, err := fs.probeHeader(parent.Phys, parent.FAK)
+	if err != nil {
+		return err
+	}
+	payload, err := fs.readHidden(r)
+	if err != nil {
+		return err
+	}
+	entries, err := decodeEntries(payload)
+	if err != nil {
+		return err
+	}
+	if entries, err = fn(entries); err != nil {
+		return err
+	}
+	return fs.rewriteHidden(r, encodeEntries(entries))
+}
+
+// --- The steg_* APIs of Section 4 -------------------------------------------
+
+// CreateHidden implements steg_create: it creates a hidden file (objtype
+// FlagFile) or hidden directory (FlagDir) named objname under the UAK, with
+// the given initial contents (directories must start empty). A fresh random
+// FAK is generated and recorded in the UAK's directory.
+func (s *Session) CreateHidden(objname string, uak []byte, objtype byte, data []byte) error {
+	if objtype != FlagFile && objtype != FlagDir {
+		return fmt.Errorf("stegfs: invalid object type %#x", objtype)
+	}
+	if objname == "" || strings.ContainsRune(objname, 0) {
+		return fmt.Errorf("stegfs: invalid object name %q", objname)
+	}
+	if objtype == FlagDir {
+		if len(data) != 0 {
+			return fmt.Errorf("stegfs: directories are created empty")
+		}
+		data = encodeEntries(nil)
+	}
+	fak, err := sgcrypto.NewFAK()
+	if err != nil {
+		return err
+	}
+	phys := s.physFor(objname)
+	base := objname[strings.LastIndexByte(objname, '/')+1:]
+
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	if _, err := s.fs.createHidden(phys, fak, objtype, data); err != nil {
+		return err
+	}
+	err = s.fs.updateParent(s.uid, uak, objname, func(entries []Entry) ([]Entry, error) {
+		if findEntry(entries, base) >= 0 {
+			return nil, fmt.Errorf("%w: %q", fsapi.ErrExists, objname)
+		}
+		return append(entries, Entry{Name: base, Phys: phys, FAK: fak, Flags: objtype}), nil
+	})
+	if err != nil {
+		// Roll back the orphaned object.
+		if r, perr := s.fs.probeHeader(phys, fak); perr == nil {
+			s.fs.destroyHiddenLocked(r)
+		}
+		return err
+	}
+	return nil
+}
+
+// Hide implements steg_hide: it converts the plain file at pathname into the
+// hidden object objname and deletes the plain source (§4).
+func (s *Session) Hide(pathname, objname string, uak []byte) error {
+	data, err := s.fs.Read(pathname)
+	if err != nil {
+		return err
+	}
+	if err := s.CreateHidden(objname, uak, FlagFile, data); err != nil {
+		return err
+	}
+	return s.fs.Delete(pathname)
+}
+
+// Unhide implements steg_unhide: it converts the hidden object objname into
+// a plain file at pathname and deletes the hidden source (§4).
+func (s *Session) Unhide(pathname, objname string, uak []byte) error {
+	s.fs.mu.Lock()
+	e, err := s.fs.resolve(s.uid, uak, objname)
+	if err != nil {
+		s.fs.mu.Unlock()
+		return err
+	}
+	if e.Flags&FlagFile == 0 {
+		s.fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
+	}
+	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	if err != nil {
+		s.fs.mu.Unlock()
+		return err
+	}
+	data, err := s.fs.readHidden(r)
+	if err != nil {
+		s.fs.mu.Unlock()
+		return err
+	}
+	s.fs.mu.Unlock()
+
+	if err := s.fs.Create(pathname, data); err != nil {
+		return err
+	}
+	return s.DeleteHidden(objname, uak)
+}
+
+// Connect implements steg_connect: it locates the hidden object through the
+// (objname, UAK) pair and makes it visible in the session. Connecting a
+// hidden directory reveals all its offspring as well (§4).
+func (s *Session) Connect(objname string, uak []byte) error {
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	e, err := s.fs.resolve(s.uid, uak, objname)
+	if err != nil {
+		return err
+	}
+	return s.connectLocked(objname, e)
+}
+
+func (s *Session) connectLocked(objname string, e Entry) error {
+	// steg_connect "first locates the hidden object through the (objname,
+	// UAK) pair" — a dangling entry (e.g. after revocation) fails here.
+	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	if err != nil {
+		return err
+	}
+	s.visible[objname] = e
+	if e.Flags&FlagDir == 0 {
+		return nil
+	}
+	payload, err := s.fs.readHidden(r)
+	if err != nil {
+		return err
+	}
+	children, err := decodeEntries(payload)
+	if err != nil {
+		return err
+	}
+	for _, child := range children {
+		if err := s.connectLocked(objname+"/"+child.Name, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disconnect implements steg_disconnect: the object (and, for directories,
+// all offspring) becomes invisible again.
+func (s *Session) Disconnect(objname string) {
+	delete(s.visible, objname)
+	prefix := objname + "/"
+	for name := range s.visible {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.visible, name)
+		}
+	}
+}
+
+// Logoff disconnects every connected object ("when the user logs off, all
+// the connected hidden objects are automatically disconnected").
+func (s *Session) Logoff() { s.visible = make(map[string]Entry) }
+
+// Visible returns the names of the currently connected hidden objects.
+func (s *Session) Visible() []string {
+	out := make([]string, 0, len(s.visible))
+	for n := range s.visible {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ReadHidden reads a connected hidden object's contents. Data blocks are
+// decrypted on the fly, never staged in plaintext on the volume.
+func (s *Session) ReadHidden(objname string) ([]byte, error) {
+	e, ok := s.visible[objname]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not connected", fsapi.ErrNotFound, objname)
+	}
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	if err != nil {
+		return nil, err
+	}
+	if r.hdr.flags&FlagDir != 0 {
+		return nil, fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
+	}
+	return s.fs.readHidden(r)
+}
+
+// WriteHidden replaces a connected hidden object's contents.
+func (s *Session) WriteHidden(objname string, data []byte) error {
+	e, ok := s.visible[objname]
+	if !ok {
+		return fmt.Errorf("%w: %q not connected", fsapi.ErrNotFound, objname)
+	}
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	if err != nil {
+		return err
+	}
+	if r.hdr.flags&FlagDir != 0 {
+		return fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
+	}
+	return s.fs.rewriteHidden(r, data)
+}
+
+// DeleteHidden removes a hidden object and its entry in the UAK (or parent)
+// directory. Directories must be empty.
+func (s *Session) DeleteHidden(objname string, uak []byte) error {
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	e, err := s.fs.resolve(s.uid, uak, objname)
+	if err != nil {
+		return err
+	}
+	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	if err != nil {
+		return err
+	}
+	if e.Flags&FlagDir != 0 {
+		payload, err := s.fs.readHidden(r)
+		if err != nil {
+			return err
+		}
+		children, err := decodeEntries(payload)
+		if err != nil {
+			return err
+		}
+		if len(children) > 0 {
+			return fmt.Errorf("stegfs: directory %q not empty", objname)
+		}
+	}
+	base := objname[strings.LastIndexByte(objname, '/')+1:]
+	if err := s.fs.updateParent(s.uid, uak, objname, func(entries []Entry) ([]Entry, error) {
+		idx := findEntry(entries, base)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q", fsapi.ErrNotFound, objname)
+		}
+		return append(entries[:idx], entries[idx+1:]...), nil
+	}); err != nil {
+		return err
+	}
+	s.fs.destroyHiddenLocked(r)
+	delete(s.visible, objname)
+	return nil
+}
+
+// ListHidden returns the entries reachable with a UAK (the user's directory
+// of name/FAK pairs, §3.2).
+func (s *Session) ListHidden(uak []byte) ([]Entry, error) {
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	return s.fs.loadUAKDir(s.uid, uak)
+}
+
+// GetEntry implements steg_getentry: it retrieves the (name, FAK) pair of a
+// shared object and encrypts it with the recipient's public key. The
+// returned ciphertext is the "entryfile" the owner transmits (Figure 4).
+func (s *Session) GetEntry(objname string, uak []byte, pub *rsa.PublicKey) ([]byte, error) {
+	s.fs.mu.Lock()
+	e, err := s.fs.resolve(s.uid, uak, objname)
+	s.fs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	payload := encodeEntries([]Entry{e})
+	return sgcrypto.WrapEntry(pub, payload)
+}
+
+// AddEntry implements steg_addentry: it decrypts an entry file with the
+// recipient's private key and records the shared object under the
+// recipient's UAK. The caller should destroy the ciphertext afterwards
+// (Figure 4).
+func (s *Session) AddEntry(entryfile []byte, priv *rsa.PrivateKey, uak []byte) error {
+	payload, err := sgcrypto.UnwrapEntry(priv, entryfile)
+	if err != nil {
+		return err
+	}
+	entries, err := decodeEntries(payload)
+	if err != nil {
+		return err
+	}
+	s.fs.mu.Lock()
+	defer s.fs.mu.Unlock()
+	dir, err := s.fs.loadUAKDir(s.uid, uak)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if findEntry(dir, e.Name) >= 0 {
+			return fmt.Errorf("%w: %q", fsapi.ErrExists, e.Name)
+		}
+		dir = append(dir, e)
+	}
+	return s.fs.saveUAKDir(s.uid, uak, dir)
+}
+
+// Revoke implements the revocation procedure of §3.2: StegFS "first makes a
+// new copy with a fresh FAK and possibly a different file name, then removes
+// the original file to invalidate the old FAK". newName may equal objname.
+func (s *Session) Revoke(objname, newName string, uak []byte) error {
+	s.fs.mu.Lock()
+	e, err := s.fs.resolve(s.uid, uak, objname)
+	if err != nil {
+		s.fs.mu.Unlock()
+		return err
+	}
+	if e.Flags&FlagFile == 0 {
+		s.fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
+	}
+	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	if err != nil {
+		s.fs.mu.Unlock()
+		return err
+	}
+	data, err := s.fs.readHidden(r)
+	s.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.DeleteHidden(objname, uak); err != nil {
+		return err
+	}
+	return s.CreateHidden(newName, uak, FlagFile, data)
+}
+
+// ConnectLevel connects every object reachable with the UAKs at the given
+// access level or lower in a linear hierarchy (§3.2: "when the user signs on
+// at a given access level, all the hidden files associated with UAKs at that
+// access level or lower are visible"). uaks[0] is level 1.
+func (s *Session) ConnectLevel(uaks [][]byte, level int) error {
+	if level < 0 || level > len(uaks) {
+		return fmt.Errorf("stegfs: level %d out of range [0,%d]", level, len(uaks))
+	}
+	for i := 0; i < level; i++ {
+		s.fs.mu.Lock()
+		entries, err := s.fs.loadUAKDir(s.uid, uaks[i])
+		if err != nil {
+			s.fs.mu.Unlock()
+			return err
+		}
+		for _, e := range entries {
+			if err := s.connectLocked(e.Name, e); err != nil {
+				s.fs.mu.Unlock()
+				return err
+			}
+		}
+		s.fs.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+package stegfs
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/sgcrypto"
+)
+
+func newSessionFS(t *testing.T) (*FS, *Session) {
+	t.Helper()
+	fs, _ := newTestFS(t, 8192, 512, nil)
+	s, err := fs.NewSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, s
+}
+
+func TestSessionInvalidUID(t *testing.T) {
+	fs, _ := newTestFS(t, 4096, 512, nil)
+	if _, err := fs.NewSession(""); err == nil {
+		t.Fatal("empty uid should fail")
+	}
+	if _, err := fs.NewSession("a\x00b"); err == nil {
+		t.Fatal("NUL in uid should fail")
+	}
+}
+
+func TestStegCreateConnectReadCycle(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k1")
+	want := mkPayload(3000, 1)
+	if err := s.CreateHidden("doc", uak, FlagFile, want); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible before connect.
+	if _, err := s.ReadHidden("doc"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("unconnected object should be invisible, got %v", err)
+	}
+	if err := s.Connect("doc", uak); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadHidden("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch")
+	}
+	// Disconnect hides it again.
+	s.Disconnect("doc")
+	if _, err := s.ReadHidden("doc"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("disconnected object should be invisible")
+	}
+}
+
+func TestStegCreateValidation(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k")
+	if err := s.CreateHidden("", uak, FlagFile, nil); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := s.CreateHidden("x", uak, 0xff, nil); err == nil {
+		t.Fatal("bad objtype should fail")
+	}
+	if err := s.CreateHidden("d", uak, FlagDir, []byte("data")); err == nil {
+		t.Fatal("directory with initial data should fail")
+	}
+	if err := s.CreateHidden("dup", uak, FlagFile, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateHidden("dup", uak, FlagFile, nil); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("duplicate name should fail with ErrExists, got %v", err)
+	}
+}
+
+func TestHiddenDirectoriesNested(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k")
+	if err := s.CreateHidden("docs", uak, FlagDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateHidden("docs/work", uak, FlagDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := mkPayload(900, 5)
+	if err := s.CreateHidden("docs/work/plan.txt", uak, FlagFile, want); err != nil {
+		t.Fatal(err)
+	}
+	// Connecting the root directory reveals all offspring (§4).
+	if err := s.Connect("docs", uak); err != nil {
+		t.Fatal(err)
+	}
+	vis := s.Visible()
+	sort.Strings(vis)
+	wantVis := []string{"docs", "docs/work", "docs/work/plan.txt"}
+	if len(vis) != len(wantVis) {
+		t.Fatalf("visible = %v, want %v", vis, wantVis)
+	}
+	for i := range vis {
+		if vis[i] != wantVis[i] {
+			t.Fatalf("visible = %v, want %v", vis, wantVis)
+		}
+	}
+	got, err := s.ReadHidden("docs/work/plan.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("nested file mismatch")
+	}
+	// Disconnecting the root hides the whole subtree.
+	s.Disconnect("docs")
+	if len(s.Visible()) != 0 {
+		t.Fatalf("after disconnect: %v", s.Visible())
+	}
+}
+
+func TestDeleteHiddenDirectoryRules(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k")
+	if err := s.CreateHidden("d", uak, FlagDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateHidden("d/f", uak, FlagFile, mkPayload(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteHidden("d", uak); err == nil {
+		t.Fatal("deleting a non-empty directory should fail")
+	}
+	if err := s.DeleteHidden("d/f", uak); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteHidden("d", uak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.fs.resolve(s.uid, uak, "d"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("directory still resolvable after delete")
+	}
+}
+
+func TestHideUnhide(t *testing.T) {
+	fs, s := newSessionFS(t)
+	uak := []byte("k")
+	want := mkPayload(2500, 3)
+	if err := fs.Create("public.txt", want); err != nil {
+		t.Fatal(err)
+	}
+	// steg_hide: plain -> hidden, plain deleted.
+	if err := s.Hide("public.txt", "private.txt", uak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("public.txt"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("plain source should be deleted after hide")
+	}
+	if err := s.Connect("private.txt", uak); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadHidden("private.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("hide lost content")
+	}
+	// steg_unhide: hidden -> plain, hidden deleted.
+	if err := s.Unhide("restored.txt", "private.txt", uak); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.Read("restored.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("unhide lost content")
+	}
+	if err := s.Connect("private.txt", uak); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("hidden source should be deleted after unhide, got %v", err)
+	}
+}
+
+func TestWriteHiddenThroughSession(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k")
+	if err := s.CreateHidden("f", uak, FlagFile, mkPayload(1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("f", uak); err != nil {
+		t.Fatal(err)
+	}
+	want := mkPayload(12_000, 8)
+	if err := s.WriteHidden("f", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadHidden("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("session write mismatch")
+	}
+}
+
+func TestListHidden(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k")
+	for _, n := range []string{"a", "b", "c"} {
+		if err := s.CreateHidden(n, uak, FlagFile, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := s.ListHidden(uak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("ListHidden = %d entries, want 3", len(entries))
+	}
+	// A different UAK sees nothing — not even that entries exist.
+	entries, err = s.ListHidden([]byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("foreign UAK sees %d entries", len(entries))
+	}
+}
+
+func TestSharingProtocol(t *testing.T) {
+	fs, alice := newSessionFS(t)
+	bob, err := fs.NewSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceUAK, bobUAK := []byte("ak"), []byte("bk")
+	want := mkPayload(2000, 4)
+	if err := alice.CreateHidden("shared.txt", aliceUAK, FlagFile, want); err != nil {
+		t.Fatal(err)
+	}
+	priv, err := sgcrypto.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := alice.GetEntry("shared.txt", aliceUAK, &priv.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.AddEntry(ct, priv, bobUAK); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Connect("shared.txt", bobUAK); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.ReadHidden("shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("shared content mismatch")
+	}
+	// Wrong private key cannot use the entry file.
+	otherPriv, _ := sgcrypto.GenerateKeyPair()
+	carol, _ := fs.NewSession("carol")
+	if err := carol.AddEntry(ct, otherPriv, []byte("ck")); err == nil {
+		t.Fatal("wrong private key should fail AddEntry")
+	}
+	// A compromised entry exposes only the one file: the FAK in it opens
+	// shared.txt, not Alice's other objects (each file has its own FAK).
+	if err := alice.CreateHidden("secret2", aliceUAK, FlagFile, mkPayload(100, 9)); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := bob.ListHidden(bobUAK)
+	if len(entries) != 1 {
+		t.Fatalf("bob's directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestRevokeInvalidatesOldFAK(t *testing.T) {
+	fs, alice := newSessionFS(t)
+	bob, _ := fs.NewSession("bob")
+	aliceUAK, bobUAK := []byte("ak"), []byte("bk")
+	want := mkPayload(800, 2)
+	if err := alice.CreateHidden("doc", aliceUAK, FlagFile, want); err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := sgcrypto.GenerateKeyPair()
+	ct, _ := alice.GetEntry("doc", aliceUAK, &priv.PublicKey)
+	if err := bob.AddEntry(ct, priv, bobUAK); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Connect("doc", bobUAK); err != nil {
+		t.Fatal(err)
+	}
+	// Revoke: fresh FAK, old object destroyed.
+	if err := alice.Revoke("doc", "doc", aliceUAK); err != nil {
+		t.Fatal(err)
+	}
+	bob.Logoff()
+	if err := bob.Connect("doc", bobUAK); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("bob should lose access after revoke, got %v", err)
+	}
+	// Alice keeps access under the new FAK.
+	if err := alice.Connect("doc", aliceUAK); err != nil {
+		t.Fatal(err)
+	}
+	got, err := alice.ReadHidden("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("revoked copy lost content")
+	}
+}
+
+func TestConnectLevelHierarchy(t *testing.T) {
+	_, s := newSessionFS(t)
+	// Three UAKs in a linear hierarchy: level 1 = address book, level 2 =
+	// finances, level 3 = the really sensitive stuff.
+	uaks := [][]byte{[]byte("l1"), []byte("l2"), []byte("l3")}
+	for i, uak := range uaks {
+		name := []string{"contacts", "finances", "crown-jewels"}[i]
+		if err := s.CreateHidden(name, uak, FlagFile, mkPayload(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Signing on at level 2 reveals levels 1 and 2 only.
+	if err := s.ConnectLevel(uaks, 2); err != nil {
+		t.Fatal(err)
+	}
+	vis := s.Visible()
+	sort.Strings(vis)
+	if len(vis) != 2 || vis[0] != "contacts" || vis[1] != "finances" {
+		t.Fatalf("level 2 visible = %v", vis)
+	}
+	// Under compulsion the user can disclose l1+l2; nothing reveals that a
+	// third UAK exists.
+	if _, err := s.ReadHidden("crown-jewels"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatal("level 3 object visible at level 2")
+	}
+	if err := s.ConnectLevel(uaks, 5); err == nil {
+		t.Fatal("level beyond hierarchy should fail")
+	}
+}
+
+func TestLogoffDisconnectsAll(t *testing.T) {
+	_, s := newSessionFS(t)
+	uak := []byte("k")
+	for _, n := range []string{"a", "b"} {
+		if err := s.CreateHidden(n, uak, FlagFile, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(n, uak); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.Visible()) != 2 {
+		t.Fatal("setup failed")
+	}
+	s.Logoff()
+	if len(s.Visible()) != 0 {
+		t.Fatal("logoff left objects connected")
+	}
+}
+
+func TestCrossUserNameIsolation(t *testing.T) {
+	// Two users, same object name, same UAK string: physical names differ
+	// (uid prefix), so the objects never collide (§3.1).
+	fs, alice := newSessionFS(t)
+	bob, _ := fs.NewSession("bob")
+	uak := []byte("same-key")
+	wantA := mkPayload(700, 1)
+	wantB := mkPayload(700, 2)
+	if err := alice.CreateHidden("notes", uak, FlagFile, wantA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.CreateHidden("notes", uak, FlagFile, wantB); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Connect("notes", uak); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Connect("notes", uak); err != nil {
+		t.Fatal(err)
+	}
+	gotA, _ := alice.ReadHidden("notes")
+	gotB, _ := bob.ReadHidden("notes")
+	if !bytes.Equal(gotA, wantA) || !bytes.Equal(gotB, wantB) {
+		t.Fatal("cross-user collision")
+	}
+}
+
+func TestDirEntryCodec(t *testing.T) {
+	in := []Entry{
+		{Name: "a", Phys: "alice/a", FAK: []byte{1, 2, 3}, Flags: FlagFile},
+		{Name: "d", Phys: "alice/d", FAK: []byte{4}, Flags: FlagDir},
+		{Name: "", Phys: "", FAK: nil, Flags: 0},
+	}
+	out, err := decodeEntries(encodeEntries(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name || out[i].Phys != in[i].Phys || out[i].Flags != in[i].Flags {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		if !bytes.Equal(out[i].FAK, in[i].FAK) {
+			t.Fatalf("entry %d FAK mismatch", i)
+		}
+	}
+	// Truncated payloads fail cleanly.
+	raw := encodeEntries(in)
+	for _, cut := range []int{3, 5, 10} {
+		if cut < len(raw) {
+			if _, err := decodeEntries(raw[:cut]); err == nil {
+				t.Fatalf("truncation at %d not detected", cut)
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package stegfs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stegfs/internal/vdisk"
+)
+
+// buildPopulatedFS creates a volume with plain files, hidden files (two
+// users) and returns everything needed to verify a recovery.
+func buildPopulatedFS(t *testing.T) (*FS, *vdisk.MemStore, map[string][]byte, map[string][]byte) {
+	t.Helper()
+	fs, store := newTestFS(t, 8192, 512, nil)
+	plain := map[string][]byte{
+		"readme.txt": mkPayload(1200, 1),
+		"notes.md":   mkPayload(4700, 2),
+	}
+	for n, d := range plain {
+		if err := fs.Create(n, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hidden := map[string][]byte{
+		"alice:a1": mkPayload(9000, 3),
+		"alice:a2": mkPayload(300, 4),
+		"bob:b1":   mkPayload(15000, 5),
+	}
+	for key, d := range hidden {
+		parts := strings.SplitN(key, ":", 2)
+		s, err := fs.NewSession(parts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CreateHidden(parts[1], []byte(parts[0]+"-uak"), FlagFile, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs, store, plain, hidden
+}
+
+func checkRecovered(t *testing.T, fs *FS, plain, hidden map[string][]byte) {
+	t.Helper()
+	for n, want := range plain {
+		got, err := fs.Read(n)
+		if err != nil {
+			t.Fatalf("plain %s: %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("plain %s content mismatch", n)
+		}
+	}
+	for key, want := range hidden {
+		parts := strings.SplitN(key, ":", 2)
+		s, err := fs.NewSession(parts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(parts[1], []byte(parts[0]+"-uak")); err != nil {
+			t.Fatalf("hidden %s connect: %v", key, err)
+		}
+		got, err := s.ReadHidden(parts[1])
+		if err != nil {
+			t.Fatalf("hidden %s read: %v", key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("hidden %s content mismatch", key)
+		}
+	}
+}
+
+func TestBackupRecoverFullCycle(t *testing.T) {
+	fs, store, plain, hidden := buildPopulatedFS(t)
+	var backup bytes.Buffer
+	if err := fs.Backup(&backup); err != nil {
+		t.Fatal(err)
+	}
+	// Trash the entire volume.
+	junk := bytes.Repeat([]byte{0xee}, 512)
+	for b := int64(0); b < store.NumBlocks(); b++ {
+		if err := store.WriteBlock(b, junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := Recover(store, bytes.NewReader(backup.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecovered(t, restored, plain, hidden)
+	// Dummies survived too (their blocks were imaged).
+	if err := restored.TickDummies(); err != nil {
+		t.Fatalf("dummies lost in recovery: %v", err)
+	}
+}
+
+func TestBackupIsSmallerThanImage(t *testing.T) {
+	fs, store, _, _ := buildPopulatedFS(t)
+	var backup bytes.Buffer
+	if err := fs.Backup(&backup); err != nil {
+		t.Fatal(err)
+	}
+	volBytes := store.NumBlocks() * int64(store.BlockSize())
+	if int64(backup.Len()) >= volBytes {
+		t.Fatalf("backup (%d) not smaller than full image (%d)", backup.Len(), volBytes)
+	}
+}
+
+func TestRecoverSurvivesRemount(t *testing.T) {
+	fs, store, plain, hidden := buildPopulatedFS(t)
+	var backup bytes.Buffer
+	if err := fs.Backup(&backup); err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0x11}, 512)
+	for b := int64(0); b < store.NumBlocks(); b++ {
+		_ = store.WriteBlock(b, junk)
+	}
+	if _, err := Recover(store, bytes.NewReader(backup.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh mount of the recovered device sees everything.
+	remounted, err := Mount(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecovered(t, remounted, plain, hidden)
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	_, store := newTestFS(t, 2048, 512, nil)
+	if _, err := Recover(store, bytes.NewReader([]byte("not a backup at all"))); err == nil {
+		t.Fatal("garbage backup should be rejected")
+	}
+}
+
+func TestRecoverRejectsWrongGeometry(t *testing.T) {
+	fs, _, _, _ := buildPopulatedFS(t)
+	var backup bytes.Buffer
+	if err := fs.Backup(&backup); err != nil {
+		t.Fatal(err)
+	}
+	other, err := vdisk.NewMemStore(1024, 512) // different block count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(other, bytes.NewReader(backup.Bytes())); err == nil {
+		t.Fatal("geometry mismatch should be rejected")
+	}
+}
+
+func TestMountPersistence(t *testing.T) {
+	fs, store := newTestFS(t, 4096, 512, nil)
+	s, err := fs.NewSession("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkPayload(2000, 6)
+	if err := s.CreateHidden("persist", []byte("k"), FlagFile, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("plain", mkPayload(500, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fs2.NewSession("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Connect("persist", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ReadHidden("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mount lost hidden content")
+	}
+	if _, err := fs2.Read("plain"); err != nil {
+		t.Fatal(err)
+	}
+	if fs2.AbandonedCount() != fs.AbandonedCount() {
+		t.Fatal("abandoned count not persisted")
+	}
+}
+
+func TestMountRejectsForeignVolume(t *testing.T) {
+	store, err := vdisk.NewMemStore(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mount(store); err == nil {
+		t.Fatal("unformatted volume should not mount")
+	}
+}
+
+func TestDummiesChurnBitmap(t *testing.T) {
+	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.NDummy = 4; p.DummyAvgSize = 8 * 512 })
+	before := fs.Bitmap()
+	if err := fs.TickDummies(); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Bitmap()
+	// A dummy tick must change the allocation picture: some blocks newly
+	// allocated or newly freed (resampled sizes guarantee it w.h.p.).
+	changed := false
+	for b := int64(0); b < before.Len(); b++ {
+		if before.Test(b) != after.Test(b) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("TickDummies left the bitmap identical — snapshot attack trivial")
+	}
+	// Churn must not corrupt the dummies themselves.
+	if err := fs.TickDummies(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.DummyBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("dummies occupy no blocks")
+	}
+}
+
+func TestDummiesSurviveUserActivity(t *testing.T) {
+	fs, _ := newTestFS(t, 8192, 512, nil)
+	view := fs.NewHiddenView("u")
+	for i := 0; i < 5; i++ {
+		if err := view.Create(string(rune('a'+i)), mkPayload(5000, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.TickDummies(); err != nil {
+		t.Fatalf("user activity corrupted dummies: %v", err)
+	}
+	// And the user's files survive dummy churn.
+	for i := 0; i < 5; i++ {
+		got, err := view.Read(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, mkPayload(5000, byte(i))) {
+			t.Fatalf("file %c corrupted by dummy churn", 'a'+i)
+		}
+	}
+}
+
+func TestAbandonedBlocksCounted(t *testing.T) {
+	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.PctAbandoned = 0.05 })
+	want := int64(float64(8192-fs.DataStart()) * 0.05)
+	if got := fs.AbandonedCount(); got != want {
+		t.Fatalf("AbandonedCount = %d, want %d", got, want)
+	}
+}

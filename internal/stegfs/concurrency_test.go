@@ -1,0 +1,117 @@
+package stegfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessions hammers one volume from several goroutine "users"
+// doing hidden and plain operations simultaneously. Run with -race.
+func TestConcurrentSessions(t *testing.T) {
+	fs, _ := newTestFS(t, 16384, 512, func(p *Params) { p.MaxPlainFiles = 128 })
+	const users = 4
+	const opsPerUser = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, users*opsPerUser*2)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			uid := fmt.Sprintf("user%d", u)
+			s, err := fs.NewSession(uid)
+			if err != nil {
+				errs <- err
+				return
+			}
+			uak := []byte(uid + "-key")
+			for i := 0; i < opsPerUser; i++ {
+				name := fmt.Sprintf("f%d", i)
+				want := mkPayload(2000+u*100+i, byte(u*16+i))
+				if err := s.CreateHidden(name, uak, FlagFile, want); err != nil {
+					errs <- fmt.Errorf("%s create %s: %w", uid, name, err)
+					return
+				}
+				if err := s.Connect(name, uak); err != nil {
+					errs <- fmt.Errorf("%s connect %s: %w", uid, name, err)
+					return
+				}
+				got, err := s.ReadHidden(name)
+				if err != nil {
+					errs <- fmt.Errorf("%s read %s: %w", uid, name, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("%s %s content mismatch", uid, name)
+					return
+				}
+				// Plain activity interleaves with everyone's hidden work.
+				pname := fmt.Sprintf("%s-plain-%d", uid, i)
+				if err := fs.Create(pname, mkPayload(500, byte(i))); err != nil {
+					errs <- fmt.Errorf("%s plain create: %w", uid, err)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Everything is still intact afterwards.
+	for u := 0; u < users; u++ {
+		uid := fmt.Sprintf("user%d", u)
+		s, _ := fs.NewSession(uid)
+		uak := []byte(uid + "-key")
+		entries, err := s.ListHidden(uak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != opsPerUser {
+			t.Fatalf("%s lost entries: %d of %d", uid, len(entries), opsPerUser)
+		}
+	}
+}
+
+// TestConcurrentDummyTicks runs dummy maintenance concurrently with user
+// activity; neither side may corrupt the other.
+func TestConcurrentDummyTicks(t *testing.T) {
+	fs, _ := newTestFS(t, 16384, 512, nil)
+	view := fs.NewHiddenView("u")
+	stop := make(chan struct{})
+	tickErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				tickErr <- nil
+				return
+			default:
+				if err := fs.TickDummies(); err != nil {
+					tickErr <- err
+					return
+				}
+			}
+		}
+	}()
+	ref := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("f%d", i)
+		ref[name] = mkPayload(4000, byte(i))
+		if err := view.Create(name, ref[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-tickErr; err != nil {
+		t.Fatalf("dummy tick under load: %v", err)
+	}
+	for name, want := range ref {
+		got, err := view.Read(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted by concurrent ticks (%v)", name, err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package stegfs
+
+import (
+	"strings"
+	"testing"
+
+	"stegfs/internal/vdisk"
+)
+
+func TestParamsValidateTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		bad    bool
+	}{
+		{"defaults", func(p *Params) {}, false},
+		{"negative abandoned", func(p *Params) { p.PctAbandoned = -0.1 }, true},
+		{"abandoned = 1", func(p *Params) { p.PctAbandoned = 1 }, true},
+		{"free bounds inverted", func(p *Params) { p.FreeMin = 5; p.FreeMax = 2 }, true},
+		{"negative dummies", func(p *Params) { p.NDummy = -1 }, true},
+		{"negative dummy size", func(p *Params) { p.DummyAvgSize = -1 }, true},
+		{"zero plain files", func(p *Params) { p.MaxPlainFiles = 0 }, true},
+		{"zero probes", func(p *Params) { p.MaxHeaderProbes = 0 }, true},
+		{"zero free stop", func(p *Params) { p.FreeProbeStop = 0 }, true},
+		{"zero abandoned ok", func(p *Params) { p.PctAbandoned = 0 }, false},
+		{"zero dummies ok", func(p *Params) { p.NDummy = 0 }, false},
+	}
+	for _, tc := range cases {
+		p := DefaultParams()
+		tc.mutate(&p)
+		err := p.Validate()
+		if tc.bad && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+		if !tc.bad && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}
+
+func TestSuperblockCodecRoundTrip(t *testing.T) {
+	sb := &superblock{
+		blockSize:   1024,
+		numBlocks:   1 << 20,
+		bmStart:     1,
+		bmLen:       128,
+		inoStart:    129,
+		inoLen:      512,
+		dataStart:   641,
+		maxPlain:    1024,
+		pctAband:    0.0125,
+		freeMin:     1,
+		freeMax:     10,
+		nDummy:      10,
+		dummyAvg:    1 << 20,
+		seed:        -42,
+		nAbandoned:  10480,
+		headerProbe: 1 << 17,
+		freeStop:    64,
+		flags:       flagDeterministicKeys,
+	}
+	for i := range sb.volKey {
+		sb.volKey[i] = byte(i * 7)
+	}
+	buf := make([]byte, 1024)
+	if err := encodeSuper(sb, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSuper(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *sb {
+		t.Fatalf("superblock round trip mismatch:\n got %+v\nwant %+v", got, sb)
+	}
+}
+
+func TestSuperblockRejectsGarbage(t *testing.T) {
+	buf := make([]byte, 1024)
+	copy(buf, "NOTSTEG!")
+	if _, err := decodeSuper(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := decodeSuper(buf[:10]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestFormatRejectsTinyVolume(t *testing.T) {
+	store, err := vdisk.NewMemStore(8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(store, DefaultParams()); err == nil {
+		t.Fatal("8-block volume should not format")
+	}
+}
+
+func TestFormatRejectsTinyBlocks(t *testing.T) {
+	store, err := vdisk.NewMemStore(4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(store, DefaultParams()); err == nil {
+		t.Fatal("64-byte blocks cannot hold the superblock")
+	}
+}
+
+func TestFormatZeroDummiesZeroAbandoned(t *testing.T) {
+	// The degenerate configuration must still be a working file system
+	// (just one with weaker cover, as §3.1 discusses).
+	fs, _ := newTestFS(t, 4096, 512, func(p *Params) {
+		p.NDummy = 0
+		p.PctAbandoned = 0
+	})
+	view := fs.NewHiddenView("u")
+	if err := view.Create("f", mkPayload(1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.Read("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.TickDummies(); err != nil {
+		t.Fatalf("zero-dummy tick should be a no-op, got %v", err)
+	}
+	if fs.AbandonedCount() != 0 {
+		t.Fatal("abandoned count should be zero")
+	}
+}
+
+func TestPhysicalNamesEmbedUID(t *testing.T) {
+	fs, _ := newTestFS(t, 4096, 512, nil)
+	s, err := fs.NewSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := s.physFor("docs/x")
+	if !strings.HasPrefix(phys, "alice/") {
+		t.Fatalf("physical name %q does not embed the uid", phys)
+	}
+}
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.PctAbandoned != 0.01 {
+		t.Fatalf("PctAbandoned = %v, Table 1 says 1%%", p.PctAbandoned)
+	}
+	if p.FreeMin != 0 || p.FreeMax != 10 {
+		t.Fatalf("free pool bounds [%d,%d], Table 1 says [0,10]", p.FreeMin, p.FreeMax)
+	}
+	if p.NDummy != 10 {
+		t.Fatalf("NDummy = %d, Table 1 says 10", p.NDummy)
+	}
+	if p.DummyAvgSize != 1<<20 {
+		t.Fatalf("DummyAvgSize = %d, Table 1 says 1 MB", p.DummyAvgSize)
+	}
+}

@@ -1,0 +1,309 @@
+package stegfs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+
+	"stegfs/internal/bitmapvec"
+	"stegfs/internal/fsapi"
+	"stegfs/internal/plainfs"
+	"stegfs/internal/sgcrypto"
+	"stegfs/internal/vdisk"
+)
+
+// FS is a mounted StegFS volume: an embedded plain file system reached
+// through the central directory, plus hidden objects reachable only with
+// the correct (name, key) pairs.
+type FS struct {
+	mu     sync.Mutex
+	dev    vdisk.Device
+	bm     *bitmapvec.Bitmap
+	sb     *superblock
+	params Params
+	plain  *plainfs.Volume
+	rng    *mrand.Rand
+}
+
+// layoutFor computes region boundaries for a volume on dev.
+func layoutFor(dev vdisk.Device, maxPlain int) (bmStart, bmLen, inoStart, inoLen, dataStart int64) {
+	bs := int64(dev.BlockSize())
+	bmStart = 1
+	bmLen = (int64(bitmapvec.MarshaledLen(dev.NumBlocks())) + bs - 1) / bs
+	inoStart = bmStart + bmLen
+	inoLen = plainfs.InodeBlocksFor(dev, maxPlain)
+	dataStart = inoStart + inoLen
+	return
+}
+
+// Format initializes dev as a StegFS volume: writes random patterns into all
+// blocks, reserves metadata regions, abandons a random fraction of blocks,
+// creates the dummy hidden files, and mounts the result.
+func Format(dev vdisk.Device, params Params) (*FS, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	bmStart, bmLen, inoStart, inoLen, dataStart := layoutFor(dev, params.MaxPlainFiles)
+	n := dev.NumBlocks()
+	if dataStart+16 >= n {
+		return nil, fmt.Errorf("stegfs: volume too small: %d blocks, metadata needs %d", n, dataStart)
+	}
+	if dev.BlockSize() < superblockLen {
+		return nil, fmt.Errorf("stegfs: block size %d smaller than superblock (%d)", dev.BlockSize(), superblockLen)
+	}
+
+	sb := &superblock{
+		blockSize:   uint32(dev.BlockSize()),
+		numBlocks:   uint64(n),
+		bmStart:     uint64(bmStart),
+		bmLen:       uint64(bmLen),
+		inoStart:    uint64(inoStart),
+		inoLen:      uint64(inoLen),
+		dataStart:   uint64(dataStart),
+		maxPlain:    uint64(params.MaxPlainFiles),
+		pctAband:    params.PctAbandoned,
+		freeMin:     uint32(params.FreeMin),
+		freeMax:     uint32(params.FreeMax),
+		nDummy:      uint32(params.NDummy),
+		dummyAvg:    uint64(params.DummyAvgSize),
+		seed:        params.Seed,
+		headerProbe: uint32(params.MaxHeaderProbes),
+		freeStop:    uint32(params.FreeProbeStop),
+	}
+	if params.DeterministicKeys {
+		sb.flags |= flagDeterministicKeys
+	}
+	if params.DeterministicKeys {
+		sb.volKey = sgcrypto.Signature("stegfs.volkey.deterministic", []byte{
+			byte(params.Seed), byte(params.Seed >> 8), byte(params.Seed >> 16),
+			byte(params.Seed >> 24), byte(params.Seed >> 32), byte(params.Seed >> 40),
+			byte(params.Seed >> 48), byte(params.Seed >> 56)})
+	} else if _, err := rand.Read(sb.volKey[:]); err != nil {
+		return nil, fmt.Errorf("stegfs: volume key: %w", err)
+	}
+
+	rng := mrand.New(mrand.NewSource(params.Seed))
+
+	// Step 1 — random patterns into all blocks so used blocks do not stand
+	// out from free blocks (§3.1).
+	if params.FillVolume {
+		var seed [8]byte
+		binary.BigEndian.PutUint64(seed[:], uint64(params.Seed))
+		filler := sgcrypto.NewRandomFiller(seed[:])
+		buf := make([]byte, dev.BlockSize())
+		for b := int64(0); b < n; b++ {
+			filler.Fill(buf)
+			if err := dev.WriteBlock(b, buf); err != nil {
+				return nil, fmt.Errorf("stegfs: format fill block %d: %w", b, err)
+			}
+		}
+	}
+
+	// Step 2 — bitmap with metadata regions marked used.
+	bm := bitmapvec.New(n)
+	for b := int64(0); b < dataStart; b++ {
+		if err := bm.Set(b); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 3 — abandon a random selection of data-region blocks (§3.1:
+	// "some randomly selected blocks are abandoned by turning on their
+	// corresponding bits in the bitmap").
+	dataBlocks := n - dataStart
+	nAband := int64(float64(dataBlocks) * params.PctAbandoned)
+	for i := int64(0); i < nAband; i++ {
+		b, err := bm.AllocRandomFree(rng)
+		if err != nil {
+			return nil, fmt.Errorf("stegfs: abandoning blocks: %w", err)
+		}
+		if !params.FillVolume {
+			// Ensure abandoned blocks still look random even when the bulk
+			// fill was skipped.
+			if err := writeRandomBlock(dev, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sb.nAbandoned = uint64(nAband)
+
+	// Zero the central directory so it decodes as empty inodes.
+	zero := make([]byte, dev.BlockSize())
+	for b := inoStart; b < inoStart+inoLen; b++ {
+		if err := dev.WriteBlock(b, zero); err != nil {
+			return nil, err
+		}
+	}
+
+	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: rng}
+	var err error
+	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
+		Policy:   plainfs.Random,
+		MaxFiles: params.MaxPlainFiles,
+		Seed:     params.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4 — dummy hidden files (§3.1).
+	if err := fs.createDummies(); err != nil {
+		return nil, fmt.Errorf("stegfs: creating dummy files: %w", err)
+	}
+
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// writeRandomBlock fills block b of dev with fresh random-looking bytes.
+func writeRandomBlock(dev vdisk.Device, b int64) error {
+	buf := make([]byte, dev.BlockSize())
+	var seed [16]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return err
+	}
+	sgcrypto.NewRandomFiller(seed[:]).Fill(buf)
+	return dev.WriteBlock(b, buf)
+}
+
+// Mount opens an already-formatted StegFS volume.
+func Mount(dev vdisk.Device) (*FS, error) {
+	buf := make([]byte, dev.BlockSize())
+	if err := dev.ReadBlock(0, buf); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuper(buf)
+	if err != nil {
+		return nil, err
+	}
+	if int64(sb.numBlocks) != dev.NumBlocks() || int(sb.blockSize) != dev.BlockSize() {
+		return nil, fmt.Errorf("stegfs: superblock geometry %dx%d does not match device %dx%d",
+			sb.numBlocks, sb.blockSize, dev.NumBlocks(), dev.BlockSize())
+	}
+	bs := int64(dev.BlockSize())
+	raw := make([]byte, int64(sb.bmLen)*bs)
+	for i := int64(0); i < int64(sb.bmLen); i++ {
+		if err := dev.ReadBlock(int64(sb.bmStart)+i, raw[i*bs:(i+1)*bs]); err != nil {
+			return nil, err
+		}
+	}
+	bm, err := bitmapvec.Unmarshal(dev.NumBlocks(), raw)
+	if err != nil {
+		return nil, err
+	}
+	params := Params{
+		PctAbandoned:      sb.pctAband,
+		FreeMin:           int(sb.freeMin),
+		FreeMax:           int(sb.freeMax),
+		NDummy:            int(sb.nDummy),
+		DummyAvgSize:      int64(sb.dummyAvg),
+		MaxPlainFiles:     int(sb.maxPlain),
+		MaxHeaderProbes:   int(sb.headerProbe),
+		FreeProbeStop:     int(sb.freeStop),
+		Seed:              sb.seed,
+		FillVolume:        true,
+		DeterministicKeys: sb.flags&flagDeterministicKeys != 0,
+	}
+	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 2))}
+	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
+		Policy:   plainfs.Random,
+		MaxFiles: int(sb.maxPlain),
+		Seed:     sb.seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Sync persists the superblock and the allocation bitmap.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncLocked()
+}
+
+func (fs *FS) syncLocked() error {
+	buf := make([]byte, fs.dev.BlockSize())
+	if err := encodeSuper(fs.sb, buf); err != nil {
+		return err
+	}
+	if err := fs.dev.WriteBlock(0, buf); err != nil {
+		return err
+	}
+	raw := fs.bm.Marshal()
+	bs := fs.dev.BlockSize()
+	for i := int64(0); i < int64(fs.sb.bmLen); i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		off := i * int64(bs)
+		if off < int64(len(raw)) {
+			copy(buf, raw[off:])
+		}
+		if err := fs.dev.WriteBlock(int64(fs.sb.bmStart)+i, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Params returns the volume's parameters.
+func (fs *FS) Params() Params { return fs.params }
+
+// Device returns the underlying block device.
+func (fs *FS) Device() vdisk.Device { return fs.dev }
+
+// Bitmap returns the live allocation bitmap. Adversary tooling snapshots it.
+func (fs *FS) Bitmap() *bitmapvec.Bitmap {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bm.Clone()
+}
+
+// DataStart returns the first allocatable data block.
+func (fs *FS) DataStart() int64 { return int64(fs.sb.dataStart) }
+
+// FreeBlocks returns the number of blocks currently free in the bitmap.
+func (fs *FS) FreeBlocks() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bm.CountFree()
+}
+
+// --- Plain file operations (fsapi.FileSystem via the central directory) ----
+
+// SchemeName implements fsapi.FileSystem.
+func (fs *FS) SchemeName() string { return "StegFS" }
+
+// Create stores a plain file through the central directory.
+func (fs *FS) Create(name string, data []byte) error { return fs.plain.Create(name, data) }
+
+// Read returns a plain file's contents.
+func (fs *FS) Read(name string) ([]byte, error) { return fs.plain.Read(name) }
+
+// Write replaces a plain file's contents.
+func (fs *FS) Write(name string, data []byte) error { return fs.plain.Write(name, data) }
+
+// Delete removes a plain file.
+func (fs *FS) Delete(name string) error { return fs.plain.Delete(name) }
+
+// Stat describes a plain file.
+func (fs *FS) Stat(name string) (fsapi.FileInfo, error) { return fs.plain.Stat(name) }
+
+// PlainNames lists the central directory (visible to everyone, including
+// adversaries).
+func (fs *FS) PlainNames() []string { return fs.plain.Names() }
+
+// PlainReferencedBlocks returns every block reachable from the central
+// directory. An adversary can compute this set too — it is exactly what the
+// brute-force examination of §3.1 subtracts from the bitmap.
+func (fs *FS) PlainReferencedBlocks() (map[int64]bool, error) {
+	return fs.plain.ReferencedBlocks()
+}
+
+var _ fsapi.FileSystem = (*FS)(nil)

@@ -1,0 +1,467 @@
+package stegfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/ptree"
+	"stegfs/internal/sgcrypto"
+	"stegfs/internal/vdisk"
+)
+
+// hdrNumDirect is the number of direct data pointers in a hidden header.
+const hdrNumDirect = 24
+
+// hdrMagic follows the signature inside a decrypted header; it is redundant
+// with the signature (which is what actually authenticates the header) and
+// exists as a cheap self-check for corruption diagnostics.
+var hdrMagic = [4]byte{'S', 'G', 'H', '1'}
+
+// hdrFixedLen is the length of the fixed part of a hidden header:
+// sig(32) magic(4) flags(1) pad(3) size(8) nblocks(8)
+// direct(24*8) single(8) double(8) freeCount(2).
+const hdrFixedLen = 32 + 4 + 1 + 3 + 8 + 8 + hdrNumDirect*8 + 8 + 8 + 2
+
+// header is the in-memory form of a hidden object's header block (Figure 2:
+// signature, link to inode table, free-blocks list).
+type header struct {
+	sig     [sgcrypto.SignatureLen]byte
+	flags   byte
+	size    int64
+	nblocks int64
+	root    ptree.Root
+	free    []int64 // internal pool of free blocks held by this file
+}
+
+// freeCapacity returns how many free-pool entries fit in a header block.
+func freeCapacity(blockSize int) int { return (blockSize - hdrFixedLen) / 8 }
+
+// encodeHeader serializes h into a block-size buffer (plaintext; the caller
+// seals it).
+func encodeHeader(h *header, buf []byte) error {
+	if len(buf) < hdrFixedLen {
+		return fmt.Errorf("stegfs: block size %d too small for header (%d)", len(buf), hdrFixedLen)
+	}
+	if len(h.free) > freeCapacity(len(buf)) {
+		return fmt.Errorf("stegfs: free pool %d exceeds header capacity %d", len(h.free), freeCapacity(len(buf)))
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, h.sig[:])
+	copy(buf[32:], hdrMagic[:])
+	buf[36] = h.flags
+	off := 40
+	binary.BigEndian.PutUint64(buf[off:], uint64(h.size))
+	binary.BigEndian.PutUint64(buf[off+8:], uint64(h.nblocks))
+	off += 16
+	if len(h.root.Direct) != hdrNumDirect {
+		return fmt.Errorf("stegfs: header root has %d direct slots, want %d", len(h.root.Direct), hdrNumDirect)
+	}
+	for i := 0; i < hdrNumDirect; i++ {
+		binary.BigEndian.PutUint64(buf[off+i*8:], uint64(h.root.Direct[i]))
+	}
+	off += hdrNumDirect * 8
+	binary.BigEndian.PutUint64(buf[off:], uint64(h.root.Single))
+	binary.BigEndian.PutUint64(buf[off+8:], uint64(h.root.Double))
+	off += 16
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(h.free)))
+	off += 2
+	for i, b := range h.free {
+		binary.BigEndian.PutUint64(buf[off+i*8:], uint64(b))
+	}
+	return nil
+}
+
+// decodeHeader parses a decrypted header block. It returns false when the
+// signature does not match (the block belongs to something else or is free
+// space).
+func decodeHeader(buf []byte, wantSig [sgcrypto.SignatureLen]byte) (*header, bool, error) {
+	if len(buf) < hdrFixedLen {
+		return nil, false, fmt.Errorf("stegfs: header buffer too small")
+	}
+	if !bytes.Equal(buf[:32], wantSig[:]) {
+		return nil, false, nil
+	}
+	if !bytes.Equal(buf[32:36], hdrMagic[:]) {
+		// Signature matched but magic did not: a 2^-256 accident or real
+		// corruption. Report it loudly.
+		return nil, false, fmt.Errorf("stegfs: header signature match with corrupt magic")
+	}
+	h := &header{root: ptree.NewRoot(hdrNumDirect)}
+	copy(h.sig[:], buf[:32])
+	h.flags = buf[36]
+	off := 40
+	h.size = int64(binary.BigEndian.Uint64(buf[off:]))
+	h.nblocks = int64(binary.BigEndian.Uint64(buf[off+8:]))
+	off += 16
+	for i := 0; i < hdrNumDirect; i++ {
+		h.root.Direct[i] = int64(binary.BigEndian.Uint64(buf[off+i*8:]))
+	}
+	off += hdrNumDirect * 8
+	h.root.Single = int64(binary.BigEndian.Uint64(buf[off:]))
+	h.root.Double = int64(binary.BigEndian.Uint64(buf[off+8:]))
+	off += 16
+	n := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if n > freeCapacity(len(buf)) {
+		return nil, false, fmt.Errorf("stegfs: corrupt header: free count %d", n)
+	}
+	h.free = make([]int64, n)
+	for i := 0; i < n; i++ {
+		h.free[i] = int64(binary.BigEndian.Uint64(buf[off+i*8:]))
+	}
+	return h, true, nil
+}
+
+// encIO is a ptree.BlockIO view of the device that transparently seals and
+// opens blocks with a hidden object's sealer, so everything a hidden object
+// writes is indistinguishable from random bytes on disk.
+type encIO struct {
+	dev    vdisk.Device
+	sealer *sgcrypto.Sealer
+}
+
+func (e encIO) BlockSize() int { return e.dev.BlockSize() }
+
+func (e encIO) ReadBlock(n int64, buf []byte) error {
+	if err := e.dev.ReadBlock(n, buf); err != nil {
+		return err
+	}
+	return e.sealer.Open(n, buf, buf)
+}
+
+func (e encIO) WriteBlock(n int64, buf []byte) error {
+	ct := make([]byte, len(buf))
+	if err := e.sealer.Seal(n, ct, buf); err != nil {
+		return err
+	}
+	return e.dev.WriteBlock(n, ct)
+}
+
+// hiddenRef is an open handle to a located hidden object.
+type hiddenRef struct {
+	physName  string
+	fak       []byte
+	sealer    *sgcrypto.Sealer
+	headerBlk int64
+	hdr       *header
+}
+
+func (r *hiddenRef) io(dev vdisk.Device) encIO { return encIO{dev: dev, sealer: r.sealer} }
+
+// --- Locating and creating headers ------------------------------------------
+
+// probeHeader runs the pseudorandom block-number generator and returns the
+// first candidate holding a matching signature (retrieval mode), mirroring
+// §3.1: "looks for the first block number that is marked as assigned in the
+// bitmap and contains a matching file signature".
+func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
+	sealer, err := sgcrypto.NewSealer(physName, fak)
+	if err != nil {
+		return nil, err
+	}
+	want := sgcrypto.Signature(physName, fak)
+	gen := sgcrypto.NewPRBG(sgcrypto.HeaderSeed(physName, fak), fs.dev.NumBlocks())
+	buf := make([]byte, fs.dev.BlockSize())
+	freeSeen := 0
+	for i := 0; i < fs.params.MaxHeaderProbes; i++ {
+		cand := gen.Next()
+		if !fs.bm.Test(cand) {
+			// Free block: cannot be the header. A header always lands on the
+			// first creation-time-free candidate, so after enough free
+			// candidates with no match the object does not exist (each one
+			// would have to have been allocated at creation and freed since).
+			freeSeen++
+			if freeSeen >= fs.params.FreeProbeStop {
+				break
+			}
+			continue
+		}
+		if err := fs.dev.ReadBlock(cand, buf); err != nil {
+			return nil, err
+		}
+		if err := sealer.Open(cand, buf, buf); err != nil {
+			return nil, err
+		}
+		h, ok, err := decodeHeader(buf, want)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return &hiddenRef{physName: physName, fak: fak, sealer: sealer, headerBlk: cand, hdr: h}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, physName)
+}
+
+// allocHeaderBlock runs the generator in creation mode: the first candidate
+// that is free in the bitmap becomes the header block.
+func (fs *FS) allocHeaderBlock(physName string, fak []byte) (int64, error) {
+	gen := sgcrypto.NewPRBG(sgcrypto.HeaderSeed(physName, fak), fs.dev.NumBlocks())
+	for i := 0; i < fs.params.MaxHeaderProbes; i++ {
+		cand := gen.Next()
+		if cand < int64(fs.sb.dataStart) {
+			continue // metadata region is never free, skip cheaply
+		}
+		if !fs.bm.Test(cand) {
+			if err := fs.bm.Set(cand); err != nil {
+				return 0, err
+			}
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no free header block within %d probes", fsapi.ErrNoSpace, fs.params.MaxHeaderProbes)
+}
+
+// --- Free-pool management (§3.1) --------------------------------------------
+
+// poolTake removes and returns a random block from the object's internal
+// free pool, topping the pool up from the file system when it falls below
+// FreeMin. When the pool is empty it allocates directly from the volume.
+func (fs *FS) poolTake(r *hiddenRef) (int64, error) {
+	h := r.hdr
+	if len(h.free) == 0 {
+		b, err := fs.bm.AllocRandomFree(fs.rng)
+		if err != nil {
+			return 0, fsapi.ErrNoSpace
+		}
+		return b, nil
+	}
+	i := fs.rng.Intn(len(h.free))
+	b := h.free[i]
+	h.free[i] = h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	if len(h.free) < fs.params.FreeMin {
+		fs.poolTopUp(r)
+	}
+	return b, nil
+}
+
+// poolTopUp refills the pool to FreeMax with random free blocks. Shortfalls
+// are tolerated (the volume may simply be full).
+func (fs *FS) poolTopUp(r *hiddenRef) {
+	capHdr := freeCapacity(fs.dev.BlockSize())
+	target := fs.params.FreeMax
+	if target > capHdr {
+		target = capHdr
+	}
+	for len(r.hdr.free) < target {
+		b, err := fs.bm.AllocRandomFree(fs.rng)
+		if err != nil {
+			return
+		}
+		r.hdr.free = append(r.hdr.free, b)
+	}
+}
+
+// poolGive returns a freed block to the pool; once the pool exceeds FreeMax
+// the block goes back to the file system instead (§3.1 truncation rule).
+func (fs *FS) poolGive(r *hiddenRef, b int64) {
+	capHdr := freeCapacity(fs.dev.BlockSize())
+	limit := fs.params.FreeMax
+	if limit > capHdr {
+		limit = capHdr
+	}
+	if len(r.hdr.free) < limit {
+		r.hdr.free = append(r.hdr.free, b)
+		return
+	}
+	_ = fs.bm.Clear(b)
+}
+
+// --- Hidden object CRUD ------------------------------------------------------
+
+// createHidden stores a new hidden object. The caller holds fs.mu.
+func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte) (*hiddenRef, error) {
+	// Refuse to overwrite an existing object with the same (name, key).
+	if _, err := fs.probeHeader(physName, fak); err == nil {
+		return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrExists, physName)
+	}
+	sealer, err := sgcrypto.NewSealer(physName, fak)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := fs.allocHeaderBlock(physName, fak)
+	if err != nil {
+		return nil, err
+	}
+	r := &hiddenRef{physName: physName, fak: fak, sealer: sealer, headerBlk: hb}
+	r.hdr = &header{
+		sig:   sgcrypto.Signature(physName, fak),
+		flags: flags,
+		root:  ptree.NewRoot(hdrNumDirect),
+	}
+	// "When a hidden file is created, StegFS straightaway allocates several
+	// blocks to the file" — seed the internal free pool.
+	fs.poolTopUp(r)
+
+	if err := fs.writeHiddenData(r, data); err != nil {
+		fs.destroyHiddenLocked(r)
+		return nil, err
+	}
+	// The data write may have drained the pool; the created file must end
+	// up holding its free blocks (Figure 2: the header carries a persistent
+	// free-blocks list), or bitmap-snapshot deltas would expose exactly the
+	// data blocks.
+	fs.poolTopUp(r)
+	if err := fs.flushHeader(r); err != nil {
+		fs.destroyHiddenLocked(r)
+		return nil, err
+	}
+	return r, nil
+}
+
+// writeHiddenData allocates blocks (via the pool) and writes the payload and
+// its pointer tree. It fills in r.hdr.{size,nblocks,root}.
+func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
+	bs := fs.dev.BlockSize()
+	n := (int64(len(data)) + int64(bs) - 1) / int64(bs)
+	blocks := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		b, err := fs.poolTake(r)
+		if err != nil {
+			for _, blk := range blocks {
+				_ = fs.bm.Clear(blk)
+			}
+			return err
+		}
+		blocks = append(blocks, b)
+	}
+	io := r.io(fs.dev)
+	buf := make([]byte, bs)
+	for i, b := range blocks {
+		for j := range buf {
+			buf[j] = 0
+		}
+		off := i * bs
+		if off < len(data) {
+			copy(buf, data[off:])
+		}
+		if err := io.WriteBlock(b, buf); err != nil {
+			return err
+		}
+	}
+	root, _, err := ptree.Write(io, func() (int64, error) { return fs.poolTake(r) }, hdrNumDirect, blocks)
+	if err != nil {
+		return err
+	}
+	r.hdr.root = root
+	r.hdr.size = int64(len(data))
+	r.hdr.nblocks = n
+	return nil
+}
+
+// flushHeader seals and writes the header block.
+func (fs *FS) flushHeader(r *hiddenRef) error {
+	buf := make([]byte, fs.dev.BlockSize())
+	if err := encodeHeader(r.hdr, buf); err != nil {
+		return err
+	}
+	return r.io(fs.dev).WriteBlock(r.headerBlk, buf)
+}
+
+// readHidden returns the full payload of an open hidden object.
+func (fs *FS) readHidden(r *hiddenRef) ([]byte, error) {
+	io := r.io(fs.dev)
+	blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	bs := fs.dev.BlockSize()
+	out := make([]byte, r.hdr.nblocks*int64(bs))
+	buf := make([]byte, bs)
+	for i, b := range blocks {
+		if err := io.ReadBlock(b, buf); err != nil {
+			return nil, err
+		}
+		copy(out[i*bs:], buf)
+	}
+	return out[:r.hdr.size], nil
+}
+
+// rewriteHidden replaces the payload of an open hidden object. Same-shape
+// payloads are updated in place; otherwise old blocks are released through
+// the pool and fresh ones allocated.
+func (fs *FS) rewriteHidden(r *hiddenRef, data []byte) error {
+	bs := fs.dev.BlockSize()
+	n := (int64(len(data)) + int64(bs) - 1) / int64(bs)
+	io := r.io(fs.dev)
+	if n == r.hdr.nblocks {
+		blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, bs)
+		for i, b := range blocks {
+			for j := range buf {
+				buf[j] = 0
+			}
+			off := i * bs
+			if off < len(data) {
+				copy(buf, data[off:])
+			}
+			if err := io.WriteBlock(b, buf); err != nil {
+				return err
+			}
+		}
+		r.hdr.size = int64(len(data))
+		return fs.flushHeader(r)
+	}
+	// Release old data and pointer blocks through the pool.
+	blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return err
+	}
+	if err := ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { fs.poolGive(r, b) }); err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		fs.poolGive(r, b)
+	}
+	if err := fs.writeHiddenData(r, data); err != nil {
+		return err
+	}
+	return fs.flushHeader(r)
+}
+
+// destroyHiddenLocked frees everything the object holds: data blocks,
+// pointer blocks, pooled free blocks and the header itself.
+func (fs *FS) destroyHiddenLocked(r *hiddenRef) {
+	io := r.io(fs.dev)
+	if r.hdr != nil && r.hdr.nblocks > 0 {
+		if blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks); err == nil {
+			for _, b := range blocks {
+				_ = fs.bm.Clear(b)
+			}
+		}
+		_ = ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { _ = fs.bm.Clear(b) })
+	}
+	if r.hdr != nil {
+		for _, b := range r.hdr.free {
+			_ = fs.bm.Clear(b)
+		}
+	}
+	_ = fs.bm.Clear(r.headerBlk)
+}
+
+// hiddenBlocks returns every block an open hidden object occupies: header,
+// data, pointer blocks and pooled free blocks. Backup images these.
+func (fs *FS) hiddenBlocks(r *hiddenRef) ([]int64, error) {
+	io := r.io(fs.dev)
+	out := []int64{r.headerBlk}
+	blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, blocks...)
+	meta, err := ptree.MetaBlocks(io, r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, meta...)
+	out = append(out, r.hdr.free...)
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Package stegfs implements the paper's primary contribution: a
+// steganographic file system offering plausible deniability to owners of
+// protected files (Pang, Tan, Zhou — ICDE 2003).
+//
+// Hidden directories and files are excluded from the central directory. The
+// metadata of a hidden object lives in an encrypted header inside the object
+// itself; the header is located purely from a hash of the object's physical
+// name and file access key fed to a pseudorandom block-number generator.
+// Hidden blocks are camouflaged among abandoned blocks (marked used at
+// format time but untraceable) and dummy hidden files (periodically updated
+// by the system), and each hidden file keeps an internal pool of free blocks
+// so bitmap-snapshot attacks cannot separate data blocks from free ones.
+//
+// The package provides the nine steg_* APIs of Section 4, plain-file
+// operations through an embedded central directory, and the backup/recovery
+// procedure of Section 3.3.
+package stegfs
+
+import "fmt"
+
+// Object type flags stored in hidden headers (paper §4: objtype 'f' / 'd',
+// plus the system's dummy files).
+const (
+	FlagFile  byte = 1 << 0 // regular hidden file
+	FlagDir   byte = 1 << 1 // hidden directory (payload is an entry list)
+	FlagDummy byte = 1 << 2 // system-maintained dummy hidden file
+)
+
+// Params are the tunables of StegFS, mirroring Table 1 of the paper plus
+// the implementation knobs of this reproduction.
+type Params struct {
+	// PctAbandoned is the fraction of data-region blocks abandoned at format
+	// time (marked used in the bitmap but belonging to nothing).
+	// Table 1 default: 1%.
+	PctAbandoned float64
+
+	// FreeMin is the minimum number of free blocks a hidden file keeps in
+	// its internal pool; when the pool falls below it the pool is topped up.
+	// Table 1 default: 0.
+	FreeMin int
+
+	// FreeMax is the maximum number of free blocks a hidden file holds;
+	// truncation returns blocks to the file system beyond this bound.
+	// Table 1 default: 10.
+	FreeMax int
+
+	// NDummy is the number of dummy hidden files created at format time and
+	// refreshed by TickDummies. Table 1 default: 10.
+	NDummy int
+
+	// DummyAvgSize is the average dummy file size in bytes. Table 1
+	// default: 1 MB.
+	DummyAvgSize int64
+
+	// MaxPlainFiles bounds the central directory.
+	MaxPlainFiles int
+
+	// MaxHeaderProbes bounds the pseudorandom search for a hidden header,
+	// both at creation (looking for a free block) and retrieval (looking
+	// for a signature match).
+	MaxHeaderProbes int
+
+	// FreeProbeStop ends a retrieval probe early after this many candidates
+	// were found free in the bitmap. A header is always placed on the first
+	// candidate that was free at creation time, so an existing object's
+	// header can only lie beyond k free candidates if all k were allocated
+	// at creation and freed since — vanishingly unlikely for moderate k.
+	// This keeps "no such file" lookups cheap without weakening deniability
+	// (the bound is public and key-independent).
+	FreeProbeStop int
+
+	// Seed fixes all non-cryptographic randomness (block placement, dummy
+	// sizes, format fill) so experiments are repeatable.
+	Seed int64
+
+	// DeterministicKeys derives the volume key and HiddenView file access
+	// keys from Seed instead of crypto/rand. This makes experiments exactly
+	// replayable (block placement depends on the keys). Never enable it on
+	// a volume that needs real secrecy.
+	DeterministicKeys bool
+
+	// FillVolume controls whether format writes random patterns into every
+	// block ("randomly generated patterns are written into all the blocks so
+	// that used blocks do not stand out from the free blocks", §3.1).
+	// Required for the steganographic property; benchmarks on large volumes
+	// may disable it and reset the simulated clock after setup.
+	FillVolume bool
+}
+
+// DefaultParams returns the Table 1 defaults.
+func DefaultParams() Params {
+	return Params{
+		PctAbandoned:    0.01,
+		FreeMin:         0,
+		FreeMax:         10,
+		NDummy:          10,
+		DummyAvgSize:    1 << 20,
+		MaxPlainFiles:   1024,
+		MaxHeaderProbes: 1 << 17,
+		FreeProbeStop:   64,
+		Seed:            1,
+		FillVolume:      true,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.PctAbandoned < 0 || p.PctAbandoned >= 1 {
+		return fmt.Errorf("stegfs: PctAbandoned %v out of [0,1)", p.PctAbandoned)
+	}
+	if p.FreeMin < 0 || p.FreeMax < p.FreeMin {
+		return fmt.Errorf("stegfs: free pool bounds [%d,%d] invalid", p.FreeMin, p.FreeMax)
+	}
+	if p.NDummy < 0 {
+		return fmt.Errorf("stegfs: NDummy %d negative", p.NDummy)
+	}
+	if p.DummyAvgSize < 0 {
+		return fmt.Errorf("stegfs: DummyAvgSize %d negative", p.DummyAvgSize)
+	}
+	if p.MaxPlainFiles <= 0 {
+		return fmt.Errorf("stegfs: MaxPlainFiles %d must be positive", p.MaxPlainFiles)
+	}
+	if p.MaxHeaderProbes <= 0 {
+		return fmt.Errorf("stegfs: MaxHeaderProbes %d must be positive", p.MaxHeaderProbes)
+	}
+	if p.FreeProbeStop <= 0 {
+		return fmt.Errorf("stegfs: FreeProbeStop %d must be positive", p.FreeProbeStop)
+	}
+	return nil
+}

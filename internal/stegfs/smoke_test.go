@@ -1,0 +1,63 @@
+package stegfs
+
+import (
+	"bytes"
+	"testing"
+
+	"stegfs/internal/vdisk"
+)
+
+// newTestFS formats a small in-memory StegFS volume for tests.
+func newTestFS(t *testing.T, numBlocks int64, blockSize int, mutate func(*Params)) (*FS, *vdisk.MemStore) {
+	t.Helper()
+	store, err := vdisk.NewMemStore(numBlocks, blockSize)
+	if err != nil {
+		t.Fatalf("NewMemStore: %v", err)
+	}
+	p := DefaultParams()
+	p.NDummy = 2
+	p.DummyAvgSize = 4 * int64(blockSize)
+	p.MaxPlainFiles = 64
+	mutateAnd := func(q *Params) {
+		if mutate != nil {
+			mutate(q)
+		}
+	}
+	mutateAnd(&p)
+	fs, err := Format(store, p)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	return fs, store
+}
+
+func TestSmokeHiddenRoundTrip(t *testing.T) {
+	fs, _ := newTestFS(t, 4096, 512, nil)
+	view := fs.NewHiddenView("alice")
+	payload := bytes.Repeat([]byte("secret!"), 300)
+	if err := view.Create("doc", payload); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := view.Read("doc")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: got %d bytes", len(got))
+	}
+}
+
+func TestSmokePlainRoundTrip(t *testing.T) {
+	fs, _ := newTestFS(t, 4096, 512, nil)
+	payload := bytes.Repeat([]byte("plain"), 500)
+	if err := fs.Create("hello.txt", payload); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := fs.Read("hello.txt")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("plain round trip mismatch")
+	}
+}

@@ -1,0 +1,258 @@
+package stegfs
+
+import (
+	"errors"
+	"fmt"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/ptree"
+	"stegfs/internal/sgcrypto"
+)
+
+// HiddenView adapts hidden-file access to the common fsapi interfaces so the
+// benchmark harness can drive StegFS's hidden files exactly like the other
+// schemes. The view plays the role of a logged-in user: it remembers the
+// FAKs of the files it created (in memory only — nothing identifying leaks
+// to the volume).
+type HiddenView struct {
+	fs   *FS
+	uid  string
+	faks map[string][]byte
+}
+
+// NewHiddenView creates a benchmarking/user view bound to a user id.
+func (fs *FS) NewHiddenView(uid string) *HiddenView {
+	return &HiddenView{fs: fs, uid: uid, faks: make(map[string][]byte)}
+}
+
+// SchemeName implements fsapi.FileSystem.
+func (v *HiddenView) SchemeName() string { return "StegFS" }
+
+func (v *HiddenView) phys(name string) string { return v.uid + "/" + name }
+
+func (v *HiddenView) open(name string) (*hiddenRef, error) {
+	fak, ok := v.faks[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", fsapi.ErrNotFound, name)
+	}
+	return v.fs.probeHeader(v.phys(name), fak)
+}
+
+// Create stores a hidden file with a fresh random FAK.
+func (v *HiddenView) Create(name string, data []byte) error {
+	if _, ok := v.faks[name]; ok {
+		return fmt.Errorf("%w: %q", fsapi.ErrExists, name)
+	}
+	var fak []byte
+	if v.fs.params.DeterministicKeys {
+		sig := sgcrypto.Signature("stegfs.view.fak\x00"+v.uid+"\x00"+name, v.fs.sb.volKey[:])
+		fak = sig[:]
+	} else {
+		var err error
+		if fak, err = sgcrypto.NewFAK(); err != nil {
+			return err
+		}
+	}
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	if _, err := v.fs.createHidden(v.phys(name), fak, FlagFile, data); err != nil {
+		return err
+	}
+	v.faks[name] = fak
+	return nil
+}
+
+// Adopt registers an existing hidden file created by an earlier view with
+// the same uid on a DeterministicKeys volume (the FAK is re-derived and the
+// header verified). Views on normal volumes must use AdoptWithFAK.
+func (v *HiddenView) Adopt(name string) error {
+	if !v.fs.params.DeterministicKeys {
+		return fmt.Errorf("stegfs: Adopt requires DeterministicKeys; use AdoptWithFAK")
+	}
+	sig := sgcrypto.Signature("stegfs.view.fak\x00"+v.uid+"\x00"+name, v.fs.sb.volKey[:])
+	return v.AdoptWithFAK(name, sig[:])
+}
+
+// AdoptWithFAK registers an existing hidden file under its file access key,
+// verifying that the header can be located.
+func (v *HiddenView) AdoptWithFAK(name string, fak []byte) error {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	if _, err := v.fs.probeHeader(v.phys(name), fak); err != nil {
+		return err
+	}
+	v.faks[name] = append([]byte(nil), fak...)
+	return nil
+}
+
+// Read returns a hidden file's contents.
+func (v *HiddenView) Read(name string) ([]byte, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.fs.readHidden(r)
+}
+
+// Write replaces a hidden file's contents.
+func (v *HiddenView) Write(name string, data []byte) error {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return err
+	}
+	return v.fs.rewriteHidden(r, data)
+}
+
+// Delete removes a hidden file.
+func (v *HiddenView) Delete(name string) error {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return err
+	}
+	v.fs.destroyHiddenLocked(r)
+	delete(v.faks, name)
+	return nil
+}
+
+// Stat describes a hidden file.
+func (v *HiddenView) Stat(name string) (fsapi.FileInfo, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return fsapi.FileInfo{}, err
+	}
+	return fsapi.FileInfo{Name: name, Size: r.hdr.size, Blocks: r.hdr.nblocks}, nil
+}
+
+// OccupiedBlocks returns every block the view's files hold, including
+// header, pointer and pooled free blocks. Space accounting uses this.
+func (v *HiddenView) OccupiedBlocks() (int64, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	var total int64
+	for name := range v.faks {
+		r, err := v.open(name)
+		if err != nil {
+			return 0, err
+		}
+		blocks, err := v.fs.hiddenBlocks(r)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(len(blocks))
+	}
+	return total, nil
+}
+
+// BlocksOf returns the named file's data blocks and the full set of blocks
+// it occupies (header + data + pointer + pooled free blocks). The adversary
+// experiments use the data blocks as attack ground truth.
+func (v *HiddenView) BlocksOf(name string) (data, all []int64, err error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err = ptree.Read(r.io(v.fs.dev), r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err = v.fs.hiddenBlocks(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, all, nil
+}
+
+// hiddenCursor steps a hidden-file read or write one data block per Step.
+// Every Step performs the device I/O plus the seal/open, as the real system
+// would ("data blocks ... are decrypted on-the-fly during retrieval", §4).
+type hiddenCursor struct {
+	fs     *FS
+	ref    *hiddenRef
+	blocks []int64
+	data   []byte // nil for reads
+	pos    int
+	buf    []byte
+}
+
+// ReadCursor implements fsapi.CursorFS. The header probe happens here, so
+// the cursor's steps are pure data-block I/O — matching the paper's model
+// where the header is located once at open time.
+func (v *HiddenView) ReadCursor(name string) (fsapi.Cursor, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := ptree.Read(r.io(v.fs.dev), r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	return &hiddenCursor{fs: v.fs, ref: r, blocks: blocks, buf: make([]byte, v.fs.dev.BlockSize())}, nil
+}
+
+// WriteCursor implements fsapi.CursorFS for an in-place like-shaped
+// overwrite.
+func (v *HiddenView) WriteCursor(name string, data []byte) (fsapi.Cursor, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return nil, err
+	}
+	bs := int64(v.fs.dev.BlockSize())
+	if (int64(len(data))+bs-1)/bs != r.hdr.nblocks {
+		return nil, fmt.Errorf("stegfs: write cursor size mismatch")
+	}
+	blocks, err := ptree.Read(r.io(v.fs.dev), r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return nil, err
+	}
+	r.hdr.size = int64(len(data))
+	if err := v.fs.flushHeader(r); err != nil {
+		return nil, err
+	}
+	return &hiddenCursor{fs: v.fs, ref: r, blocks: blocks, data: data, buf: make([]byte, v.fs.dev.BlockSize())}, nil
+}
+
+// Step performs the next block's sealed I/O.
+func (c *hiddenCursor) Step() (bool, error) {
+	if c.pos >= len(c.blocks) {
+		return true, errors.New("stegfs: Step past end of cursor")
+	}
+	io := c.ref.io(c.fs.dev)
+	b := c.blocks[c.pos]
+	if c.data == nil {
+		if err := io.ReadBlock(b, c.buf); err != nil {
+			return false, err
+		}
+	} else {
+		for j := range c.buf {
+			c.buf[j] = 0
+		}
+		off := c.pos * len(c.buf)
+		if off < len(c.data) {
+			copy(c.buf, c.data[off:])
+		}
+		if err := io.WriteBlock(b, c.buf); err != nil {
+			return false, err
+		}
+	}
+	c.pos++
+	return c.pos == len(c.blocks), nil
+}
+
+// Remaining returns the number of block steps left.
+func (c *hiddenCursor) Remaining() int { return len(c.blocks) - c.pos }
+
+var _ fsapi.CursorFS = (*HiddenView)(nil)

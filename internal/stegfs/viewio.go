@@ -1,0 +1,152 @@
+package stegfs
+
+import (
+	"fmt"
+	"io"
+
+	"stegfs/internal/ptree"
+)
+
+// Random-access I/O on hidden files. The DBMS extension (internal/stegdb,
+// the future work of §6) needs page-granular reads and writes inside a
+// hidden file without rewriting it wholesale; these methods perform sealed
+// in-place block I/O through the file's inode table.
+
+// ReadAt reads len(p) bytes from the named hidden file starting at offset
+// off. It returns io.EOF semantics like os.File.ReadAt: a short read at the
+// end of the file reports io.EOF.
+func (v *HiddenView) ReadAt(name string, p []byte, off int64) (int, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("stegfs: negative offset %d", off)
+	}
+	if off >= r.hdr.size {
+		return 0, io.EOF
+	}
+	end := off + int64(len(p))
+	if end > r.hdr.size {
+		end = r.hdr.size
+	}
+	n, err := v.fs.rwHidden(r, p[:end-off], off, false)
+	if err != nil {
+		return n, err
+	}
+	if int64(n) < int64(len(p)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes p into the named hidden file at offset off, in place. The
+// write must lie within the file's current size; use Resize to grow first.
+func (v *HiddenView) WriteAt(name string, p []byte, off int64) (int, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 || off+int64(len(p)) > r.hdr.size {
+		return 0, fmt.Errorf("stegfs: write [%d,%d) outside file of %d bytes (Resize first)",
+			off, off+int64(len(p)), r.hdr.size)
+	}
+	return v.fs.rwHidden(r, p, off, true)
+}
+
+// rwHidden performs a sealed partial read or write across the file's data
+// blocks, with read-modify-write on partially covered edge blocks.
+func (fs *FS) rwHidden(r *hiddenRef, p []byte, off int64, write bool) (int, error) {
+	bs := int64(fs.dev.BlockSize())
+	io_ := r.io(fs.dev)
+	blocks, err := ptree.Read(io_, r.hdr.root, r.hdr.nblocks)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, bs)
+	done := 0
+	for done < len(p) {
+		pos := off + int64(done)
+		bi := pos / bs
+		if bi >= int64(len(blocks)) {
+			return done, fmt.Errorf("stegfs: offset %d beyond mapped blocks", pos)
+		}
+		inOff := pos % bs
+		chunk := int(bs - inOff)
+		if chunk > len(p)-done {
+			chunk = len(p) - done
+		}
+		if write {
+			if inOff != 0 || chunk != int(bs) {
+				if err := io_.ReadBlock(blocks[bi], buf); err != nil {
+					return done, err
+				}
+			}
+			copy(buf[inOff:], p[done:done+chunk])
+			if err := io_.WriteBlock(blocks[bi], buf); err != nil {
+				return done, err
+			}
+		} else {
+			if err := io_.ReadBlock(blocks[bi], buf); err != nil {
+				return done, err
+			}
+			copy(p[done:done+chunk], buf[inOff:int(inOff)+chunk])
+		}
+		done += chunk
+	}
+	return done, nil
+}
+
+// Resize grows or shrinks the named hidden file to newSize bytes, preserving
+// the common prefix of the contents. Growth appends zero bytes.
+func (v *HiddenView) Resize(name string, newSize int64) error {
+	if newSize < 0 {
+		return fmt.Errorf("stegfs: negative size %d", newSize)
+	}
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	r, err := v.open(name)
+	if err != nil {
+		return err
+	}
+	if newSize == r.hdr.size {
+		return nil
+	}
+	bs := int64(v.fs.dev.BlockSize())
+	newBlocks := (newSize + bs - 1) / bs
+	if newBlocks == r.hdr.nblocks {
+		// Same shape: only the logical size changes. Zero the now-exposed
+		// tail when growing within the last block.
+		if newSize > r.hdr.size {
+			zeroFrom := r.hdr.size
+			zeroLen := newSize - r.hdr.size
+			z := make([]byte, zeroLen)
+			old := r.hdr.size
+			r.hdr.size = newSize
+			if _, err := v.fs.rwHidden(r, z, zeroFrom, true); err != nil {
+				r.hdr.size = old
+				return err
+			}
+		}
+		r.hdr.size = newSize
+		return v.fs.flushHeader(r)
+	}
+	// Shape change: preserve the prefix, rewrite.
+	keep := r.hdr.size
+	if newSize < keep {
+		keep = newSize
+	}
+	prefix := make([]byte, keep)
+	if keep > 0 {
+		if _, err := v.fs.rwHidden(r, prefix, 0, false); err != nil {
+			return err
+		}
+	}
+	data := make([]byte, newSize)
+	copy(data, prefix)
+	return v.fs.rewriteHidden(r, data)
+}

@@ -1,0 +1,91 @@
+package stegrand
+
+import "math/rand"
+
+// This file models the Mnemosyne variant of the random-addressing scheme
+// (Hand & Roscoe, IPTPS'02 — the paper's reference [10]): instead of k full
+// replicas, each file is dispersed with Rabin's IDA into n shares of size
+// 1/m of the file, any m of which reconstruct it. The storage overhead is
+// n/m (vs k for replication) and a file survives until more than n-m of its
+// shares are damaged.
+//
+// SimulateLoadIDA mirrors SimulateLoad's Figure 6 procedure so the two
+// schemes can be compared at equal overhead in the extension experiment
+// (EXPERIMENTS.md, E-IDA).
+
+// IDAResult summarizes one IDA loading run.
+type IDAResult struct {
+	FilesLoaded int
+	BytesLoaded int64
+	Utilization float64
+}
+
+// SimulateLoadIDA loads IDA-dispersed files one at a time until some file
+// drops below a reconstruction quorum, and reports the effective space
+// utilization at that point.
+//
+// Dispersal is at block-group granularity, as in Mnemosyne: every run of m
+// logical blocks becomes n share blocks written to fresh pseudorandom
+// addresses (storage overhead n/m, the same physical write count as
+// (n/m)-fold replication). A group survives while at least m of its n share
+// blocks are intact; a file is lost when any of its groups dies. Compared
+// with replication at equal overhead k = n/m, the group tolerates *any*
+// n-m losses, whereas replication fails as soon as the k copies of one
+// particular block are all hit.
+func SimulateLoadIDA(numBlocks int64, blockSize, m, n int, seed int64, fileSize func(*rand.Rand) int64) IDAResult {
+	if m <= 0 || n < m {
+		return IDAResult{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type slot struct {
+		fileID  int32
+		groupID int32
+	}
+	owners := make(map[int64]slot, numBlocks/4)
+	// groupAlive[fileID][groupID] counts intact share blocks of the group.
+	var groupAlive [][]int16
+
+	var bytesLoaded int64
+	filesLoaded := 0
+	for fileID := 0; ; fileID++ {
+		size := fileSize(rng)
+		logical := (size + int64(blockSize) - 1) / int64(blockSize)
+		if logical <= 0 {
+			logical = 1
+		}
+		groups := int((logical + int64(m) - 1) / int64(m))
+		ga := make([]int16, groups)
+		groupAlive = append(groupAlive, ga)
+		lost := false
+
+		for g := 0; g < groups && !lost; g++ {
+			for sh := 0; sh < n; sh++ {
+				addr := 1 + rng.Int63n(numBlocks-1)
+				if prev, ok := owners[addr]; ok {
+					pa := groupAlive[prev.fileID]
+					pa[prev.groupID]--
+					if pa[prev.groupID] == int16(m)-1 {
+						// The victim group just dropped below quorum.
+						lost = true
+					}
+				}
+				owners[addr] = slot{fileID: int32(fileID), groupID: int32(g)}
+				ga[g]++
+			}
+			if ga[g] < int16(m) {
+				lost = true
+			}
+		}
+		if lost {
+			break
+		}
+		filesLoaded++
+		bytesLoaded += size
+	}
+	capacity := numBlocks * int64(blockSize)
+	return IDAResult{
+		FilesLoaded: filesLoaded,
+		BytesLoaded: bytesLoaded,
+		Utilization: float64(bytesLoaded) / float64(capacity),
+	}
+}

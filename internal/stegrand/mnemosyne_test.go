@@ -1,0 +1,54 @@
+package stegrand
+
+import "testing"
+
+func TestSimulateLoadIDABasics(t *testing.T) {
+	res := SimulateLoadIDA(1<<20, 1024, 4, 16, 1, UniformFileSize(1<<20, 2<<20))
+	if res.FilesLoaded <= 0 || res.Utilization <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Deterministic for a fixed seed.
+	res2 := SimulateLoadIDA(1<<20, 1024, 4, 16, 1, UniformFileSize(1<<20, 2<<20))
+	if res != res2 {
+		t.Fatal("SimulateLoadIDA not deterministic")
+	}
+	// Bad parameters yield the zero result, not a panic.
+	if r := SimulateLoadIDA(1<<20, 1024, 0, 4, 1, UniformFileSize(1, 2)); r.FilesLoaded != 0 {
+		t.Fatal("invalid m accepted")
+	}
+	if r := SimulateLoadIDA(1<<20, 1024, 8, 4, 1, UniformFileSize(1, 2)); r.FilesLoaded != 0 {
+		t.Fatal("n < m accepted")
+	}
+}
+
+func TestIDABeatsReplicationAtEqualOverhead(t *testing.T) {
+	// The Mnemosyne claim (paper §2, ref [10]): dispersal tolerates any
+	// n-m losses per group, so at equal storage overhead it sustains a
+	// higher safe load than replication.
+	const numBlocks, bs = 1 << 20, 1024
+	sizes := UniformFileSize(1<<20, 2<<20)
+	var repl, ida float64
+	for s := int64(0); s < 5; s++ {
+		repl += SimulateLoad(numBlocks, bs, 4, s, sizes).Utilization
+		ida += SimulateLoadIDA(numBlocks, bs, 4, 16, s, sizes).Utilization
+	}
+	if ida <= repl {
+		t.Fatalf("IDA (%.4f) should beat replication (%.4f) at 4x overhead", ida/5, repl/5)
+	}
+}
+
+func TestIDAQuorumMatters(t *testing.T) {
+	// (m, n) with a wider loss budget must not do worse than a tighter one
+	// at the same overhead... but the real invariant to pin down is simpler:
+	// more total redundancy at fixed m helps until overhead dominates.
+	const numBlocks, bs = 1 << 18, 1024
+	sizes := UniformFileSize(256<<10, 512<<10)
+	var u1, u4 float64
+	for s := int64(0); s < 5; s++ {
+		u1 += SimulateLoadIDA(numBlocks, bs, 4, 4, s, sizes).Utilization  // no redundancy
+		u4 += SimulateLoadIDA(numBlocks, bs, 4, 16, s, sizes).Utilization // 4x
+	}
+	if u4 <= u1 {
+		t.Fatalf("redundancy (%.4f) should beat none (%.4f)", u4/5, u1/5)
+	}
+}

@@ -1,0 +1,224 @@
+package vdisk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the raw persistence layer beneath a Disk: block-addressed storage
+// with no timing model. MemStore keeps blocks in memory; FileStore backs the
+// volume with a single ordinary file (the "file-backed block store" used by
+// the CLI tools).
+type Store interface {
+	Device
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemStore is an in-memory block store. It is the default substrate for
+// tests and benchmarks; contents are zero until written.
+type MemStore struct {
+	mu        sync.RWMutex
+	blockSize int
+	data      []byte
+	closed    bool
+}
+
+// NewMemStore creates an in-memory store with numBlocks blocks of blockSize
+// bytes each.
+func NewMemStore(numBlocks int64, blockSize int) (*MemStore, error) {
+	if numBlocks <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("vdisk: invalid geometry %d x %d", numBlocks, blockSize)
+	}
+	return &MemStore{
+		blockSize: blockSize,
+		data:      make([]byte, numBlocks*int64(blockSize)),
+	}, nil
+}
+
+// NumBlocks returns the number of blocks.
+func (m *MemStore) NumBlocks() int64 { return int64(len(m.data) / m.blockSize) }
+
+// BlockSize returns the block size in bytes.
+func (m *MemStore) BlockSize() int { return m.blockSize }
+
+func (m *MemStore) check(n int64, buf []byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if n < 0 || n >= m.NumBlocks() {
+		return fmt.Errorf("%w: %d (of %d)", ErrOutOfRange, n, m.NumBlocks())
+	}
+	if len(buf) != m.blockSize {
+		return fmt.Errorf("%w: %d != %d", ErrBadBuffer, len(buf), m.blockSize)
+	}
+	return nil
+}
+
+// ReadBlock copies block n into buf.
+func (m *MemStore) ReadBlock(n int64, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.check(n, buf); err != nil {
+		return err
+	}
+	off := n * int64(m.blockSize)
+	copy(buf, m.data[off:off+int64(m.blockSize)])
+	return nil
+}
+
+// WriteBlock copies buf into block n.
+func (m *MemStore) WriteBlock(n int64, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(n, buf); err != nil {
+		return err
+	}
+	off := n * int64(m.blockSize)
+	copy(m.data[off:off+int64(m.blockSize)], buf)
+	return nil
+}
+
+// Close marks the store closed. Further I/O fails with ErrClosed.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Snapshot returns a copy of the raw volume contents. Adversary tooling uses
+// this to model an attacker who images the disk.
+func (m *MemStore) Snapshot() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]byte, len(m.data))
+	copy(out, m.data)
+	return out
+}
+
+// Restore overwrites the raw volume contents from a snapshot taken earlier.
+func (m *MemStore) Restore(img []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(img) != len(m.data) {
+		return fmt.Errorf("vdisk: snapshot length %d != volume length %d", len(img), len(m.data))
+	}
+	copy(m.data, img)
+	return nil
+}
+
+var _ Store = (*MemStore)(nil)
+
+// FileStore is a block store backed by a single file on the host file
+// system. The file is created (or truncated to size) on open.
+type FileStore struct {
+	mu        sync.Mutex
+	f         *os.File
+	blockSize int
+	numBlocks int64
+	closed    bool
+}
+
+// CreateFileStore creates (or truncates) path as a volume of numBlocks
+// blocks of blockSize bytes.
+func CreateFileStore(path string, numBlocks int64, blockSize int) (*FileStore, error) {
+	if numBlocks <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("vdisk: invalid geometry %d x %d", numBlocks, blockSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("vdisk: create %s: %w", path, err)
+	}
+	if err := f.Truncate(numBlocks * int64(blockSize)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("vdisk: truncate %s: %w", path, err)
+	}
+	return &FileStore{f: f, blockSize: blockSize, numBlocks: numBlocks}, nil
+}
+
+// OpenFileStore opens an existing volume file with the given block size.
+func OpenFileStore(path string, blockSize int) (*FileStore, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("vdisk: invalid block size %d", blockSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("vdisk: open %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("vdisk: stat %s: %w", path, err)
+	}
+	if fi.Size()%int64(blockSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("vdisk: %s size %d not a multiple of block size %d", path, fi.Size(), blockSize)
+	}
+	return &FileStore{f: f, blockSize: blockSize, numBlocks: fi.Size() / int64(blockSize)}, nil
+}
+
+// NumBlocks returns the number of blocks.
+func (s *FileStore) NumBlocks() int64 { return s.numBlocks }
+
+// BlockSize returns the block size in bytes.
+func (s *FileStore) BlockSize() int { return s.blockSize }
+
+func (s *FileStore) check(n int64, buf []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if n < 0 || n >= s.numBlocks {
+		return fmt.Errorf("%w: %d (of %d)", ErrOutOfRange, n, s.numBlocks)
+	}
+	if len(buf) != s.blockSize {
+		return fmt.Errorf("%w: %d != %d", ErrBadBuffer, len(buf), s.blockSize)
+	}
+	return nil
+}
+
+// ReadBlock reads block n into buf.
+func (s *FileStore) ReadBlock(n int64, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(n, buf); err != nil {
+		return err
+	}
+	_, err := s.f.ReadAt(buf, n*int64(s.blockSize))
+	return err
+}
+
+// WriteBlock writes buf to block n.
+func (s *FileStore) WriteBlock(n int64, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(n, buf); err != nil {
+		return err
+	}
+	_, err := s.f.WriteAt(buf, n*int64(s.blockSize))
+	return err
+}
+
+// Sync flushes the backing file to stable storage.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close flushes and closes the backing file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+var _ Store = (*FileStore)(nil)

@@ -1,0 +1,205 @@
+// Package workload generates the paper's experimental workloads and drives
+// them against any fsapi.CursorFS on a simulated disk.
+//
+// The key mechanism is the interleaved mixer: the paper's multi-user
+// experiments (Figures 7 and 8) run N concurrent users whose file operations
+// are interleaved on one spindle. The mixer round-robins one block request
+// per user per turn, so with enough users even a perfectly contiguous file
+// system loses its sequential advantage — which is exactly the convergence
+// the paper reports ("StegFS matches both CleanDisk and FragDisk from 16
+// concurrent users onwards for read operations, and from just 8 users for
+// write operations").
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stegfs/internal/fsapi"
+	"stegfs/internal/sgcrypto"
+	"stegfs/internal/vdisk"
+)
+
+// FileSpec names one workload file and its size.
+type FileSpec struct {
+	Name string
+	Size int64
+}
+
+// UniformSpecs draws count file sizes uniformly from (lo, hi] bytes — the
+// paper's default is (1, 2] MB — with deterministic names.
+func UniformSpecs(rng *rand.Rand, count int, lo, hi int64, prefix string) []FileSpec {
+	out := make([]FileSpec, count)
+	for i := range out {
+		size := hi
+		if hi > lo {
+			size = lo + 1 + rng.Int63n(hi-lo)
+		}
+		out[i] = FileSpec{Name: fmt.Sprintf("%s%04d", prefix, i), Size: size}
+	}
+	return out
+}
+
+// FixedSpecs produces count files of exactly size bytes (Figures 8 and 9 fix
+// the file size per data point).
+func FixedSpecs(count int, size int64, prefix string) []FileSpec {
+	out := make([]FileSpec, count)
+	for i := range out {
+		out[i] = FileSpec{Name: fmt.Sprintf("%s%04d", prefix, i), Size: size}
+	}
+	return out
+}
+
+// Payload builds deterministic pseudo-random contents for a spec.
+func Payload(spec FileSpec, seed int64) []byte {
+	var s [16]byte
+	binary.BigEndian.PutUint64(s[:8], uint64(seed))
+	binary.BigEndian.PutUint64(s[8:], uint64(len(spec.Name))+uint64(spec.Size))
+	buf := make([]byte, spec.Size)
+	sgcrypto.NewRandomFiller(append(s[:], spec.Name...)).Fill(buf)
+	return buf
+}
+
+// Populate creates every spec'd file on fs.
+func Populate(fs fsapi.FileSystem, specs []FileSpec, seed int64) error {
+	for _, sp := range specs {
+		if err := fs.Create(sp.Name, Payload(sp, seed)); err != nil {
+			return fmt.Errorf("workload: create %q (%d bytes): %w", sp.Name, sp.Size, err)
+		}
+	}
+	return nil
+}
+
+// Op selects the operation the mixer performs.
+type Op int
+
+// Operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String names the op.
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Result aggregates a mixer run.
+type Result struct {
+	Ops        int           // completed file operations
+	TotalTime  time.Duration // simulated time spanned by the run
+	AvgPerOp   time.Duration // mean completion latency of one file operation
+	AvgPerByte time.Duration // AvgPerOp normalized by mean file size (Fig. 8)
+	Bytes      int64         // logical bytes moved
+}
+
+// RunInterleaved drives `users` concurrent streams of whole-file operations
+// against fs, interleaving one block request per user per turn on the shared
+// disk. Each user performs opsPerUser operations over the given files
+// (assigned round-robin, shuffled per user). The access time of a file
+// operation is the simulated time from its first to its last block request,
+// matching the paper's metric ("the time taken to read or write a file").
+//
+// With users == 1 the mixer degenerates to the serial, one-file-at-a-time
+// pattern of Figure 9.
+func RunInterleaved(disk *vdisk.Disk, fs fsapi.CursorFS, files []FileSpec, users, opsPerUser int, op Op, seed int64) (Result, error) {
+	if users <= 0 || opsPerUser <= 0 || len(files) == 0 {
+		return Result{}, fmt.Errorf("workload: bad mixer parameters users=%d ops=%d files=%d", users, opsPerUser, len(files))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Assign each user a shuffled playlist of file indices.
+	playlists := make([][]int, users)
+	for u := range playlists {
+		playlists[u] = make([]int, opsPerUser)
+		for i := range playlists[u] {
+			playlists[u][i] = (u + i*users) % len(files)
+		}
+		rng.Shuffle(opsPerUser, func(i, j int) {
+			playlists[u][i], playlists[u][j] = playlists[u][j], playlists[u][i]
+		})
+	}
+
+	streams := make([]*stream, users)
+	for u := range streams {
+		streams[u] = &stream{user: u}
+	}
+
+	openNext := func(st *stream) error {
+		if st.next >= opsPerUser {
+			st.cur = nil
+			return nil
+		}
+		sp := files[playlists[st.user][st.next]]
+		st.next++
+		st.started = disk.Elapsed()
+		var err error
+		if op == OpRead {
+			st.cur, err = fs.ReadCursor(sp.Name)
+		} else {
+			st.cur, err = fs.WriteCursor(sp.Name, Payload(sp, seed+int64(st.next)))
+		}
+		return err
+	}
+
+	var res Result
+	var latSum time.Duration
+	start := disk.Elapsed()
+	active := 0
+	for u := range streams {
+		if err := openNext(streams[u]); err != nil {
+			return res, err
+		}
+		if streams[u].cur != nil {
+			active++
+		}
+	}
+	for active > 0 {
+		for _, st := range streams {
+			if st.cur == nil {
+				continue
+			}
+			done, err := st.cur.Step()
+			if err != nil {
+				return res, err
+			}
+			if done {
+				latSum += disk.Elapsed() - st.started
+				res.Ops++
+				if err := openNext(st); err != nil {
+					return res, err
+				}
+				if st.cur == nil {
+					active--
+				}
+			}
+		}
+	}
+	res.TotalTime = disk.Elapsed() - start
+	if res.Ops > 0 {
+		res.AvgPerOp = latSum / time.Duration(res.Ops)
+	}
+	var meanSize int64
+	for _, sp := range files {
+		meanSize += sp.Size
+	}
+	meanSize /= int64(len(files))
+	res.Bytes = meanSize * int64(res.Ops)
+	if meanSize > 0 {
+		res.AvgPerByte = res.AvgPerOp / time.Duration(meanSize)
+	}
+	return res, nil
+}
+
+// stream tracks one user's in-flight file operation.
+type stream struct {
+	user    int
+	cur     fsapi.Cursor
+	started time.Duration
+	next    int
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stegfs/internal/nativefs"
+	"stegfs/internal/vdisk"
+)
+
+func TestUniformSpecsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := UniformSpecs(rng, 50, 1000, 2000, "f")
+	names := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Size <= 1000 || sp.Size > 2000 {
+			t.Fatalf("size %d outside (1000,2000]", sp.Size)
+		}
+		if names[sp.Name] {
+			t.Fatalf("duplicate name %s", sp.Name)
+		}
+		names[sp.Name] = true
+	}
+}
+
+func TestFixedSpecs(t *testing.T) {
+	specs := FixedSpecs(5, 4096, "x")
+	if len(specs) != 5 {
+		t.Fatal("count mismatch")
+	}
+	for _, sp := range specs {
+		if sp.Size != 4096 {
+			t.Fatal("size mismatch")
+		}
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	sp := FileSpec{Name: "a", Size: 1000}
+	if !bytes.Equal(Payload(sp, 1), Payload(sp, 1)) {
+		t.Fatal("payload not deterministic")
+	}
+	if bytes.Equal(Payload(sp, 1), Payload(sp, 2)) {
+		t.Fatal("payload ignores seed")
+	}
+	if bytes.Equal(Payload(sp, 1), Payload(FileSpec{Name: "b", Size: 1000}, 1)) {
+		t.Fatal("payload ignores name")
+	}
+}
+
+// buildNative provisions a CleanDisk instance populated with specs.
+func buildNative(t *testing.T, specs []FileSpec) (*vdisk.Disk, *nativefs.FS) {
+	t.Helper()
+	store, err := vdisk.NewMemStore(16384, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := vdisk.NewDisk(store, vdisk.DefaultGeometry())
+	fs, err := nativefs.Format(disk, true, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Populate(fs, specs, 1); err != nil {
+		t.Fatal(err)
+	}
+	disk.ResetClock()
+	return disk, fs
+}
+
+func TestRunInterleavedCompletesAllOps(t *testing.T) {
+	specs := FixedSpecs(8, 8<<10, "f")
+	disk, fs := buildNative(t, specs)
+	res, err := RunInterleaved(disk, fs, specs, 4, 3, OpRead, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 12 {
+		t.Fatalf("completed %d ops, want 12", res.Ops)
+	}
+	if res.AvgPerOp <= 0 || res.TotalTime <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.AvgPerOp > res.TotalTime {
+		t.Fatal("per-op latency exceeds the whole run")
+	}
+}
+
+func TestRunInterleavedWrite(t *testing.T) {
+	specs := FixedSpecs(4, 8<<10, "f")
+	disk, fs := buildNative(t, specs)
+	res, err := RunInterleaved(disk, fs, specs, 2, 2, OpWrite, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 4 {
+		t.Fatalf("completed %d write ops, want 4", res.Ops)
+	}
+}
+
+func TestInterleavingRaisesLatency(t *testing.T) {
+	// The core phenomenon of Figure 7: the same per-user workload takes
+	// longer per file operation when interleaved with other users.
+	specs := FixedSpecs(16, 8<<10, "f")
+	lat := func(users int) float64 {
+		disk, fs := buildNative(t, specs)
+		res, err := RunInterleaved(disk, fs, specs, users, 2, OpRead, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgPerOp.Seconds()
+	}
+	l1, l8 := lat(1), lat(8)
+	if l8 <= l1*2 {
+		t.Fatalf("8-user latency %.4fs not substantially above 1-user %.4fs", l8, l1)
+	}
+}
+
+func TestRunInterleavedValidation(t *testing.T) {
+	specs := FixedSpecs(2, 4096, "f")
+	disk, fs := buildNative(t, specs)
+	if _, err := RunInterleaved(disk, fs, specs, 0, 1, OpRead, 1); err == nil {
+		t.Fatal("0 users should fail")
+	}
+	if _, err := RunInterleaved(disk, fs, nil, 1, 1, OpRead, 1); err == nil {
+		t.Fatal("no files should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("op names wrong")
+	}
+}
