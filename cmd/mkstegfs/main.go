@@ -31,6 +31,7 @@ func main() {
 		freeMax   = flag.Int("free-max", 10, "maximum free blocks held per hidden file")
 		maxPlain  = flag.Int("max-plain", 1024, "central directory capacity")
 		seed      = flag.Int64("seed", 0, "deterministic seed (0 = derive from size)")
+		cache     = flag.Int("cache", 4096, "format through a block cache of this many blocks (0 = uncached)")
 	)
 	flag.Parse()
 	if *vol == "" {
@@ -60,7 +61,9 @@ func main() {
 	} else {
 		p.Seed = *size ^ int64(*bs)
 	}
-	fs, err := stegfs.Format(store, p)
+	// Formatting writes every block of the volume; a write-back cache batches
+	// those writes into sequential flush passes.
+	fs, err := stegfs.Format(store, p, stegfs.WithCache(*cache))
 	if err != nil {
 		fatal(err)
 	}

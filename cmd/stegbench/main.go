@@ -9,7 +9,7 @@
 //	stegbench -exp space -volume 1073741824 -bs 1024
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
-// ablate-pool, ablate-dummy, all.
+// ablate-pool, ablate-dummy, ablate-cache, all.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ida|all")
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ida|all")
 		scale  = flag.String("scale", "small", "workload scale: paper|small")
 		volume = flag.Int64("volume", 0, "override volume size in bytes")
 		bs     = flag.Int("bs", 0, "override block size in bytes")
@@ -77,7 +77,23 @@ func main() {
 	run("ablate-abandoned", runAblateAbandoned)
 	run("ablate-pool", runAblatePool)
 	run("ablate-dummy", runAblateDummy)
+	run("ablate-cache", runAblateCache)
 	run("ida", runIDA)
+}
+
+func runAblateCache(cfg bench.Config) error {
+	rows, err := bench.CacheSweep(cfg, nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A4 — block cache capacity (repeated-read hidden-file workload):")
+	fmt.Println("  cache-blocks  disk-sec   speedup  hit-rate   hits  misses  writebacks")
+	for _, r := range rows {
+		fmt.Printf("  %12d  %8.4f  %7.2fx  %7.1f%%  %5d  %6d  %10d\n",
+			r.CacheBlocks, r.Seconds, r.Speedup, r.HitRate*100,
+			r.Stats.Hits, r.Stats.Misses, r.Stats.WriteBacks)
+	}
+	return nil
 }
 
 func runIDA(cfg bench.Config) error {

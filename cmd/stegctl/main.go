@@ -50,6 +50,7 @@ func run(args []string) error {
 	global := flag.NewFlagSet("stegctl", flag.ExitOnError)
 	vol := global.String("vol", "", "volume image path (required)")
 	bs := global.Int("bs", 1<<10, "block size the volume was formatted with")
+	cache := global.Int("cache", 0, "mount through a block cache of this many blocks (0 = uncached)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -75,15 +76,25 @@ func run(args []string) error {
 	if cmd == "recover" {
 		return cmdRecover(store, cmdArgs)
 	}
-	fs, err := stegfs.Mount(store)
+	fs, err := stegfs.Mount(store, stegfs.WithCache(*cache))
 	if err != nil {
 		return err
 	}
-	defer func() {
-		_ = fs.Sync()
-		_ = store.Sync()
-	}()
+	cmdErr := runCmd(fs, cmd, cmdArgs)
+	// Sync flushes the cache (data before metadata) and then the
+	// superblock/bitmap, so the image on disk is always consistent. With a
+	// write-back cache this is the moment data reaches the device — a
+	// swallowed error here would silently lose everything just written.
+	if err := fs.Sync(); err != nil && cmdErr == nil {
+		cmdErr = fmt.Errorf("sync volume: %w", err)
+	}
+	if err := store.Sync(); err != nil && cmdErr == nil {
+		cmdErr = fmt.Errorf("sync store: %w", err)
+	}
+	return cmdErr
+}
 
+func runCmd(fs *stegfs.FS, cmd string, cmdArgs []string) error {
 	switch cmd {
 	case "ls":
 		for _, n := range fs.PlainNames() {

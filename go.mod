@@ -1,0 +1,3 @@
+module stegfs
+
+go 1.24

@@ -1,0 +1,76 @@
+package bench
+
+import "testing"
+
+// TestCacheSweepSpeedsUpRepeatedReads asserts the acceptance criterion of
+// the cache layer: on a repeated-read hidden-file workload, every cached
+// configuration shows strictly lower simulated disk time than the uncached
+// baseline and a nonzero hit rate.
+func TestCacheSweepSpeedsUpRepeatedReads(t *testing.T) {
+	cfg := SmallConfig()
+	rows, err := CacheSweep(cfg, []int{0, 256, 4096}, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	base := rows[0]
+	if base.CacheBlocks != 0 || base.HitRate != 0 {
+		t.Fatalf("baseline row not uncached: %+v", base)
+	}
+	for _, r := range rows[1:] {
+		if r.Seconds >= base.Seconds {
+			t.Errorf("cache=%d: %.4fs not strictly below uncached %.4fs",
+				r.CacheBlocks, r.Seconds, base.Seconds)
+		}
+		if r.Stats.Hits == 0 || r.HitRate <= 0 {
+			t.Errorf("cache=%d: no hits on a repeated-read workload (%+v)", r.CacheBlocks, r.Stats)
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("cache=%d: speedup %.2f not > 1", r.CacheBlocks, r.Speedup)
+		}
+	}
+	// Bigger cache must not be slower than the small one on this workload.
+	if rows[2].Seconds > rows[1].Seconds*1.05 {
+		t.Errorf("larger cache slower: %v vs %v", rows[2].Seconds, rows[1].Seconds)
+	}
+}
+
+// TestBuildInstanceCached checks that every scheme still formats and serves
+// its workload when mounted through the device-level cache.
+func TestBuildInstanceCached(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.VolumeBytes = 16 << 20
+	cfg.NumFiles = 4
+	cfg.FileLo = 16 << 10
+	cfg.FileHi = 32 << 10
+	cfg.CoverBytes = 32 << 10
+	cfg.Steg.DummyAvgSize = 16 << 10
+	cfg.CacheBlocks = 512
+	specs := cfg.Specs()
+	for _, scheme := range SchemeNames {
+		inst, err := BuildInstance(scheme, cfg, specs)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if inst.Cache == nil {
+			t.Fatalf("%s: no cache mounted despite CacheBlocks", scheme)
+		}
+		for _, s := range specs {
+			cur, err := inst.FS.ReadCursor(s.Name)
+			if err != nil {
+				t.Fatalf("%s: ReadCursor %s: %v", scheme, s.Name, err)
+			}
+			for {
+				done, err := cur.Step()
+				if err != nil {
+					t.Fatalf("%s: Step %s: %v", scheme, s.Name, err)
+				}
+				if done {
+					break
+				}
+			}
+		}
+	}
+}

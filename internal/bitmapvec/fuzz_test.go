@@ -1,0 +1,56 @@
+package bitmapvec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary lengths and bytes to the bitmap decoder —
+// the bitmap region is read straight off an untrusted volume image at mount
+// time. It must never panic; a successful decode must keep its set-count
+// invariant and survive a Marshal→Unmarshal round trip.
+func FuzzUnmarshal(f *testing.F) {
+	bm := New(200)
+	for _, i := range []int64{0, 1, 63, 64, 65, 127, 199} {
+		_ = bm.Set(i)
+	}
+	f.Add(int64(200), bm.Marshal())
+	f.Add(int64(0), []byte{})
+	f.Add(int64(64), []byte{0xFF})       // short data
+	f.Add(int64(3), []byte{0xFF, 0xFF})  // trailing bits beyond n
+	f.Add(int64(-5), []byte{1, 2, 3})    // negative length
+	f.Add(int64(1<<20), make([]byte, 4)) // huge n, tiny data
+	f.Fuzz(func(t *testing.T, n int64, data []byte) {
+		if n > 1<<20 {
+			n %= 1 << 20 // keep allocations bounded, not the parse logic
+		}
+		b, err := Unmarshal(n, data)
+		if err != nil {
+			return
+		}
+		// Invariant: counted bits match tested bits.
+		var nset int64
+		for i := int64(0); i < b.Len(); i++ {
+			if b.Test(i) {
+				nset++
+			}
+		}
+		if nset != b.CountSet() {
+			t.Fatalf("CountSet %d != counted %d", b.CountSet(), nset)
+		}
+		if b.CountSet()+b.CountFree() != b.Len() {
+			t.Fatalf("set %d + free %d != len %d", b.CountSet(), b.CountFree(), b.Len())
+		}
+		// Round trip.
+		again, err := Unmarshal(b.Len(), b.Marshal())
+		if err != nil {
+			t.Fatalf("round-trip Unmarshal: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), b.Marshal()) {
+			t.Fatal("Marshal→Unmarshal→Marshal not stable")
+		}
+		if again.CountSet() != b.CountSet() {
+			t.Fatalf("round trip changed set count: %d vs %d", again.CountSet(), b.CountSet())
+		}
+	})
+}

@@ -151,6 +151,19 @@ func (p *Pager) AllocPage() (int64, error) {
 	return id, nil
 }
 
+// Sync persists the meta page and then syncs the underlying volume, flushing
+// any block cache the volume is mounted through. Databases that ride a
+// cached StegFS volume call this at transaction boundaries.
+func (p *Pager) Sync() error {
+	if err := p.flushMeta(); err != nil {
+		return err
+	}
+	return p.view.Sync()
+}
+
+// Close is the database shutdown path: meta page out, volume synced.
+func (p *Pager) Close() error { return p.Sync() }
+
 // FreePage returns a page to the free list.
 func (p *Pager) FreePage(id int64) error {
 	if id <= nilPage || id >= p.NumPages() {

@@ -50,6 +50,16 @@ func OpenTable(view *stegfs.HiddenView, name string) (*Table, error) {
 	return t, nil
 }
 
+// Pager exposes the table's page store (for Sync/Close and stats).
+func (t *Table) Pager() *Pager { return t.pg }
+
+// Sync persists the table to the device, flushing any block cache the
+// backing volume is mounted through.
+func (t *Table) Sync() error { return t.pg.Sync() }
+
+// Close is the table shutdown path: everything durable on the device.
+func (t *Table) Close() error { return t.pg.Close() }
+
 // Put inserts or replaces a row.
 func (t *Table) Put(key, val []byte) error {
 	if err := t.tree.Put(key, val); err != nil {

@@ -75,6 +75,100 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 }
 
+// TestConcurrentCachedReadersWriters drives hidden-file readers and writers
+// from many goroutines through a volume mounted on the block-cache layer,
+// with Syncs (cache flush barriers) interleaved. Run with -race: this is the
+// test that proves the cache serializes correctly under the FS lock. A final
+// uncached remount proves no write was stranded in the cache.
+func TestConcurrentCachedReadersWriters(t *testing.T) {
+	for _, capacity := range []int{1, 64, 2048} {
+		t.Run(fmt.Sprintf("cache=%d", capacity), func(t *testing.T) {
+			fs, store := newCachedTestFS(t, 16384, 512, capacity)
+			const users = 4
+			const files = 3
+			const rounds = 5
+
+			// Each user creates its files up front, then all users rewrite and
+			// re-read them concurrently.
+			views := make([]*HiddenView, users)
+			for u := 0; u < users; u++ {
+				views[u] = fs.NewHiddenView(fmt.Sprintf("user%d", u))
+				for i := 0; i < files; i++ {
+					if err := views[u].Create(fmt.Sprintf("f%d", i), mkPayload(2500, byte(u*16+i))); err != nil {
+						t.Fatalf("user%d create f%d: %v", u, i, err)
+					}
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, users*rounds*files)
+			final := make([][][]byte, users)
+			for u := 0; u < users; u++ {
+				final[u] = make([][]byte, files)
+				wg.Add(1)
+				go func(u int) {
+					defer wg.Done()
+					v := views[u]
+					for r := 0; r < rounds; r++ {
+						for i := 0; i < files; i++ {
+							name := fmt.Sprintf("f%d", i)
+							want := mkPayload(2500, byte(u*16+i)+byte(r+1))
+							if err := v.Write(name, want); err != nil {
+								errs <- fmt.Errorf("user%d write %s: %w", u, name, err)
+								return
+							}
+							final[u][i] = want
+							got, err := v.Read(name)
+							if err != nil {
+								errs <- fmt.Errorf("user%d read %s: %w", u, name, err)
+								return
+							}
+							if !bytes.Equal(got, want) {
+								errs <- fmt.Errorf("user%d %s torn through cache", u, name)
+								return
+							}
+						}
+						if r%2 == 1 {
+							if err := v.Sync(); err != nil {
+								errs <- fmt.Errorf("user%d sync: %w", u, err)
+								return
+							}
+						}
+					}
+				}(u)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := fs.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// Remount the raw store uncached: every last write must be there.
+			fs2, err := Mount(store)
+			if err != nil {
+				t.Fatalf("remount: %v", err)
+			}
+			for u := 0; u < users; u++ {
+				v2 := fs2.NewHiddenView(fmt.Sprintf("user%d", u))
+				for i := 0; i < files; i++ {
+					name := fmt.Sprintf("f%d", i)
+					if err := v2.Adopt(name); err != nil {
+						t.Fatalf("user%d adopt %s: %v", u, name, err)
+					}
+					got, err := v2.Read(name)
+					if err != nil {
+						t.Fatalf("user%d read %s after remount: %v", u, name, err)
+					}
+					if !bytes.Equal(got, final[u][i]) {
+						t.Fatalf("user%d %s lost in cache across Close+remount", u, name)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestConcurrentDummyTicks runs dummy maintenance concurrently with user
 // activity; neither side may corrupt the other.
 func TestConcurrentDummyTicks(t *testing.T) {

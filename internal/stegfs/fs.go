@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"stegfs/internal/bitmapvec"
+	"stegfs/internal/blockcache"
 	"stegfs/internal/fsapi"
 	"stegfs/internal/plainfs"
 	"stegfs/internal/sgcrypto"
@@ -20,11 +21,41 @@ import (
 type FS struct {
 	mu     sync.Mutex
 	dev    vdisk.Device
+	cache  *blockcache.Cache // non-nil when mounted through WithCache
 	bm     *bitmapvec.Bitmap
 	sb     *superblock
 	params Params
 	plain  *plainfs.Volume
 	rng    *mrand.Rand
+}
+
+// Option configures Format and Mount.
+type Option func(*mountConfig)
+
+type mountConfig struct {
+	cacheBlocks int
+}
+
+// WithCache mounts the volume through a blockcache of the given capacity (in
+// blocks). All I/O — plain files, hidden files, and anything layered on them
+// such as stegdb — then runs through the cache; FS.Sync flushes dirty data
+// blocks to the device before the superblock/bitmap write so the on-device
+// image stays crash-consistent. A capacity of 0 is a no-op.
+func WithCache(blocks int) Option {
+	return func(c *mountConfig) { c.cacheBlocks = blocks }
+}
+
+// applyOptions resolves opts and wraps dev in a cache when requested.
+func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Cache) {
+	var cfg mountConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.cacheBlocks > 0 {
+		c := blockcache.New(dev, cfg.cacheBlocks)
+		return c, c
+	}
+	return dev, nil
 }
 
 // layoutFor computes region boundaries for a volume on dev.
@@ -41,10 +72,11 @@ func layoutFor(dev vdisk.Device, maxPlain int) (bmStart, bmLen, inoStart, inoLen
 // Format initializes dev as a StegFS volume: writes random patterns into all
 // blocks, reserves metadata regions, abandons a random fraction of blocks,
 // creates the dummy hidden files, and mounts the result.
-func Format(dev vdisk.Device, params Params) (*FS, error) {
+func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	dev, cache := applyOptions(dev, opts)
 	bmStart, bmLen, inoStart, inoLen, dataStart := layoutFor(dev, params.MaxPlainFiles)
 	n := dev.NumBlocks()
 	if dataStart+16 >= n {
@@ -137,7 +169,7 @@ func Format(dev vdisk.Device, params Params) (*FS, error) {
 		}
 	}
 
-	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: rng}
+	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: rng}
 	var err error
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
 		Policy:   plainfs.Random,
@@ -171,7 +203,8 @@ func writeRandomBlock(dev vdisk.Device, b int64) error {
 }
 
 // Mount opens an already-formatted StegFS volume.
-func Mount(dev vdisk.Device) (*FS, error) {
+func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
+	dev, cache := applyOptions(dev, opts)
 	buf := make([]byte, dev.BlockSize())
 	if err := dev.ReadBlock(0, buf); err != nil {
 		return nil, err
@@ -208,7 +241,7 @@ func Mount(dev vdisk.Device) (*FS, error) {
 		FillVolume:        true,
 		DeterministicKeys: sb.flags&flagDeterministicKeys != 0,
 	}
-	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 2))}
+	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 2))}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),
@@ -220,7 +253,11 @@ func Mount(dev vdisk.Device) (*FS, error) {
 	return fs, nil
 }
 
-// Sync persists the superblock and the allocation bitmap.
+// Sync persists the superblock and the allocation bitmap. When the volume is
+// mounted through a cache, dirty data blocks are flushed to the device first
+// (so no metadata ever references data that has not reached the device) and
+// the metadata writes are flushed after, leaving the on-device image fully
+// consistent at return.
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -228,6 +265,12 @@ func (fs *FS) Sync() error {
 }
 
 func (fs *FS) syncLocked() error {
+	if fs.cache != nil {
+		// Data blocks before the metadata that references them.
+		if err := fs.cache.Flush(); err != nil {
+			return err
+		}
+	}
 	buf := make([]byte, fs.dev.BlockSize())
 	if err := encodeSuper(fs.sb, buf); err != nil {
 		return err
@@ -249,7 +292,31 @@ func (fs *FS) syncLocked() error {
 			return err
 		}
 	}
+	if fs.cache != nil {
+		// Push the superblock/bitmap writes out too.
+		if err := fs.cache.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Close syncs the volume and flushes any cache, leaving the device image
+// complete. The FS must not be used afterwards.
+func (fs *FS) Close() error {
+	return fs.Sync()
+}
+
+// Cache returns the block cache the volume is mounted through, or nil when
+// uncached.
+func (fs *FS) Cache() *blockcache.Cache { return fs.cache }
+
+// CacheStats returns the cache counters and whether a cache is mounted.
+func (fs *FS) CacheStats() (blockcache.Stats, bool) {
+	if fs.cache == nil {
+		return blockcache.Stats{}, false
+	}
+	return fs.cache.Stats(), true
 }
 
 // Params returns the volume's parameters.
@@ -280,29 +347,61 @@ func (fs *FS) FreeBlocks() int64 {
 // SchemeName implements fsapi.FileSystem.
 func (fs *FS) SchemeName() string { return "StegFS" }
 
+// The plain-file wrappers take fs.mu: the embedded plainfs volume shares the
+// volume-wide allocation bitmap with the hidden-file machinery (which runs
+// under fs.mu), so plain and hidden operations must serialize against each
+// other or concurrent sessions race on the bitmap. plainfs's own internal
+// lock only covers volumes used standalone.
+
 // Create stores a plain file through the central directory.
-func (fs *FS) Create(name string, data []byte) error { return fs.plain.Create(name, data) }
+func (fs *FS) Create(name string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plain.Create(name, data)
+}
 
 // Read returns a plain file's contents.
-func (fs *FS) Read(name string) ([]byte, error) { return fs.plain.Read(name) }
+func (fs *FS) Read(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plain.Read(name)
+}
 
 // Write replaces a plain file's contents.
-func (fs *FS) Write(name string, data []byte) error { return fs.plain.Write(name, data) }
+func (fs *FS) Write(name string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plain.Write(name, data)
+}
 
 // Delete removes a plain file.
-func (fs *FS) Delete(name string) error { return fs.plain.Delete(name) }
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plain.Delete(name)
+}
 
 // Stat describes a plain file.
-func (fs *FS) Stat(name string) (fsapi.FileInfo, error) { return fs.plain.Stat(name) }
+func (fs *FS) Stat(name string) (fsapi.FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plain.Stat(name)
+}
 
 // PlainNames lists the central directory (visible to everyone, including
 // adversaries).
-func (fs *FS) PlainNames() []string { return fs.plain.Names() }
+func (fs *FS) PlainNames() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plain.Names()
+}
 
 // PlainReferencedBlocks returns every block reachable from the central
 // directory. An adversary can compute this set too — it is exactly what the
 // brute-force examination of §3.1 subtracts from the bitmap.
 func (fs *FS) PlainReferencedBlocks() (map[int64]bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	return fs.plain.ReferencedBlocks()
 }
 

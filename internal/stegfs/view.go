@@ -120,6 +120,22 @@ func (v *HiddenView) Delete(name string) error {
 	return nil
 }
 
+// Sync flushes the volume (and any mounted cache) so every write made
+// through this view has reached the device.
+func (v *HiddenView) Sync() error { return v.fs.Sync() }
+
+// Close is the view's shutdown path: it syncs the volume — flushing dirty
+// cached blocks ahead of the superblock/bitmap write — and forgets the FAKs
+// held in memory. The hidden files remain on the volume, reachable by a new
+// view via Adopt/AdoptWithFAK.
+func (v *HiddenView) Close() error {
+	err := v.fs.Sync()
+	v.fs.mu.Lock()
+	v.faks = make(map[string][]byte)
+	v.fs.mu.Unlock()
+	return err
+}
+
 // Stat describes a hidden file.
 func (v *HiddenView) Stat(name string) (fsapi.FileInfo, error) {
 	v.fs.mu.Lock()
