@@ -32,6 +32,8 @@ func main() {
 		maxPlain  = flag.Int("max-plain", 1024, "central directory capacity")
 		seed      = flag.Int64("seed", 0, "deterministic seed (0 = derive from size)")
 		cache     = flag.Int("cache", 4096, "format through a block cache of this many blocks (0 = uncached)")
+		policy    = flag.String("cache-policy", "", "cache replacement policy: lru|arc|2q (default lru)")
+		wbehind   = flag.Int("write-behind", 0, "start early write-back once this many dirty blocks accumulate (0 = only at sync)")
 	)
 	flag.Parse()
 	if *vol == "" {
@@ -62,8 +64,10 @@ func main() {
 		p.Seed = *size ^ int64(*bs)
 	}
 	// Formatting writes every block of the volume; a write-back cache batches
-	// those writes into sequential flush passes.
-	fs, err := stegfs.Format(store, p, stegfs.WithCache(*cache))
+	// those writes into sequential flush passes. Write-behind keeps the dirty
+	// backlog bounded when the cache is large.
+	fs, err := stegfs.Format(store, p, stegfs.WithCache(*cache),
+		stegfs.WithCachePolicy(*policy), stegfs.WithWriteBehind(*wbehind))
 	if err != nil {
 		fatal(err)
 	}

@@ -9,7 +9,7 @@
 //	stegbench -exp space -volume 1073741824 -bs 1024
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
-// ablate-pool, ablate-dummy, ablate-cache, all.
+// ablate-pool, ablate-dummy, ablate-cache, ablate-policy, all.
 package main
 
 import (
@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ida|all")
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ida|all")
 		scale  = flag.String("scale", "small", "workload scale: paper|small")
 		volume = flag.Int64("volume", 0, "override volume size in bytes")
 		bs     = flag.Int("bs", 0, "override block size in bytes")
 		files  = flag.Int("files", 0, "override number of files")
 		ops    = flag.Int("ops", 0, "override file operations per user")
 		seed   = flag.Int64("seed", 1, "workload seed")
+		policy = flag.String("cache-policy", "", "cache replacement policy for cached experiments: lru|arc|2q (default lru)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		cfg.OpsPerUser = *ops
 	}
 	cfg.Seed = *seed
+	cfg.CachePolicy = *policy
 
 	run := func(name string, fn func(bench.Config) error) {
 		if *exp != "all" && *exp != name {
@@ -78,7 +80,23 @@ func main() {
 	run("ablate-pool", runAblatePool)
 	run("ablate-dummy", runAblateDummy)
 	run("ablate-cache", runAblateCache)
+	run("ablate-policy", runAblatePolicy)
 	run("ida", runIDA)
+}
+
+func runAblatePolicy(cfg bench.Config) error {
+	rows, err := bench.PolicySweep(cfg, nil, nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A4b — replacement policy x capacity (scan+hot hidden-file workload):")
+	fmt.Println("  policy    cache-blocks  disk-sec   speedup  hit-rate    hits  misses  writebacks")
+	for _, r := range rows {
+		fmt.Printf("  %-8s  %12d  %8.4f  %7.2fx  %7.1f%%  %6d  %6d  %10d\n",
+			r.Policy, r.CacheBlocks, r.Seconds, r.Speedup, r.HitRate*100,
+			r.Stats.Hits, r.Stats.Misses, r.Stats.WriteBacks)
+	}
+	return nil
 }
 
 func runAblateCache(cfg bench.Config) error {

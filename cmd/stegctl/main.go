@@ -51,6 +51,8 @@ func run(args []string) error {
 	vol := global.String("vol", "", "volume image path (required)")
 	bs := global.Int("bs", 1<<10, "block size the volume was formatted with")
 	cache := global.Int("cache", 0, "mount through a block cache of this many blocks (0 = uncached)")
+	cachePolicy := global.String("cache-policy", "", "cache replacement policy: lru|arc|2q (default lru)")
+	writeBehind := global.Int("write-behind", 0, "start early write-back once this many dirty blocks accumulate (0 = only at sync)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -76,7 +78,8 @@ func run(args []string) error {
 	if cmd == "recover" {
 		return cmdRecover(store, cmdArgs)
 	}
-	fs, err := stegfs.Mount(store, stegfs.WithCache(*cache))
+	fs, err := stegfs.Mount(store, stegfs.WithCache(*cache),
+		stegfs.WithCachePolicy(*cachePolicy), stegfs.WithWriteBehind(*writeBehind))
 	if err != nil {
 		return err
 	}

@@ -38,7 +38,8 @@ type Config struct {
 	OpsPerUser  int   // file operations each user performs per data point
 	Seed        int64
 	Geometry    vdisk.Geometry
-	CacheBlocks int // block-cache capacity between FS and disk (0 = uncached)
+	CacheBlocks int    // block-cache capacity between FS and disk (0 = uncached)
+	CachePolicy string // cache replacement policy: "lru" (default), "arc", "2q"
 
 	CoverBytes  int64 // StegCover cover size (>= FileHi; paper: 2 MB)
 	Replication int   // StegRand replication (paper: 4)
@@ -127,8 +128,16 @@ func BuildInstance(scheme string, cfg Config, specs []workload.FileSpec) (*Insta
 	// measurement window end to end.
 	var dev vdisk.Device = disk
 	if cfg.CacheBlocks > 0 {
-		inst.Cache = blockcache.NewWriteThrough(disk, cfg.CacheBlocks)
-		dev = inst.Cache
+		cache, err := blockcache.NewWithOptions(disk, blockcache.Options{
+			Capacity:     cfg.CacheBlocks,
+			Policy:       cfg.CachePolicy,
+			WriteThrough: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst.Cache = cache
+		dev = cache
 	}
 	switch scheme {
 	case "CleanDisk", "FragDisk":

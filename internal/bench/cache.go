@@ -66,7 +66,7 @@ func cachePoint(cfg Config, capacity, files, rounds int) (CacheRow, error) {
 	disk := vdisk.NewDisk(store, cfg.Geometry)
 	p := cfg.Steg
 	p.Seed = cfg.Seed
-	fs, err := stegfs.Format(disk, p, stegfs.WithCache(capacity))
+	fs, err := stegfs.Format(disk, p, stegfs.WithCache(capacity), stegfs.WithCachePolicy(cfg.CachePolicy))
 	if err != nil {
 		return CacheRow{}, err
 	}

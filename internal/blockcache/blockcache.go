@@ -4,20 +4,44 @@
 // The ICDE 2003 StegFS evaluation charges every hidden-file header probe,
 // p-tree hop and stegdb page touch full mechanical disk cost; hot metadata
 // blocks (superblock, bitmap, headers, B-tree interior pages) are re-read on
-// every access. Cache wraps any vdisk.Device with an LRU block cache that
-// absorbs those repeated reads and batches writes: dirty blocks are held in
-// memory and written back in ascending block order, so the flush pass
-// streams over the (simulated or real) platter instead of random-seeking.
+// every access. Cache wraps any vdisk.Device with a block cache that absorbs
+// those repeated reads and batches writes: dirty blocks are held in memory
+// and written back in ascending block order, so the flush pass streams over
+// the (simulated or real) platter instead of random-seeking.
+//
+// # Replacement policies
+//
+// Eviction is delegated to a pluggable Policy. Three are built in:
+//
+//   - "lru" — classic recency stack. Ideal once capacity covers the working
+//     set, but a cyclic scan even one block larger than the cache evicts
+//     every entry just before its reuse, collapsing to a 0% hit rate.
+//   - "arc" — adaptive replacement (Megiddo & Modha). Ghost lists detect
+//     whether recency or frequency deserved the space and re-balance
+//     continuously; repeatedly probed metadata survives data-block scans.
+//   - "2q" — two-queue (Johnson & Shasha). A small FIFO absorbs one-shot
+//     scan blocks; only blocks re-referenced after leaving the FIFO enter
+//     the protected LRU. Cheaper bookkeeping than ARC, no adaptation.
+//
+// Under the StegFS hidden-file workload (long data scans interleaved with
+// hot header/p-tree/directory re-reads) ARC and 2Q retain the hot metadata
+// at capacities far below the total working set, where LRU caches nothing;
+// see the A4 ablation in ROADMAP.md. LRU remains the default.
 //
 // The cache is a write-back cache, so crash consistency is the caller's
 // responsibility: callers must Flush (or Sync) before any point where the
 // on-device image has to be self-consistent. stegfs.FS does this around its
 // superblock/bitmap writes so that data blocks always reach the device
-// before the metadata that references them.
+// before the metadata that references them. Optional write-behind
+// (Options.WriteBehind) bounds how much dirty data those barriers can
+// accumulate without weakening them: the cache cannot tell data from
+// metadata and flushes whatever is dirty, but issuing any deferred write
+// earlier than its barrier is harmless — stegfs's consistency rests solely
+// on the superblock/bitmap being written inside Sync after a full Flush,
+// and that ordering is untouched.
 package blockcache
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,24 +50,28 @@ import (
 )
 
 // Stats counts cache activity. Counters only ever increase; read a snapshot
-// with Cache.Stats.
+// with Cache.Stats. All counters record successful operations only — a
+// failed device read or write leaves every counter untouched, so windowed
+// ablation stats stay honest under injected faults.
 type Stats struct {
-	Hits       int64 // reads served from the cache
-	Misses     int64 // reads that went to the device
-	Evictions  int64 // entries displaced by capacity pressure
-	WriteBacks int64 // dirty blocks written to the device
-	Flushes    int64 // explicit Flush/Sync barriers
+	Hits         int64 // reads served from the cache
+	Misses       int64 // reads that went to the device
+	Evictions    int64 // entries displaced by capacity pressure
+	WriteBacks   int64 // dirty (or pass-through/write-through) blocks written to the device
+	Flushes      int64 // explicit Flush/Sync barriers
+	WriteBehinds int64 // background write-behind runs triggered by the high-water mark
 }
 
 // Sub returns s - o counter-wise. Benchmarks snapshot the counters before a
 // measurement window and subtract to get windowed stats.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Hits:       s.Hits - o.Hits,
-		Misses:     s.Misses - o.Misses,
-		Evictions:  s.Evictions - o.Evictions,
-		WriteBacks: s.WriteBacks - o.WriteBacks,
-		Flushes:    s.Flushes - o.Flushes,
+		Hits:         s.Hits - o.Hits,
+		Misses:       s.Misses - o.Misses,
+		Evictions:    s.Evictions - o.Evictions,
+		WriteBacks:   s.WriteBacks - o.WriteBacks,
+		Flushes:      s.Flushes - o.Flushes,
+		WriteBehinds: s.WriteBehinds - o.WriteBehinds,
 	}
 }
 
@@ -61,13 +89,32 @@ type entry struct {
 	block int64
 	data  []byte
 	dirty bool
-	elem  *list.Element
 }
 
-// Cache is an LRU block cache over a vdisk.Device. It implements
-// vdisk.Device itself, so every layer written against the device interface
-// (plainfs, stegfs, stegdb's pager via hidden files) runs through it
-// unchanged. A Cache with capacity 0 is a transparent pass-through.
+// Options configures a Cache built with NewWithOptions.
+type Options struct {
+	// Capacity is the maximum number of resident blocks. <= 0 disables
+	// caching entirely (all I/O passes straight through).
+	Capacity int
+	// Policy names the replacement policy: "lru" (default), "arc" or "2q".
+	Policy string
+	// WriteThrough makes every write reach the device synchronously; see
+	// NewWriteThrough.
+	WriteThrough bool
+	// WriteBehind is the dirty-block high-water mark. When more than this
+	// many dirty blocks accumulate, the cache immediately writes dirty
+	// blocks back in ascending block order — lowest block numbers first, so
+	// the run streams across the platter — until half the mark remains,
+	// without waiting for the next Flush. 0 disables write-behind. Ignored
+	// in write-through mode (nothing is ever deferred there).
+	WriteBehind int
+}
+
+// Cache is a block cache over a vdisk.Device with a pluggable replacement
+// policy. It implements vdisk.Device itself, so every layer written against
+// the device interface (plainfs, stegfs, stegdb's pager via hidden files)
+// runs through it unchanged. A Cache with capacity 0 is a transparent
+// pass-through.
 //
 // Cache is safe for concurrent use.
 type Cache struct {
@@ -75,34 +122,58 @@ type Cache struct {
 	dev          vdisk.Device
 	cap          int
 	writeThrough bool
+	highWater    int // write-behind high-water mark; 0 = disabled
+	policy       Policy
 	entries      map[int64]*entry
-	lru          *list.List // front = most recently used
+	dirty        int   // resident dirty blocks
+	wbErr        error // sticky deferred write-back failure; surfaced at the next barrier
 	stats        Stats
 }
 
-// New wraps dev in a write-back cache holding up to capacity blocks.
+// New wraps dev in a write-back LRU cache holding up to capacity blocks.
 // capacity <= 0 disables caching entirely (all I/O passes straight through).
 func New(dev vdisk.Device, capacity int) *Cache {
-	if capacity < 0 {
-		capacity = 0
+	c, err := NewWithOptions(dev, Options{Capacity: capacity})
+	if err != nil {
+		panic("blockcache: default options invalid: " + err.Error()) // unreachable
 	}
-	return &Cache{
-		dev:     dev,
-		cap:     capacity,
-		entries: make(map[int64]*entry, capacity),
-		lru:     list.New(),
-	}
+	return c
 }
 
-// NewWriteThrough wraps dev in a write-through cache: reads are cached, but
-// every write goes to the device synchronously, so no data is ever deferred
-// and Flush is a no-op. Timing experiments use this mode so the device clock
-// charges every write inside the measurement window; callers who want
-// batched write-back with explicit barriers use New.
+// NewWriteThrough wraps dev in a write-through LRU cache: reads are cached,
+// but every write goes to the device synchronously, so no data is ever
+// deferred and Flush is a no-op. Timing experiments use this mode so the
+// device clock charges every write inside the measurement window; callers
+// who want batched write-back with explicit barriers use New.
 func NewWriteThrough(dev vdisk.Device, capacity int) *Cache {
-	c := New(dev, capacity)
-	c.writeThrough = true
+	c, err := NewWithOptions(dev, Options{Capacity: capacity, WriteThrough: true})
+	if err != nil {
+		panic("blockcache: default options invalid: " + err.Error()) // unreachable
+	}
 	return c
+}
+
+// NewWithOptions wraps dev in a cache configured by o. It fails only on an
+// unknown policy name.
+func NewWithOptions(dev vdisk.Device, o Options) (*Cache, error) {
+	if o.Capacity < 0 {
+		o.Capacity = 0
+	}
+	pol, err := NewPolicy(o.Policy, o.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if o.WriteBehind < 0 || o.WriteThrough {
+		o.WriteBehind = 0
+	}
+	return &Cache{
+		dev:          dev,
+		cap:          o.Capacity,
+		writeThrough: o.WriteThrough,
+		highWater:    o.WriteBehind,
+		policy:       pol,
+		entries:      make(map[int64]*entry, o.Capacity),
+	}, nil
 }
 
 // Device returns the wrapped device.
@@ -110,6 +181,9 @@ func (c *Cache) Device() vdisk.Device { return c.dev }
 
 // Capacity returns the maximum number of cached blocks.
 func (c *Cache) Capacity() int { return c.cap }
+
+// PolicyName returns the replacement policy in use ("lru", "arc", "2q").
+func (c *Cache) PolicyName() string { return c.policy.Name() }
 
 // NumBlocks returns the number of blocks on the underlying device.
 func (c *Cache) NumBlocks() int64 { return c.dev.NumBlocks() }
@@ -128,13 +202,7 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) Dirty() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, e := range c.entries {
-		if e.dirty {
-			n++
-		}
-	}
-	return n
+	return c.dirty
 }
 
 // ReadBlock reads block n into buf, serving from the cache when possible.
@@ -145,25 +213,29 @@ func (c *Cache) ReadBlock(n int64, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap == 0 {
+		if err := c.dev.ReadBlock(n, buf); err != nil {
+			return err
+		}
 		c.stats.Misses++
-		return c.dev.ReadBlock(n, buf)
+		return nil
 	}
 	if e, ok := c.entries[n]; ok {
 		c.stats.Hits++
-		c.lru.MoveToFront(e.elem)
+		c.policy.Touch(n)
 		copy(buf, e.data)
 		return nil
 	}
-	c.stats.Misses++
 	if err := c.dev.ReadBlock(n, buf); err != nil {
 		return err
 	}
+	c.stats.Misses++
 	c.insertLocked(n, buf, false)
 	return nil
 }
 
 // WriteBlock stores buf for block n in the cache, deferring the device write
-// until eviction or the next Flush.
+// until eviction, write-behind or the next Flush (pass-through and
+// write-through modes write to the device immediately instead).
 func (c *Cache) WriteBlock(n int64, buf []byte) error {
 	if len(buf) != c.dev.BlockSize() {
 		return fmt.Errorf("%w: %d != %d", vdisk.ErrBadBuffer, len(buf), c.dev.BlockSize())
@@ -174,7 +246,11 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap == 0 {
-		return c.dev.WriteBlock(n, buf)
+		if err := c.dev.WriteBlock(n, buf); err != nil {
+			return err
+		}
+		c.stats.WriteBacks++
+		return nil
 	}
 	if c.writeThrough {
 		if err := c.dev.WriteBlock(n, buf); err != nil {
@@ -184,20 +260,29 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 	}
 	if e, ok := c.entries[n]; ok {
 		copy(e.data, buf)
-		e.dirty = !c.writeThrough
-		c.lru.MoveToFront(e.elem)
-		return nil
+		if !c.writeThrough && !e.dirty {
+			e.dirty = true
+			c.dirty++
+		}
+		c.policy.Touch(n)
+	} else {
+		c.insertLocked(n, buf, !c.writeThrough)
 	}
-	c.insertLocked(n, buf, !c.writeThrough)
+	if c.highWater > 0 && c.dirty > c.highWater {
+		c.writeBehindLocked()
+	}
 	return nil
 }
 
 // insertLocked adds a new entry for block n (caller holds c.mu) and evicts
-// the least recently used entry if the cache is over capacity.
+// policy-chosen victims while the cache is over capacity.
 func (c *Cache) insertLocked(n int64, buf []byte, dirty bool) {
 	e := &entry{block: n, data: append(make([]byte, 0, len(buf)), buf...), dirty: dirty}
-	e.elem = c.lru.PushFront(e)
 	c.entries[n] = e
+	if dirty {
+		c.dirty++
+	}
+	c.policy.Insert(n)
 	for len(c.entries) > c.cap {
 		if !c.evictLocked() {
 			break // over capacity until the device recovers
@@ -205,59 +290,121 @@ func (c *Cache) insertLocked(n int64, buf []byte, dirty bool) {
 	}
 }
 
-// evictLocked removes the LRU entry, writing it back first when dirty. On a
-// write-back error the entry stays resident so the data is not lost (the
-// error surfaces on the next Flush) and false is returned.
+// evictLocked removes the policy's victim, writing it back first when dirty.
+// A write-back failure records a sticky error (surfaced by the next
+// Flush/Sync/Close), keeps the victim resident so the data is not lost, and
+// returns false.
 func (c *Cache) evictLocked() bool {
-	back := c.lru.Back()
-	if back == nil {
+	n, ok := c.policy.Victim()
+	if !ok {
 		return false
 	}
-	victim := back.Value.(*entry)
+	victim, ok := c.entries[n]
+	if !ok {
+		// Policy/resident-set desync would be an internal bug; drop the
+		// stale policy entry and report progress so the loop retries.
+		c.policy.Remove(n)
+		return true
+	}
 	if victim.dirty {
-		if err := c.dev.WriteBlock(victim.block, victim.data); err != nil {
-			c.lru.MoveToFront(back)
+		if err := c.dev.WriteBlock(n, victim.data); err != nil {
+			if c.wbErr == nil {
+				c.wbErr = fmt.Errorf("blockcache: eviction write-back block %d: %w", n, err)
+			}
+			c.policy.Touch(n)
 			return false
 		}
 		c.stats.WriteBacks++
 		victim.dirty = false
+		c.dirty--
 	}
-	c.lru.Remove(back)
-	delete(c.entries, victim.block)
+	c.policy.Remove(n)
+	delete(c.entries, n)
 	c.stats.Evictions++
 	return true
 }
 
-// Flush writes every dirty block to the device in ascending block order, so
-// the write-back pass streams sequentially instead of random-seeking. Cached
-// data stays resident (clean) for future reads.
-func (c *Cache) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.flushLocked()
-}
-
-func (c *Cache) flushLocked() error {
-	c.stats.Flushes++
-	var dirty []*entry
+// dirtyAscendingLocked returns the dirty entries sorted by block number.
+func (c *Cache) dirtyAscendingLocked() []*entry {
+	dirty := make([]*entry, 0, c.dirty)
 	for _, e := range c.entries {
 		if e.dirty {
 			dirty = append(dirty, e)
 		}
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].block < dirty[j].block })
-	for _, e := range dirty {
+	return dirty
+}
+
+// writeBehindLocked issues deferred writes early: dirty blocks are written
+// back in ascending block order (lowest block numbers first, regardless of
+// when they were dirtied) until only half the high-water mark remains
+// dirty. Blocks stay resident (clean), so reads keep hitting; only
+// the deferred device writes are issued. Errors become the sticky write-back
+// error surfaced at the next barrier — the data itself stays dirty and
+// resident, so nothing is lost.
+func (c *Cache) writeBehindLocked() {
+	c.stats.WriteBehinds++
+	low := c.highWater / 2
+	for _, e := range c.dirtyAscendingLocked() {
+		if c.dirty <= low {
+			return
+		}
+		if err := c.dev.WriteBlock(e.block, e.data); err != nil {
+			if c.wbErr == nil {
+				c.wbErr = fmt.Errorf("blockcache: write-behind block %d: %w", e.block, err)
+			}
+			return
+		}
+		c.stats.WriteBacks++
+		e.dirty = false
+		c.dirty--
+	}
+}
+
+// Flush writes every dirty block to the device in ascending block order, so
+// the write-back pass streams sequentially instead of random-seeking. Cached
+// data stays resident (clean) for future reads. If an earlier eviction or
+// write-behind write-back failed, that sticky error is returned here (once)
+// even when the retry succeeds, so barrier callers learn a deferred write
+// ever failed.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	return c.takeStickyLocked()
+}
+
+func (c *Cache) flushLocked() error {
+	c.stats.Flushes++
+	for _, e := range c.dirtyAscendingLocked() {
 		if err := c.dev.WriteBlock(e.block, e.data); err != nil {
 			return fmt.Errorf("blockcache: write-back block %d: %w", e.block, err)
 		}
 		e.dirty = false
+		c.dirty--
 		c.stats.WriteBacks++
 	}
 	return nil
 }
 
+// takeStickyLocked returns the recorded deferred write-back failure (if any)
+// and clears it, so each incident is reported exactly once. Barrier methods
+// call this only after completing their real work — a successful flush must
+// still sync the device / drop entries before the historical error is
+// surfaced.
+func (c *Cache) takeStickyLocked() error {
+	err := c.wbErr
+	c.wbErr = nil
+	return err
+}
+
 // Sync flushes all dirty blocks and then syncs the underlying device if it
-// supports it (e.g. vdisk.FileStore).
+// supports it (e.g. vdisk.FileStore). A sticky write-back error is reported
+// only after the device sync completed, so the durable state is as good as
+// it can be even on the error path.
 func (c *Cache) Sync() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -265,13 +412,16 @@ func (c *Cache) Sync() error {
 		return err
 	}
 	if s, ok := c.dev.(interface{ Sync() error }); ok {
-		return s.Sync()
+		if err := s.Sync(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return c.takeStickyLocked()
 }
 
-// Invalidate drops every cached block. Dirty data is flushed first; the
-// error from that flush is returned. Tests use this to force cold reads.
+// Invalidate drops every cached block and all policy state (resident and
+// ghost). Dirty data is flushed first; the error from that flush is
+// returned. Tests use this to force cold reads.
 func (c *Cache) Invalidate() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -279,8 +429,9 @@ func (c *Cache) Invalidate() error {
 		return err
 	}
 	c.entries = make(map[int64]*entry, c.cap)
-	c.lru.Init()
-	return nil
+	c.dirty = 0
+	c.policy.Reset()
+	return c.takeStickyLocked()
 }
 
 // Close flushes dirty blocks and closes the underlying device if it is
@@ -289,6 +440,9 @@ func (c *Cache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	flushErr := c.flushLocked()
+	if flushErr == nil {
+		flushErr = c.takeStickyLocked()
+	}
 	if cl, ok := c.dev.(interface{ Close() error }); ok {
 		if err := cl.Close(); err != nil && flushErr == nil {
 			flushErr = err
@@ -301,8 +455,8 @@ func (c *Cache) Close() error {
 func (c *Cache) String() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return fmt.Sprintf("blockcache.Cache{cap=%d resident=%d hits=%d misses=%d}",
-		c.cap, len(c.entries), c.stats.Hits, c.stats.Misses)
+	return fmt.Sprintf("blockcache.Cache{cap=%d policy=%s resident=%d hits=%d misses=%d}",
+		c.cap, c.policy.Name(), len(c.entries), c.stats.Hits, c.stats.Misses)
 }
 
 var _ vdisk.Device = (*Cache)(nil)

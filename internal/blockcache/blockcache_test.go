@@ -164,7 +164,10 @@ func TestAccounting(t *testing.T) {
 					t.Fatalf("pass-through writes = %v, want [3]", got)
 				}
 			},
-			want: Stats{Misses: 3},
+			// Pass-through counters mirror the cached modes: every read is a
+			// miss, every write a write-back — not the old asymmetric
+			// miss-only accounting.
+			want: Stats{Misses: 3, WriteBacks: 1},
 		},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,139 @@
+package blockcache
+
+import "container/list"
+
+// twoQPolicy implements the simplified 2Q algorithm (Johnson & Shasha,
+// "2Q: A Low Overhead High Performance Buffer Management Replacement
+// Algorithm", VLDB 1994). New blocks enter the A1in FIFO; only blocks
+// whose number resurfaces in the A1out ghost queue — i.e. blocks re-read
+// after leaving the FIFO — are admitted to the long-term Am LRU. One-shot
+// scan blocks therefore flow through A1in and never displace Am, which is
+// where the workload's hot header/p-tree/directory blocks settle.
+//
+// Tuning follows the paper's recommendation: Kin (FIFO share) is a quarter
+// of the capacity; Kout (ghost length) is sized at twice the capacity so a
+// hot block's ghost survives one full scan between touches.
+type twoQPolicy struct {
+	kin  int // max A1in residents before the FIFO is preferred for eviction
+	kout int // max A1out ghost entries
+
+	a1in  *list.List // resident FIFO; front = newest
+	am    *list.List // resident LRU; front = MRU
+	a1out *list.List // ghost FIFO of block numbers; front = newest
+	where map[int64]*twoQEntry
+}
+
+// 2Q list tags for twoQEntry.list.
+const (
+	twoQA1in = iota
+	twoQAm
+	twoQA1out
+)
+
+type twoQEntry struct {
+	elem *list.Element
+	list int
+}
+
+func newTwoQPolicy(capacity int) *twoQPolicy {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &twoQPolicy{
+		kin:   max(1, capacity/4),
+		kout:  max(1, 2*capacity),
+		a1in:  list.New(),
+		am:    list.New(),
+		a1out: list.New(),
+		where: make(map[int64]*twoQEntry),
+	}
+}
+
+func (p *twoQPolicy) Name() string { return Policy2Q }
+
+// Touch refreshes an Am hit. An A1in hit re-fronts the block within A1in
+// but never promotes it: correlated re-references inside one pass must not
+// count as long-term reuse (that is the algorithm's scan filter). The
+// re-front is a deliberate deviation from the paper's pure FIFO — the
+// Policy contract requires Touch(victim) after a failed write-back to
+// de-prioritize the victim so eviction can make progress on other blocks.
+func (p *twoQPolicy) Touch(n int64) {
+	e, ok := p.where[n]
+	if !ok {
+		return
+	}
+	switch e.list {
+	case twoQAm:
+		p.am.MoveToFront(e.elem)
+	case twoQA1in:
+		p.a1in.MoveToFront(e.elem)
+	}
+}
+
+// Insert admits a block: ghosts of recently evicted FIFO blocks go to Am
+// (their re-reference proves reuse beyond a single pass), everything else
+// starts in A1in.
+func (p *twoQPolicy) Insert(n int64) {
+	if e, ok := p.where[n]; ok {
+		switch e.list {
+		case twoQA1in, twoQAm:
+			p.Touch(n) // defensive; the cache never double-inserts
+		case twoQA1out:
+			p.a1out.Remove(e.elem)
+			e.elem = p.am.PushFront(n)
+			e.list = twoQAm
+		}
+		return
+	}
+	p.where[n] = &twoQEntry{elem: p.a1in.PushFront(n), list: twoQA1in}
+}
+
+// Victim prefers draining the FIFO once it exceeds its share, so scans
+// evict their own blocks instead of Am's.
+func (p *twoQPolicy) Victim() (int64, bool) {
+	if p.a1in.Len() > p.kin || p.am.Len() == 0 {
+		if back := p.a1in.Back(); back != nil {
+			return back.Value.(int64), true
+		}
+	}
+	if back := p.am.Back(); back != nil {
+		return back.Value.(int64), true
+	}
+	return 0, false
+}
+
+// Remove retires an evicted block: FIFO evictions leave a ghost in A1out,
+// Am evictions are forgotten entirely.
+func (p *twoQPolicy) Remove(n int64) {
+	e, ok := p.where[n]
+	if !ok {
+		return
+	}
+	switch e.list {
+	case twoQA1in:
+		p.a1in.Remove(e.elem)
+		e.elem = p.a1out.PushFront(n)
+		e.list = twoQA1out
+		for p.a1out.Len() > p.kout {
+			back := p.a1out.Back()
+			old := back.Value.(int64)
+			p.a1out.Remove(back)
+			delete(p.where, old)
+		}
+	case twoQAm:
+		p.am.Remove(e.elem)
+		delete(p.where, n)
+	case twoQA1out:
+		p.a1out.Remove(e.elem)
+		delete(p.where, n)
+	}
+}
+
+func (p *twoQPolicy) Reset() {
+	p.a1in.Init()
+	p.am.Init()
+	p.a1out.Init()
+	p.where = make(map[int64]*twoQEntry)
+}
+
+var _ Policy = (*twoQPolicy)(nil)

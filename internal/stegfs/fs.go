@@ -34,6 +34,8 @@ type Option func(*mountConfig)
 
 type mountConfig struct {
 	cacheBlocks int
+	cachePolicy string
+	writeBehind int
 }
 
 // WithCache mounts the volume through a blockcache of the given capacity (in
@@ -45,17 +47,52 @@ func WithCache(blocks int) Option {
 	return func(c *mountConfig) { c.cacheBlocks = blocks }
 }
 
+// WithCachePolicy selects the cache replacement policy ("lru", "arc", "2q";
+// see blockcache.PolicyNames). It composes with WithCache, which sets the
+// capacity; without WithCache it has no effect. Scan-resistant policies
+// (ARC, 2Q) keep the repeatedly probed header/p-tree/directory blocks
+// resident even when hidden-file data scans exceed the cache capacity.
+func WithCachePolicy(name string) Option {
+	return func(c *mountConfig) { c.cachePolicy = name }
+}
+
+// WithWriteBehind bounds deferred dirty data: once more than highWater dirty
+// blocks accumulate in the cache, dirty blocks are written back in
+// ascending block order without waiting for the next Sync. The
+// data-before-metadata barrier in FS.Sync is unaffected: write-behind may
+// flush any dirty block early (headers and p-tree blocks included — the
+// cache cannot tell them apart), but the on-device image's consistency
+// rests on the superblock/bitmap being written only inside Sync after a
+// full flush, and that ordering is untouched. Composes with WithCache;
+// 0 disables.
+func WithWriteBehind(highWater int) Option {
+	return func(c *mountConfig) { c.writeBehind = highWater }
+}
+
 // applyOptions resolves opts and wraps dev in a cache when requested.
-func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Cache) {
+func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Cache, error) {
 	var cfg mountConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.cacheBlocks > 0 {
-		c := blockcache.New(dev, cfg.cacheBlocks)
-		return c, c
+		c, err := blockcache.NewWithOptions(dev, blockcache.Options{
+			Capacity:    cfg.cacheBlocks,
+			Policy:      cfg.cachePolicy,
+			WriteBehind: cfg.writeBehind,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, c, nil
 	}
-	return dev, nil
+	if cfg.cachePolicy != "" {
+		// Catch a policy name typo even when the capacity is 0 (uncached).
+		if _, err := blockcache.NewPolicy(cfg.cachePolicy, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dev, nil, nil
 }
 
 // layoutFor computes region boundaries for a volume on dev.
@@ -76,7 +113,10 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	dev, cache := applyOptions(dev, opts)
+	dev, cache, err := applyOptions(dev, opts)
+	if err != nil {
+		return nil, err
+	}
 	bmStart, bmLen, inoStart, inoLen, dataStart := layoutFor(dev, params.MaxPlainFiles)
 	n := dev.NumBlocks()
 	if dataStart+16 >= n {
@@ -170,7 +210,6 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 	}
 
 	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: rng}
-	var err error
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: params.MaxPlainFiles,
@@ -204,7 +243,10 @@ func writeRandomBlock(dev vdisk.Device, b int64) error {
 
 // Mount opens an already-formatted StegFS volume.
 func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
-	dev, cache := applyOptions(dev, opts)
+	dev, cache, err := applyOptions(dev, opts)
+	if err != nil {
+		return nil, err
+	}
 	buf := make([]byte, dev.BlockSize())
 	if err := dev.ReadBlock(0, buf); err != nil {
 		return nil, err

@@ -1,0 +1,112 @@
+package stegfs
+
+import (
+	"errors"
+	"testing"
+
+	"stegfs/internal/fsapi"
+)
+
+// TestPoolTakeEmptyPoolFallsBackToVolume: with FreeMax=0 the internal pool
+// is always empty, so poolTake must allocate directly from the volume bitmap
+// and leave the pool empty.
+func TestPoolTakeEmptyPoolFallsBackToVolume(t *testing.T) {
+	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.FreeMin = 0; p.FreeMax = 0 })
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(512, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hdr.free) != 0 {
+		t.Fatalf("FreeMax=0 volume seeded a pool of %d blocks", len(r.hdr.free))
+	}
+	b, err := fs.poolTake(r)
+	if err != nil {
+		t.Fatalf("poolTake with empty pool: %v", err)
+	}
+	if !fs.bm.Test(b) {
+		t.Fatalf("block %d from empty-pool take not marked used in bitmap", b)
+	}
+	if len(r.hdr.free) != 0 {
+		t.Fatalf("empty-pool take grew the pool to %d", len(r.hdr.free))
+	}
+}
+
+// TestPoolTopUpClampedToHeaderCapacity: a FreeMax larger than the header
+// block can persist must clamp at freeCapacity, or flushHeader would fail on
+// every header write.
+func TestPoolTopUpClampedToHeaderCapacity(t *testing.T) {
+	const bs = 512
+	capHdr := freeCapacity(bs)
+	fs, _ := newTestFS(t, 8192, bs, func(p *Params) { p.FreeMax = capHdr * 4 })
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(bs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.poolTopUp(r)
+	if len(r.hdr.free) > capHdr {
+		t.Fatalf("pool %d exceeds header capacity %d", len(r.hdr.free), capHdr)
+	}
+	if len(r.hdr.free) != capHdr {
+		t.Fatalf("pool %d, want clamp exactly at header capacity %d", len(r.hdr.free), capHdr)
+	}
+	// The clamped pool must still round-trip through the header encoder.
+	if err := fs.flushHeader(r); err != nil {
+		t.Fatalf("header with clamped pool failed to flush: %v", err)
+	}
+}
+
+// TestPoolGiveBeyondClampReturnsToVolume: once the pool sits at the header
+// clamp, poolGive must release blocks back to the volume bitmap instead of
+// overflowing the header.
+func TestPoolGiveBeyondClampReturnsToVolume(t *testing.T) {
+	const bs = 512
+	capHdr := freeCapacity(bs)
+	fs, _ := newTestFS(t, 8192, bs, func(p *Params) { p.FreeMax = capHdr * 4 })
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.poolTopUp(r)
+	if len(r.hdr.free) != capHdr {
+		t.Fatalf("pool %d after top-up, want %d", len(r.hdr.free), capHdr)
+	}
+	b, err := fs.bm.AllocRandomFree(fs.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.poolGive(r, b)
+	if len(r.hdr.free) != capHdr {
+		t.Fatalf("poolGive overflowed the clamped pool to %d", len(r.hdr.free))
+	}
+	if fs.bm.Test(b) {
+		t.Fatalf("block %d given to a full pool was not freed back to the volume", b)
+	}
+}
+
+// TestPoolTakeFullVolumeReportsNoSpace: when the pool is empty and the
+// volume has no free blocks left, poolTake surfaces ErrNoSpace instead of
+// looping or panicking.
+func TestPoolTakeFullVolumeReportsNoSpace(t *testing.T) {
+	fs, _ := newTestFS(t, 2048, 512, func(p *Params) { p.FreeMin = 0; p.FreeMax = 0 })
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(512, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the volume.
+	for {
+		if _, err := fs.bm.AllocRandomFree(fs.rng); err != nil {
+			break
+		}
+	}
+	if _, err := fs.poolTake(r); !errors.Is(err, fsapi.ErrNoSpace) {
+		t.Fatalf("poolTake on full volume = %v, want ErrNoSpace", err)
+	}
+}

@@ -192,8 +192,14 @@ func (d *Disk) ResetClock() {
 	d.stats = Stats{}
 }
 
-// ReadBlock reads block n, charging simulated service time.
+// ReadBlock reads block n, charging simulated service time. The store is
+// consulted first: a rejected request (out of range, bad buffer, closed
+// store) returns its error without touching the clock, the head position or
+// the statistics, so failed I/O can never skew an experiment window.
 func (d *Disk) ReadBlock(n int64, buf []byte) error {
+	if err := d.store.ReadBlock(n, buf); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	cost := d.chargeLocked(n, true)
 	d.stats.Reads++
@@ -201,11 +207,16 @@ func (d *Disk) ReadBlock(n int64, buf []byte) error {
 	d.clock += cost
 	d.stats.Busy += cost
 	d.mu.Unlock()
-	return d.store.ReadBlock(n, buf)
+	return nil
 }
 
-// WriteBlock writes block n, charging simulated service time.
+// WriteBlock writes block n, charging simulated service time. As with
+// ReadBlock, a store error short-circuits before any simulator state is
+// mutated.
 func (d *Disk) WriteBlock(n int64, buf []byte) error {
+	if err := d.store.WriteBlock(n, buf); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	cost := d.chargeLocked(n, false)
 	d.stats.Writes++
@@ -213,17 +224,19 @@ func (d *Disk) WriteBlock(n int64, buf []byte) error {
 	d.clock += cost
 	d.stats.Busy += cost
 	d.mu.Unlock()
-	return d.store.WriteBlock(n, buf)
+	return nil
 }
 
 // CostOf returns the simulated service time a request for block n would be
-// charged right now, without performing it. Used by tests.
+// charged right now, without performing it. Used by tests. The full
+// simulator state is restored, including the SeqHits/Seeks counters that
+// chargeLocked updates — an earlier version leaked those into Stats.
 func (d *Disk) CostOf(n int64, read bool) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	saveHead, saveRA := d.headPos, d.raEnd
+	saveHead, saveRA, saveStats := d.headPos, d.raEnd, d.stats
 	cost := d.chargeLocked(n, read)
-	d.headPos, d.raEnd = saveHead, saveRA
+	d.headPos, d.raEnd, d.stats = saveHead, saveRA, saveStats
 	return cost
 }
 

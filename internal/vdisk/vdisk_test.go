@@ -269,6 +269,50 @@ func TestDiskStatsAccounting(t *testing.T) {
 	}
 }
 
+// TestFailedIODoesNotMutateSimulator is the regression test for the timing
+// bug where Disk charged the clock, advanced the head and bumped Stats
+// before delegating to the store: a rejected request (out of range, bad
+// buffer, closed store) must leave the simulator exactly as it was, or
+// every experiment that trips an error reports a polluted Elapsed().
+func TestFailedIODoesNotMutateSimulator(t *testing.T) {
+	disk, store := newTestDisk(t, 64, 512)
+	buf := make([]byte, 512)
+	// Establish a head position so a failed request could visibly move it.
+	if err := disk.ReadBlock(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed, stats := disk.Elapsed(), disk.Stats()
+	costNext := disk.CostOf(11, true)
+
+	fail := func(desc string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: expected error", desc)
+		}
+		if got := disk.Elapsed(); got != elapsed {
+			t.Fatalf("%s charged the clock: %v -> %v", desc, elapsed, got)
+		}
+		if got := disk.Stats(); got != stats {
+			t.Fatalf("%s mutated stats: %+v -> %+v", desc, stats, got)
+		}
+		if got := disk.CostOf(11, true); got != costNext {
+			t.Fatalf("%s moved the head: next-block cost %v -> %v", desc, costNext, got)
+		}
+	}
+
+	fail("out-of-range read", disk.ReadBlock(64, buf))
+	fail("negative write", disk.WriteBlock(-1, buf))
+	fail("short-buffer read", disk.ReadBlock(0, buf[:100]))
+	fail("short-buffer write", disk.WriteBlock(0, buf[:100]))
+
+	// A closed store rejects everything; the simulator stays untouched.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fail("read after close", disk.ReadBlock(0, buf))
+	fail("write after close", disk.WriteBlock(0, buf))
+}
+
 // TestPropertyStoreReadsWhatWasWritten is a property test: for arbitrary
 // block/content sequences, the last write to each block is what a read
 // returns.
