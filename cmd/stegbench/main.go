@@ -9,7 +9,8 @@
 //	stegbench -exp space -volume 1073741824 -bs 1024
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
-// ablate-pool, ablate-dummy, ablate-cache, ablate-policy, all.
+// ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
+// ablate-concurrency, all.
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ida|all")
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ida|all")
 		scale  = flag.String("scale", "small", "workload scale: paper|small")
 		volume = flag.Int64("volume", 0, "override volume size in bytes")
 		bs     = flag.Int("bs", 0, "override block size in bytes")
@@ -81,6 +82,7 @@ func main() {
 	run("ablate-dummy", runAblateDummy)
 	run("ablate-cache", runAblateCache)
 	run("ablate-policy", runAblatePolicy)
+	run("ablate-concurrency", runAblateConcurrency)
 	run("ida", runIDA)
 }
 
@@ -95,6 +97,21 @@ func runAblatePolicy(cfg bench.Config) error {
 		fmt.Printf("  %-8s  %12d  %8.4f  %7.2fx  %7.1f%%  %6d  %6d  %10d\n",
 			r.Policy, r.CacheBlocks, r.Seconds, r.Speedup, r.HitRate*100,
 			r.Stats.Hits, r.Stats.Misses, r.Stats.WriteBacks)
+	}
+	return nil
+}
+
+func runAblateConcurrency(cfg bench.Config) error {
+	rows, err := bench.ConcurrencySweep(cfg, nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A5 — parallel read path (goroutines over one shared cached volume,")
+	fmt.Println("latency-emulated disk; wall-clock is real time, disk-sec the simulated clock):")
+	fmt.Println("  goroutines  wall-sec     ops/s   speedup  disk-sec  hit-rate")
+	for _, r := range rows {
+		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
+			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
 	}
 	return nil
 }

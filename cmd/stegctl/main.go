@@ -15,7 +15,7 @@
 //	steg-hide    -uid U -uak K -path P -name N             steg_hide
 //	steg-unhide  -uid U -uak K -path P -name N             steg_unhide
 //	steg-ls      -uid U -uak K                             list a UAK directory
-//	steg-cat     -uid U -uak K -name N [-out FILE]         connect + read
+//	steg-cat     -uid U -uak K -name N[,N...] [-out FILE]   connect + read (parallel)
 //	steg-write   -uid U -uak K -name N -in FILE            connect + write
 //	steg-rm      -uid U -uak K -name N                     delete hidden object
 //	keygen       -priv F -pub F                            recipient key pair
@@ -33,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 
 	"stegfs/internal/sgcrypto"
 	"stegfs/internal/stegfs"
@@ -256,22 +258,47 @@ func cmdStegLs(fs *stegfs.FS, args []string) error {
 func cmdStegCat(fs *stegfs.FS, args []string) error {
 	fl := flag.NewFlagSet("steg-cat", flag.ExitOnError)
 	uid, uak := userFlags(fl)
-	name := fl.String("name", "", "hidden object name")
-	out := fl.String("out", "", "output file (default stdout)")
+	name := fl.String("name", "", "hidden object name(s), comma-separated; multiple names are read in parallel")
+	out := fl.String("out", "", "output file (default stdout; with multiple names, a -<name> suffix is appended)")
 	fl.Parse(args)
 	s, err := session(fs, *uid)
 	if err != nil {
 		return err
 	}
-	if err := s.Connect(*name, []byte(*uak)); err != nil {
-		return err
+	names := strings.Split(*name, ",")
+	for _, n := range names {
+		if err := s.Connect(n, []byte(*uak)); err != nil {
+			return err
+		}
 	}
 	defer s.Logoff()
-	data, err := s.ReadHidden(*name)
-	if err != nil {
-		return err
+	// Reads of distinct hidden objects hold only per-object shared locks, so
+	// a multi-name cat overlaps its device waits; outputs are emitted in the
+	// order the names were given.
+	datas := make([][]byte, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			datas[i], errs[i] = s.ReadHidden(n)
+		}(i, n)
 	}
-	return writeOut(*out, data)
+	wg.Wait()
+	for i, n := range names {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", n, errs[i])
+		}
+		dst := *out
+		if dst != "" && len(names) > 1 {
+			dst = dst + "-" + strings.ReplaceAll(n, "/", "_")
+		}
+		if err := writeOut(dst, datas[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cmdStegWrite(fs *stegfs.FS, args []string) error {

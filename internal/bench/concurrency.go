@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+	"stegfs/internal/workload"
+)
+
+// ConcurrencyRow is one level of the parallel-read-path ablation (A5): the
+// same mixed-read workload fanned across Goroutines workers on one shared
+// StegFS instance.
+type ConcurrencyRow struct {
+	Goroutines  int
+	WallSeconds float64 // wall-clock time for the whole op set
+	OpsPerSec   float64 // totalOps / WallSeconds
+	Speedup     float64 // OpsPerSec relative to the first (1-goroutine) row
+	DiskSeconds float64 // simulated-disk time consumed inside the window
+	HitRate     float64 // cache hit rate inside the window
+}
+
+// Defaults for the sweep's shared instance. The hot set (plus headers and
+// pointer blocks) fits the cache; the cold set cycles far beyond it, so
+// every cold read pays emulated device latency. With the default 256 ops the
+// 64 cold reads touch the 64 cold files exactly once each, so the window's
+// miss set — and with it the simulated-disk cost — is identical at every
+// concurrency level no matter how the goroutines interleave.
+const (
+	concCacheBlocks = 2048
+	concHotFiles    = 12
+	concHotBlocks   = 32
+	concColdFiles   = 64
+	concColdBlocks  = 64
+	concPlainFiles  = 6
+	concFillFiles   = 8 // warm-up scan set; never read inside the window
+	concFillBlocks  = 64
+)
+
+// ConcurrencySweep runs ablation A5: goroutines x {1,2,4,8,16} over one
+// shared cached StegFS volume, reproducing the multi-user regime of Figure 7
+// with real parallelism instead of interleaved turns. The disk runs in
+// latency-emulation mode (vdisk.Disk.EmulateLatency), so every cache miss
+// actually waits its simulated service time; wall-clock throughput then
+// measures how much of that device latency the FS software stack can keep in
+// flight. Under the old whole-FS mutex the sleeps serialized no matter how
+// many users piled on; with per-object locks, a shared allocation RWMutex
+// and non-blocking cache miss fetches, readers of distinct objects overlap
+// their waits and throughput scales until the op mix's CPU share saturates.
+//
+// The op mix is deterministic and identical at every level (only the
+// partition across goroutines changes): per 8 ops, 5 hot hidden reads
+// (cache hits), 2 cold hidden reads (emulated device latency) and 1 plain
+// file read. Before each level the cache is reset and re-warmed to the same
+// steady state, so the simulated-disk cost of the window stays comparable
+// across levels — concurrency must buy wall-clock time, not charge the
+// simulated disk differently.
+func ConcurrencySweep(cfg Config, levels []int, totalOps int, emuScale float64) ([]ConcurrencyRow, error) {
+	if levels == nil {
+		levels = []int{1, 2, 4, 8, 16}
+	}
+	if totalOps <= 0 {
+		totalOps = 256
+	}
+	if emuScale <= 0 {
+		emuScale = 0.5
+	}
+	store, err := vdisk.NewMemStore(cfg.NumBlocks(), cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	disk := vdisk.NewDisk(store, cfg.Geometry)
+	p := cfg.Steg
+	p.Seed = cfg.Seed
+	policy := cfg.CachePolicy
+	if policy == "" {
+		policy = "2q" // scan-resistant: the cold cycle must not evict the hot set
+	}
+	fs, err := stegfs.Format(disk, p, stegfs.WithCache(concCacheBlocks), stegfs.WithCachePolicy(policy))
+	if err != nil {
+		return nil, err
+	}
+	view := fs.NewHiddenView("conc")
+
+	bs := int64(cfg.BlockSize)
+	mkFiles := func(prefix string, count int, blocks int64) ([]workload.FileSpec, [][]byte, error) {
+		specs := make([]workload.FileSpec, count)
+		payloads := make([][]byte, count)
+		for i := range specs {
+			specs[i] = workload.FileSpec{Name: fmt.Sprintf("%s%02d", prefix, i), Size: blocks * bs}
+			payloads[i] = workload.Payload(specs[i], cfg.Seed)
+			if err := view.Create(specs[i].Name, payloads[i]); err != nil {
+				return nil, nil, fmt.Errorf("populate %s: %w", specs[i].Name, err)
+			}
+		}
+		return specs, payloads, nil
+	}
+	hotSpecs, hotData, err := mkFiles("hot", concHotFiles, concHotBlocks)
+	if err != nil {
+		return nil, err
+	}
+	coldSpecs, coldData, err := mkFiles("cold", concColdFiles, concColdBlocks)
+	if err != nil {
+		return nil, err
+	}
+	fillSpecs, _, err := mkFiles("fill", concFillFiles, concFillBlocks)
+	if err != nil {
+		return nil, err
+	}
+	plainNames := make([]string, concPlainFiles)
+	plainData := make([][]byte, concPlainFiles)
+	for i := range plainNames {
+		plainNames[i] = fmt.Sprintf("plain%02d", i)
+		plainData[i] = workload.Payload(workload.FileSpec{Name: plainNames[i], Size: 8 * bs}, cfg.Seed+3)
+		if err := fs.Create(plainNames[i], plainData[i]); err != nil {
+			return nil, fmt.Errorf("populate %s: %w", plainNames[i], err)
+		}
+	}
+	if err := view.Sync(); err != nil {
+		return nil, err
+	}
+
+	// One op of the deterministic mix; the index fixes the op, the level
+	// only decides which goroutine runs it.
+	doOp := func(i int) error {
+		switch {
+		case i%8 == 5:
+			j := (i / 8) % len(plainNames)
+			got, err := fs.Read(plainNames[j])
+			if err != nil {
+				return fmt.Errorf("op %d plain %s: %w", i, plainNames[j], err)
+			}
+			if !bytes.Equal(got, plainData[j]) {
+				return fmt.Errorf("op %d: plain %s corrupted", i, plainNames[j])
+			}
+		case i%4 == 3:
+			j := (i / 4) % len(coldSpecs)
+			got, err := view.Read(coldSpecs[j].Name)
+			if err != nil {
+				return fmt.Errorf("op %d cold %s: %w", i, coldSpecs[j].Name, err)
+			}
+			if !bytes.Equal(got, coldData[j]) {
+				return fmt.Errorf("op %d: cold %s corrupted", i, coldSpecs[j].Name)
+			}
+		default:
+			j := i % len(hotSpecs)
+			got, err := view.Read(hotSpecs[j].Name)
+			if err != nil {
+				return fmt.Errorf("op %d hot %s: %w", i, hotSpecs[j].Name, err)
+			}
+			if !bytes.Equal(got, hotData[j]) {
+				return fmt.Errorf("op %d: hot %s corrupted", i, hotSpecs[j].Name)
+			}
+		}
+		return nil
+	}
+
+	// warm re-establishes the canonical cache state: hot pass, a filler scan
+	// (pushes the hot set out of 2Q's probation FIFO — deliberately NOT the
+	// cold set, or whichever cold blocks survived in the FIFO would hand
+	// position-dependent free hits to some window schedules), hot pass (the
+	// re-reference promotes the hot set into the protected region), plain
+	// pass.
+	warm := func() error {
+		pass := func(specs []workload.FileSpec) error {
+			for _, s := range specs {
+				if _, err := view.Read(s.Name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := pass(hotSpecs); err != nil {
+			return err
+		}
+		if err := pass(fillSpecs); err != nil {
+			return err
+		}
+		if err := pass(hotSpecs); err != nil {
+			return err
+		}
+		for _, n := range plainNames {
+			if _, err := fs.Read(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	disk.EmulateLatency(emuScale)
+	defer disk.EmulateLatency(0)
+	var rows []ConcurrencyRow
+	for _, g := range levels {
+		if g <= 0 {
+			return nil, fmt.Errorf("bench: invalid concurrency level %d", g)
+		}
+		if err := fs.Cache().Invalidate(); err != nil {
+			return nil, err
+		}
+		disk.EmulateLatency(0) // warm-up is not part of the measurement
+		if err := warm(); err != nil {
+			return nil, fmt.Errorf("g=%d warm-up: %w", g, err)
+		}
+		disk.EmulateLatency(emuScale)
+		preDisk := disk.Elapsed()
+		preStats, _ := fs.CacheStats()
+
+		errs := make(chan error, g)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			// Contiguous chunks: a strided split (i % g == w) would alias
+			// the op mix's period-4/8 structure and hand every cold op to
+			// the same goroutine at small g.
+			lo, hi := w*totalOps/g, (w+1)*totalOps/g
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := doOp(i); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		close(errs)
+		wall := time.Since(start)
+		for err := range errs {
+			return nil, fmt.Errorf("g=%d: %w", g, err)
+		}
+
+		row := ConcurrencyRow{
+			Goroutines:  g,
+			WallSeconds: wall.Seconds(),
+			DiskSeconds: (disk.Elapsed() - preDisk).Seconds(),
+		}
+		if wall > 0 {
+			row.OpsPerSec = float64(totalOps) / wall.Seconds()
+		}
+		if stats, ok := fs.CacheStats(); ok {
+			row.HitRate = stats.Sub(preStats).HitRate()
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) > 0 && rows[0].OpsPerSec > 0 {
+		for i := range rows {
+			rows[i].Speedup = rows[i].OpsPerSec / rows[0].OpsPerSec
+		}
+	}
+	return rows, nil
+}

@@ -125,9 +125,20 @@ type Cache struct {
 	highWater    int // write-behind high-water mark; 0 = disabled
 	policy       Policy
 	entries      map[int64]*entry
-	dirty        int   // resident dirty blocks
-	wbErr        error // sticky deferred write-back failure; surfaced at the next barrier
+	inflight     map[int64]*fetch // miss fetches in progress (see ReadBlock)
+	dirty        int              // resident dirty blocks
+	wbErr        error            // sticky deferred write-back failure; surfaced at the next barrier
 	stats        Stats
+}
+
+// fetch tracks one in-flight miss read. Misses release c.mu while the device
+// request runs, so concurrent readers can overlap their device waits; the
+// fetch entry dedups concurrent misses of the same block (single-flight) and
+// records whether a write raced the fetch (in which case the fetched bytes
+// are stale and must not enter the cache).
+type fetch struct {
+	done  chan struct{}
+	stale bool // a WriteBlock for this block landed while the fetch was in flight
 }
 
 // New wraps dev in a write-back LRU cache holding up to capacity blocks.
@@ -173,6 +184,7 @@ func NewWithOptions(dev vdisk.Device, o Options) (*Cache, error) {
 		highWater:    o.WriteBehind,
 		policy:       pol,
 		entries:      make(map[int64]*entry, o.Capacity),
+		inflight:     make(map[int64]*fetch),
 	}, nil
 }
 
@@ -206,31 +218,76 @@ func (c *Cache) Dirty() int {
 }
 
 // ReadBlock reads block n into buf, serving from the cache when possible.
+//
+// A miss releases the cache lock while the device request runs, so
+// concurrent misses on distinct blocks overlap at the device instead of
+// convoying behind one mutex. Concurrent misses on the same block are
+// deduplicated: one caller fetches, the rest wait for it and are then served
+// from the cache. A write that lands while a fetch is in flight wins — the
+// cached (written) data is returned and the stale fetched bytes are
+// discarded — so read-your-writes holds even across the unlocked window.
 func (c *Cache) ReadBlock(n int64, buf []byte) error {
 	if len(buf) != c.dev.BlockSize() {
 		return fmt.Errorf("%w: %d != %d", vdisk.ErrBadBuffer, len(buf), c.dev.BlockSize())
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cap == 0 {
 		if err := c.dev.ReadBlock(n, buf); err != nil {
 			return err
 		}
+		c.mu.Lock()
 		c.stats.Misses++
+		c.mu.Unlock()
 		return nil
 	}
-	if e, ok := c.entries[n]; ok {
-		c.stats.Hits++
-		c.policy.Touch(n)
-		copy(buf, e.data)
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[n]; ok {
+			c.stats.Hits++
+			c.policy.Touch(n)
+			copy(buf, e.data)
+			c.mu.Unlock()
+			return nil
+		}
+		if f, ok := c.inflight[n]; ok {
+			// Another reader is fetching this block; wait and retry (the
+			// retry normally hits the freshly inserted entry).
+			c.mu.Unlock()
+			<-f.done
+			continue
+		}
+		f := &fetch{done: make(chan struct{})}
+		c.inflight[n] = f
+		c.mu.Unlock()
+
+		err := c.dev.ReadBlock(n, buf)
+
+		c.mu.Lock()
+		delete(c.inflight, n)
+		close(f.done)
+		if err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		if e, ok := c.entries[n]; ok {
+			// A write raced the fetch and inserted newer data; the cache is
+			// authoritative.
+			c.stats.Hits++
+			c.policy.Touch(n)
+			copy(buf, e.data)
+			c.mu.Unlock()
+			return nil
+		}
+		if f.stale {
+			// Written and already flushed+evicted during the fetch: the bytes
+			// read may predate that write. Refetch from the device.
+			c.mu.Unlock()
+			continue
+		}
+		c.stats.Misses++
+		c.insertLocked(n, buf, false)
+		c.mu.Unlock()
 		return nil
 	}
-	if err := c.dev.ReadBlock(n, buf); err != nil {
-		return err
-	}
-	c.stats.Misses++
-	c.insertLocked(n, buf, false)
-	return nil
 }
 
 // WriteBlock stores buf for block n in the cache, deferring the device write
@@ -258,6 +315,21 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 		}
 		c.stats.WriteBacks++
 	}
+	c.writeLocked(n, buf)
+	if c.highWater > 0 && c.dirty > c.highWater {
+		c.writeBehindLocked()
+	}
+	return nil
+}
+
+// writeLocked stores buf for block n in the resident set (caller holds c.mu
+// and has already handled pass-through/write-through device writes).
+func (c *Cache) writeLocked(n int64, buf []byte) {
+	if f, ok := c.inflight[n]; ok {
+		// A miss fetch for this block is mid-flight; whatever it read no
+		// longer reflects the device's future contents.
+		f.stale = true
+	}
 	if e, ok := c.entries[n]; ok {
 		copy(e.data, buf)
 		if !c.writeThrough && !e.dirty {
@@ -267,6 +339,147 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 		c.policy.Touch(n)
 	} else {
 		c.insertLocked(n, buf, !c.writeThrough)
+	}
+}
+
+// ReadBlocks implements vdisk.BatchDevice. Hits and misses are partitioned
+// under a single lock acquisition; the misses are then fetched from the
+// device in one batched request (sorted submission at the device layer)
+// while the lock is released, and inserted under a second acquisition. The
+// same single-flight and write-wins rules as ReadBlock apply per block, so
+// the returned bytes are identical to what the per-block path would produce.
+func (c *Cache) ReadBlocks(ns []int64, bufs [][]byte) error {
+	if len(ns) != len(bufs) {
+		return fmt.Errorf("%w: %d block numbers, %d buffers", vdisk.ErrBadBuffer, len(ns), len(bufs))
+	}
+	bs := c.dev.BlockSize()
+	for _, b := range bufs {
+		if len(b) != bs {
+			return fmt.Errorf("%w: %d != %d", vdisk.ErrBadBuffer, len(b), bs)
+		}
+	}
+	if c.cap == 0 {
+		if err := vdisk.ReadBlocks(c.dev, ns, bufs); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.stats.Misses += int64(len(ns))
+		c.mu.Unlock()
+		return nil
+	}
+	remaining := make([]int, len(ns))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		var mine []int            // misses this call will fetch
+		var fetches []*fetch      // registered single-flight entries, parallel to mine
+		var foreign []int         // misses someone else is already fetching
+		var waits []chan struct{} // their completion signals
+		seen := map[int64]int{}   // block -> position in mine (dedup within the batch)
+
+		c.mu.Lock()
+		for _, i := range remaining {
+			n := ns[i]
+			if e, ok := c.entries[n]; ok {
+				c.stats.Hits++
+				c.policy.Touch(n)
+				copy(bufs[i], e.data)
+				continue
+			}
+			if _, ok := seen[n]; ok {
+				// Duplicate within this batch: resolve on the next pass from
+				// the entry the first occurrence inserts.
+				foreign = append(foreign, i)
+				continue
+			}
+			if f, ok := c.inflight[n]; ok {
+				foreign = append(foreign, i)
+				waits = append(waits, f.done)
+				continue
+			}
+			f := &fetch{done: make(chan struct{})}
+			c.inflight[n] = f
+			seen[n] = len(mine)
+			mine = append(mine, i)
+			fetches = append(fetches, f)
+		}
+		c.mu.Unlock()
+
+		retry := foreign
+		if len(mine) > 0 {
+			missNs := make([]int64, len(mine))
+			missBufs := make([][]byte, len(mine))
+			for k, i := range mine {
+				missNs[k] = ns[i]
+				missBufs[k] = bufs[i]
+			}
+			err := vdisk.ReadBlocks(c.dev, missNs, missBufs)
+			c.mu.Lock()
+			for k, i := range mine {
+				n := ns[i]
+				delete(c.inflight, n)
+				close(fetches[k].done)
+				if err != nil {
+					continue
+				}
+				if e, ok := c.entries[n]; ok {
+					c.stats.Hits++
+					c.policy.Touch(n)
+					copy(bufs[i], e.data)
+					continue
+				}
+				if fetches[k].stale {
+					retry = append(retry, i)
+					continue
+				}
+				c.stats.Misses++
+				c.insertLocked(n, bufs[i], false)
+			}
+			c.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		for _, done := range waits {
+			<-done
+		}
+		remaining = retry
+	}
+	return nil
+}
+
+// WriteBlocks implements vdisk.BatchDevice: the whole batch is absorbed
+// under one lock acquisition (pass-through and write-through modes issue a
+// single batched, sorted device submission first) and the write-behind
+// high-water mark is checked once at the end.
+func (c *Cache) WriteBlocks(ns []int64, bufs [][]byte) error {
+	if len(ns) != len(bufs) {
+		return fmt.Errorf("%w: %d block numbers, %d buffers", vdisk.ErrBadBuffer, len(ns), len(bufs))
+	}
+	bs := c.dev.BlockSize()
+	nb := c.dev.NumBlocks()
+	for i, b := range bufs {
+		if len(b) != bs {
+			return fmt.Errorf("%w: %d != %d", vdisk.ErrBadBuffer, len(b), bs)
+		}
+		if ns[i] < 0 || ns[i] >= nb {
+			return fmt.Errorf("%w: %d (of %d)", vdisk.ErrOutOfRange, ns[i], nb)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap == 0 || c.writeThrough {
+		if err := vdisk.WriteBlocks(c.dev, ns, bufs); err != nil {
+			return err
+		}
+		c.stats.WriteBacks += int64(len(ns))
+		if c.cap == 0 {
+			return nil
+		}
+	}
+	for i, n := range ns {
+		c.writeLocked(n, bufs[i])
 	}
 	if c.highWater > 0 && c.dirty > c.highWater {
 		c.writeBehindLocked()
@@ -433,6 +646,8 @@ func (c *Cache) Invalidate() error {
 	c.policy.Reset()
 	return c.takeStickyLocked()
 }
+
+var _ vdisk.BatchDevice = (*Cache)(nil)
 
 // Close flushes dirty blocks and closes the underlying device if it is
 // closable. The cache must not be used afterwards.

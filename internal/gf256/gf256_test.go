@@ -1,6 +1,7 @@
 package gf256
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -97,5 +98,69 @@ func TestMulSlice(t *testing.T) {
 		if dst[i] != before[i] {
 			t.Fatal("MulSlice with c=0 modified dst")
 		}
+	}
+}
+
+// TestMulSliceTablePathMatchesReference cross-checks the table-driven fast
+// path (len >= mulSliceTableMin) against the definitional product for all
+// byte values, including zeros, and verifies the accumulate (^=) semantics.
+func TestMulSliceTablePathMatchesReference(t *testing.T) {
+	for _, c := range []byte{1, 2, 3, 7, 0x53, 0xca, 255} {
+		src := make([]byte, 4096)
+		dst := make([]byte, len(src))
+		want := make([]byte, len(src))
+		for i := range src {
+			src[i] = byte(i * 13)
+			dst[i] = byte(i * 29)
+			want[i] = dst[i] ^ Mul(c, src[i])
+		}
+		MulSlice(c, dst, src)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("c=%#x: MulSlice[%d] = %#x, want %#x", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// mulSliceNoTable is the pre-table reference implementation, kept for the
+// benchmark comparison.
+func mulSliceNoTable(c byte, dst, src []byte) {
+	if c == 0 {
+		return
+	}
+	lc := log[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= exp[lc+log[s]]
+		}
+	}
+}
+
+// BenchmarkMulSlice measures the IDA inner loop at shard-typical lengths;
+// the /table variants use the per-c product table, /logexp the old
+// branch-and-double-lookup path.
+func BenchmarkMulSlice(b *testing.B) {
+	for _, n := range []int{512, 1024, 8192} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*31 + 1)
+		}
+		if n < mulSliceTableMin {
+			b.Fatalf("benchmark size %d below table threshold %d", n, mulSliceTableMin)
+		}
+		b.Run(fmt.Sprintf("table/%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSlice(0x53, dst, src)
+			}
+		})
+		b.Run(fmt.Sprintf("logexp/%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				mulSliceNoTable(0x53, dst, src)
+			}
+		})
 	}
 }

@@ -30,6 +30,15 @@ type BlockIO interface {
 	BlockSize() int
 }
 
+// BatchBlockIO is a BlockIO that can service many blocks in one request
+// (mirroring vdisk.BatchDevice). When the IO offers it, Read fetches all the
+// L1 indirect blocks of a double-indirect tree in a single batched request
+// instead of one device round trip per pointer block.
+type BatchBlockIO interface {
+	BlockIO
+	ReadBlocks(ns []int64, bufs [][]byte) error
+}
+
 // AllocFunc returns a fresh block to hold pointer (indirect) data.
 type AllocFunc func() (int64, error)
 
@@ -154,6 +163,12 @@ func readPtrBlock(io BlockIO, b int64, max int64) ([]int64, error) {
 	if err := io.ReadBlock(b, buf); err != nil {
 		return nil, err
 	}
+	return parsePtrs(io, buf, max), nil
+}
+
+// parsePtrs decodes up to max pointers from a raw pointer block, stopping at
+// the first NilBlock.
+func parsePtrs(io BlockIO, buf []byte, max int64) []int64 {
 	ppb := ptrsPerBlock(io)
 	if max > ppb {
 		max = ppb
@@ -166,7 +181,7 @@ func readPtrBlock(io BlockIO, b int64, max int64) ([]int64, error) {
 		}
 		out = append(out, p)
 	}
-	return out, nil
+	return out
 }
 
 // Read returns the data-block list of a file with nBlocks blocks stored
@@ -200,14 +215,32 @@ func Read(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ib := range l1 {
-		ptrs, err := readPtrBlock(io, ib, nBlocks-int64(len(out)))
-		if err != nil {
+	if bio, ok := io.(BatchBlockIO); ok && len(l1) > 1 {
+		// One batched request for every L1 pointer block of the tree.
+		raw := make([]byte, len(l1)*io.BlockSize())
+		bufs := make([][]byte, len(l1))
+		for i := range l1 {
+			bufs[i] = raw[i*io.BlockSize() : (i+1)*io.BlockSize()]
+		}
+		if err := bio.ReadBlocks(l1, bufs); err != nil {
 			return nil, err
 		}
-		out = append(out, ptrs...)
-		if int64(len(out)) == nBlocks {
-			return out, nil
+		for _, buf := range bufs {
+			out = append(out, parsePtrs(io, buf, nBlocks-int64(len(out)))...)
+			if int64(len(out)) == nBlocks {
+				return out, nil
+			}
+		}
+	} else {
+		for _, ib := range l1 {
+			ptrs, err := readPtrBlock(io, ib, nBlocks-int64(len(out)))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ptrs...)
+			if int64(len(out)) == nBlocks {
+				return out, nil
+			}
 		}
 	}
 	if int64(len(out)) != nBlocks {

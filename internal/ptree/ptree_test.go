@@ -234,3 +234,63 @@ func TestPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// batchIO wraps memIO with a counting BatchBlockIO implementation.
+type batchIO struct {
+	*memIO
+	batchCalls  int
+	batchBlocks int
+}
+
+func (b *batchIO) ReadBlocks(ns []int64, bufs [][]byte) error {
+	b.batchCalls++
+	b.batchBlocks += len(ns)
+	for i, n := range ns {
+		if err := b.ReadBlock(n, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestReadUsesBatchForL1Indirects: a double-indirect tree read through a
+// BatchBlockIO must fetch all L1 pointer blocks in one batched request and
+// return the same block list as the plain path.
+func TestReadUsesBatchForL1Indirects(t *testing.T) {
+	const bs = 64 // 8 pointers per block -> double indirect kicks in fast
+	plain := newMemIO(bs)
+	alloc := newSeqAlloc()
+	nDirect := 4
+	blocks := make([]int64, 40) // 4 direct + 8 single + 28 double (4 L1 blocks)
+	for i := range blocks {
+		blocks[i] = int64(100 + i)
+	}
+	root, _, err := Write(plain, alloc.alloc, nDirect, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Read(plain, root, int64(len(blocks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bio := &batchIO{memIO: plain}
+	got, err := Read(bio, root, int64(len(blocks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch path returned %d blocks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: batch %d != plain %d", i, got[i], want[i])
+		}
+	}
+	if bio.batchCalls != 1 {
+		t.Fatalf("L1 pointer blocks fetched in %d batch calls, want 1", bio.batchCalls)
+	}
+	if bio.batchBlocks < 2 {
+		t.Fatalf("batch covered %d blocks, want all L1 indirects", bio.batchBlocks)
+	}
+}

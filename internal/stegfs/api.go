@@ -2,7 +2,9 @@ package stegfs
 
 import (
 	"crypto/rsa"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"stegfs/internal/fsapi"
@@ -32,6 +34,18 @@ func uakDirPhys(uid string) string { return physUAKDir + "/" + uid }
 // Session is a user's login session. Hidden objects become visible only
 // after an explicit Connect and vanish again on Disconnect or Logoff,
 // mirroring the steg_connect/steg_disconnect semantics of §4.
+//
+// A Session belongs to one user. Methods that change the visible set or the
+// namespace (Connect, ConnectLevel, Disconnect, Logoff, CreateHidden,
+// DeleteHidden, Hide, Unhide, Revoke, AddEntry) must not run concurrently
+// with any other method of the same session — the visible map is not
+// internally locked. Methods that only read the visible map (ReadHidden,
+// WriteHidden, Visible, ListHidden, GetEntry) may run concurrently with one
+// another once the connections are established; stegctl's multi-name
+// steg-cat relies on this. Distinct sessions on the same FS run fully
+// concurrently — reads of distinct hidden objects proceed in parallel under
+// the per-object locks, while compound directory updates serialize on the
+// namespace lock.
 type Session struct {
 	fs      *FS
 	uid     string
@@ -56,25 +70,38 @@ func (s *Session) physFor(objname string) string { return s.uid + "/" + objname 
 
 // --- UAK directory plumbing -------------------------------------------------
 
+// readHiddenObject opens (phys, fak) shared, reads the full payload and
+// releases the object lock — the snapshot-read primitive of every directory
+// walk.
+func (fs *FS) readHiddenObject(phys string, fak []byte) ([]byte, error) {
+	r, err := fs.openShared(phys, fak)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.release(r)
+	return fs.readHidden(r)
+}
+
 // loadUAKDir returns the entries of the UAK's directory; a missing directory
 // reads as empty (its absence is itself deniable).
 func (fs *FS) loadUAKDir(uid string, uak []byte) ([]Entry, error) {
-	r, err := fs.probeHeader(uakDirPhys(uid), uakDirFAK(uid, uak))
+	payload, err := fs.readHiddenObject(uakDirPhys(uid), uakDirFAK(uid, uak))
 	if err != nil {
-		return nil, nil // no directory yet
-	}
-	payload, err := fs.readHidden(r)
-	if err != nil {
+		if errors.Is(err, fsapi.ErrNotFound) {
+			return nil, nil // no directory yet
+		}
 		return nil, err
 	}
 	return decodeEntries(payload)
 }
 
-// saveUAKDir writes the UAK directory, creating it on first use.
+// saveUAKDir writes the UAK directory, creating it on first use. The caller
+// holds fs.nsMu (it is always part of a compound directory update).
 func (fs *FS) saveUAKDir(uid string, uak []byte, entries []Entry) error {
 	payload := encodeEntries(entries)
 	fak := uakDirFAK(uid, uak)
-	if r, err := fs.probeHeader(uakDirPhys(uid), fak); err == nil {
+	if r, err := fs.openExclusive(uakDirPhys(uid), fak); err == nil {
+		defer fs.release(r)
 		return fs.rewriteHidden(r, payload)
 	}
 	_, err := fs.createHidden(uakDirPhys(uid), fak, FlagDir, payload)
@@ -82,7 +109,9 @@ func (fs *FS) saveUAKDir(uid string, uak []byte, entries []Entry) error {
 }
 
 // resolve walks a slash-separated object name starting from the UAK
-// directory, descending through hidden directories.
+// directory, descending through hidden directories. Each directory is read
+// atomically under its own object lock (hand-over-hand; at most one object
+// lock is held at a time).
 func (fs *FS) resolve(uid string, uak []byte, objname string) (Entry, error) {
 	comps := strings.Split(objname, "/")
 	entries, err := fs.loadUAKDir(uid, uak)
@@ -102,11 +131,7 @@ func (fs *FS) resolve(uid string, uak []byte, objname string) (Entry, error) {
 		if cur.Flags&FlagDir == 0 {
 			return Entry{}, fmt.Errorf("%w: %q", fsapi.ErrNotDir, strings.Join(comps[:i+1], "/"))
 		}
-		r, err := fs.probeHeader(cur.Phys, cur.FAK)
-		if err != nil {
-			return Entry{}, err
-		}
-		payload, err := fs.readHidden(r)
+		payload, err := fs.readHiddenObject(cur.Phys, cur.FAK)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -119,7 +144,8 @@ func (fs *FS) resolve(uid string, uak []byte, objname string) (Entry, error) {
 
 // updateParent rewrites the entry list that contains the last component of
 // objname, applying fn to it. For top-level names that is the UAK directory;
-// for nested names it is the parent hidden directory.
+// for nested names it is the parent hidden directory. The caller holds
+// fs.nsMu, which serializes all compound directory updates.
 func (fs *FS) updateParent(uid string, uak []byte, objname string, fn func([]Entry) ([]Entry, error)) error {
 	comps := strings.Split(objname, "/")
 	if len(comps) == 1 {
@@ -139,10 +165,11 @@ func (fs *FS) updateParent(uid string, uak []byte, objname string, fn func([]Ent
 	if parent.Flags&FlagDir == 0 {
 		return fmt.Errorf("%w: %q", fsapi.ErrNotDir, parent.Name)
 	}
-	r, err := fs.probeHeader(parent.Phys, parent.FAK)
+	r, err := fs.openExclusive(parent.Phys, parent.FAK)
 	if err != nil {
 		return err
 	}
+	defer fs.release(r)
 	payload, err := fs.readHidden(r)
 	if err != nil {
 		return err
@@ -183,8 +210,8 @@ func (s *Session) CreateHidden(objname string, uak []byte, objtype byte, data []
 	phys := s.physFor(objname)
 	base := objname[strings.LastIndexByte(objname, '/')+1:]
 
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
+	s.fs.nsMu.Lock()
+	defer s.fs.nsMu.Unlock()
 	if _, err := s.fs.createHidden(phys, fak, objtype, data); err != nil {
 		return err
 	}
@@ -196,8 +223,9 @@ func (s *Session) CreateHidden(objname string, uak []byte, objtype byte, data []
 	})
 	if err != nil {
 		// Roll back the orphaned object.
-		if r, perr := s.fs.probeHeader(phys, fak); perr == nil {
-			s.fs.destroyHiddenLocked(r)
+		if r, perr := s.fs.openExclusive(phys, fak); perr == nil {
+			s.fs.destroyHidden(r)
+			s.fs.release(r)
 		}
 		return err
 	}
@@ -220,28 +248,17 @@ func (s *Session) Hide(pathname, objname string, uak []byte) error {
 // Unhide implements steg_unhide: it converts the hidden object objname into
 // a plain file at pathname and deletes the hidden source (§4).
 func (s *Session) Unhide(pathname, objname string, uak []byte) error {
-	s.fs.mu.Lock()
 	e, err := s.fs.resolve(s.uid, uak, objname)
 	if err != nil {
-		s.fs.mu.Unlock()
 		return err
 	}
 	if e.Flags&FlagFile == 0 {
-		s.fs.mu.Unlock()
 		return fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
 	}
-	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	data, err := s.fs.readHiddenObject(e.Phys, e.FAK)
 	if err != nil {
-		s.fs.mu.Unlock()
 		return err
 	}
-	data, err := s.fs.readHidden(r)
-	if err != nil {
-		s.fs.mu.Unlock()
-		return err
-	}
-	s.fs.mu.Unlock()
-
 	if err := s.fs.Create(pathname, data); err != nil {
 		return err
 	}
@@ -252,27 +269,27 @@ func (s *Session) Unhide(pathname, objname string, uak []byte) error {
 // (objname, UAK) pair and makes it visible in the session. Connecting a
 // hidden directory reveals all its offspring as well (§4).
 func (s *Session) Connect(objname string, uak []byte) error {
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
 	e, err := s.fs.resolve(s.uid, uak, objname)
 	if err != nil {
 		return err
 	}
-	return s.connectLocked(objname, e)
+	return s.connectEntry(objname, e)
 }
 
-func (s *Session) connectLocked(objname string, e Entry) error {
+func (s *Session) connectEntry(objname string, e Entry) error {
 	// steg_connect "first locates the hidden object through the (objname,
 	// UAK) pair" — a dangling entry (e.g. after revocation) fails here.
-	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	r, err := s.fs.openShared(e.Phys, e.FAK)
 	if err != nil {
 		return err
 	}
 	s.visible[objname] = e
 	if e.Flags&FlagDir == 0 {
+		s.fs.release(r)
 		return nil
 	}
 	payload, err := s.fs.readHidden(r)
+	s.fs.release(r)
 	if err != nil {
 		return err
 	}
@@ -281,7 +298,7 @@ func (s *Session) connectLocked(objname string, e Entry) error {
 		return err
 	}
 	for _, child := range children {
-		if err := s.connectLocked(objname+"/"+child.Name, child); err != nil {
+		if err := s.connectEntry(objname+"/"+child.Name, child); err != nil {
 			return err
 		}
 	}
@@ -304,46 +321,50 @@ func (s *Session) Disconnect(objname string) {
 // the connected hidden objects are automatically disconnected").
 func (s *Session) Logoff() { s.visible = make(map[string]Entry) }
 
-// Visible returns the names of the currently connected hidden objects.
+// Visible returns the names of the currently connected hidden objects, in
+// sorted order (map iteration would make listings flap between calls).
 func (s *Session) Visible() []string {
 	out := make([]string, 0, len(s.visible))
 	for n := range s.visible {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
 // ReadHidden reads a connected hidden object's contents. Data blocks are
-// decrypted on the fly, never staged in plaintext on the volume.
+// decrypted on the fly, never staged in plaintext on the volume. The read
+// holds only the object's shared lock, so any number of sessions can read
+// distinct (or the same) hidden objects simultaneously.
 func (s *Session) ReadHidden(objname string) ([]byte, error) {
 	e, ok := s.visible[objname]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q not connected", fsapi.ErrNotFound, objname)
 	}
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
-	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	r, err := s.fs.openShared(e.Phys, e.FAK)
 	if err != nil {
 		return nil, err
 	}
+	defer s.fs.release(r)
 	if r.hdr.flags&FlagDir != 0 {
 		return nil, fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
 	}
 	return s.fs.readHidden(r)
 }
 
-// WriteHidden replaces a connected hidden object's contents.
+// WriteHidden replaces a connected hidden object's contents under the
+// object's exclusive lock; writers to distinct objects only meet at the
+// (short) allocation critical sections.
 func (s *Session) WriteHidden(objname string, data []byte) error {
 	e, ok := s.visible[objname]
 	if !ok {
 		return fmt.Errorf("%w: %q not connected", fsapi.ErrNotFound, objname)
 	}
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
-	r, err := s.fs.probeHeader(e.Phys, e.FAK)
+	r, err := s.fs.openExclusive(e.Phys, e.FAK)
 	if err != nil {
 		return err
 	}
+	defer s.fs.release(r)
 	if r.hdr.flags&FlagDir != 0 {
 		return fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
 	}
@@ -353,18 +374,21 @@ func (s *Session) WriteHidden(objname string, data []byte) error {
 // DeleteHidden removes a hidden object and its entry in the UAK (or parent)
 // directory. Directories must be empty.
 func (s *Session) DeleteHidden(objname string, uak []byte) error {
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
+	s.fs.nsMu.Lock()
+	defer s.fs.nsMu.Unlock()
 	e, err := s.fs.resolve(s.uid, uak, objname)
 	if err != nil {
 		return err
 	}
+	// Locate the object before touching the parent, so a dangling entry
+	// fails here and the directory is left as it was. The ref's header block
+	// is reused below to destroy the object without a second probe.
 	r, err := s.fs.probeHeader(e.Phys, e.FAK)
 	if err != nil {
 		return err
 	}
 	if e.Flags&FlagDir != 0 {
-		payload, err := s.fs.readHidden(r)
+		payload, err := s.fs.readHiddenObject(e.Phys, e.FAK)
 		if err != nil {
 			return err
 		}
@@ -386,7 +410,20 @@ func (s *Session) DeleteHidden(objname string, uak []byte) error {
 	}); err != nil {
 		return err
 	}
-	s.fs.destroyHiddenLocked(r)
+	// The entry is gone; destroy the object under its lock, refreshing the
+	// header first (the probe snapshot may be stale). A concurrent delete of
+	// the same object (not-found on reload) just means the work is done; any
+	// other reload failure is surfaced, but only after the read — destroying
+	// with a stale header could free blocks the object no longer owns.
+	s.fs.objs.Lock(r.headerBlk)
+	err = s.fs.reloadHeader(r)
+	if err == nil {
+		s.fs.destroyHidden(r)
+	}
+	s.fs.objs.Unlock(r.headerBlk)
+	if err != nil && !errors.Is(err, fsapi.ErrNotFound) {
+		return err
+	}
 	delete(s.visible, objname)
 	return nil
 }
@@ -394,8 +431,6 @@ func (s *Session) DeleteHidden(objname string, uak []byte) error {
 // ListHidden returns the entries reachable with a UAK (the user's directory
 // of name/FAK pairs, §3.2).
 func (s *Session) ListHidden(uak []byte) ([]Entry, error) {
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
 	return s.fs.loadUAKDir(s.uid, uak)
 }
 
@@ -403,9 +438,7 @@ func (s *Session) ListHidden(uak []byte) ([]Entry, error) {
 // shared object and encrypts it with the recipient's public key. The
 // returned ciphertext is the "entryfile" the owner transmits (Figure 4).
 func (s *Session) GetEntry(objname string, uak []byte, pub *rsa.PublicKey) ([]byte, error) {
-	s.fs.mu.Lock()
 	e, err := s.fs.resolve(s.uid, uak, objname)
-	s.fs.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -426,8 +459,8 @@ func (s *Session) AddEntry(entryfile []byte, priv *rsa.PrivateKey, uak []byte) e
 	if err != nil {
 		return err
 	}
-	s.fs.mu.Lock()
-	defer s.fs.mu.Unlock()
+	s.fs.nsMu.Lock()
+	defer s.fs.nsMu.Unlock()
 	dir, err := s.fs.loadUAKDir(s.uid, uak)
 	if err != nil {
 		return err
@@ -445,23 +478,14 @@ func (s *Session) AddEntry(entryfile []byte, priv *rsa.PrivateKey, uak []byte) e
 // new copy with a fresh FAK and possibly a different file name, then removes
 // the original file to invalidate the old FAK". newName may equal objname.
 func (s *Session) Revoke(objname, newName string, uak []byte) error {
-	s.fs.mu.Lock()
 	e, err := s.fs.resolve(s.uid, uak, objname)
 	if err != nil {
-		s.fs.mu.Unlock()
 		return err
 	}
 	if e.Flags&FlagFile == 0 {
-		s.fs.mu.Unlock()
 		return fmt.Errorf("%w: %q", fsapi.ErrIsDir, objname)
 	}
-	r, err := s.fs.probeHeader(e.Phys, e.FAK)
-	if err != nil {
-		s.fs.mu.Unlock()
-		return err
-	}
-	data, err := s.fs.readHidden(r)
-	s.fs.mu.Unlock()
+	data, err := s.fs.readHiddenObject(e.Phys, e.FAK)
 	if err != nil {
 		return err
 	}
@@ -480,19 +504,15 @@ func (s *Session) ConnectLevel(uaks [][]byte, level int) error {
 		return fmt.Errorf("stegfs: level %d out of range [0,%d]", level, len(uaks))
 	}
 	for i := 0; i < level; i++ {
-		s.fs.mu.Lock()
 		entries, err := s.fs.loadUAKDir(s.uid, uaks[i])
 		if err != nil {
-			s.fs.mu.Unlock()
 			return err
 		}
 		for _, e := range entries {
-			if err := s.connectLocked(e.Name, e); err != nil {
-				s.fs.mu.Unlock()
+			if err := s.connectEntry(e.Name, e); err != nil {
 				return err
 			}
 		}
-		s.fs.mu.Unlock()
 	}
 	return nil
 }

@@ -24,6 +24,13 @@ const backupMagic = "SGBK0001"
 // free pools. Plain files are backed up by name and content, so they can be
 // reconstructed at new addresses.
 func (fs *FS) Backup(w io.Writer) error {
+	// Quiesce the volume: the freeze gate drains every in-flight hidden
+	// object operation and blocks new ones, and fs.mu (taken after the gate,
+	// per the lock hierarchy) excludes plain-file and allocation activity,
+	// so the imaged blocks, the bitmap and the plain files form one
+	// consistent snapshot.
+	fs.objs.Freeze()
+	defer fs.objs.Unfreeze()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 
@@ -211,7 +218,7 @@ func Recover(dev vdisk.Device, rd io.Reader) (*FS, error) {
 		Seed:              sb.seed,
 		FillVolume:        true,
 	}
-	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 3))}
+	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 3)), objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),

@@ -52,10 +52,11 @@ func (fs *FS) dummySize() int64 {
 
 // createDummies populates the NDummy dummy hidden files at format time.
 func (fs *FS) createDummies() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	for i := 0; i < fs.params.NDummy; i++ {
-		if _, err := fs.createHidden(dummyPhys(i), fs.dummyFAK(i), FlagDummy, fs.dummyPayload(i, fs.dummySize())); err != nil {
+		fs.mu.Lock()
+		payload := fs.dummyPayload(i, fs.dummySize()) // fs.rng needs the allocation lock
+		fs.mu.Unlock()
+		if _, err := fs.createHidden(dummyPhys(i), fs.dummyFAK(i), FlagDummy, payload); err != nil {
 			return fmt.Errorf("dummy %d: %w", i, err)
 		}
 	}
@@ -66,29 +67,41 @@ func (fs *FS) createDummies() error {
 // rewritten with fresh content and a resampled size, churning the bitmap so
 // that "an observer [cannot deduce] that blocks allocated between successive
 // snapshots of the bitmap that do not belong to any plain files must hold
-// hidden data" (§3.1).
+// hidden data" (§3.1). Each dummy is refreshed under its own object lock, so
+// a maintenance tick never stalls readers of unrelated hidden files.
 func (fs *FS) TickDummies() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	for i := 0; i < fs.params.NDummy; i++ {
-		r, err := fs.probeHeader(dummyPhys(i), fs.dummyFAK(i))
-		if err != nil {
-			return fmt.Errorf("dummy %d lost: %w", i, err)
+		if err := fs.tickDummy(i); err != nil {
+			return err
 		}
-		if err := fs.rewriteHidden(r, fs.dummyPayload(i, fs.dummySize())); err != nil {
-			return fmt.Errorf("dummy %d refresh: %w", i, err)
-		}
-		// Rotate the internal free pool so the tick is visible in the
-		// bitmap even when the resize was absorbed by the pool — the whole
-		// point of dummies is to churn allocations between snapshots.
-		for _, b := range r.hdr.free {
-			_ = fs.bm.Clear(b)
-		}
-		r.hdr.free = r.hdr.free[:0]
-		fs.poolTopUp(r)
-		if err := fs.flushHeader(r); err != nil {
-			return fmt.Errorf("dummy %d pool rotate: %w", i, err)
-		}
+	}
+	return nil
+}
+
+func (fs *FS) tickDummy(i int) error {
+	r, err := fs.openExclusive(dummyPhys(i), fs.dummyFAK(i))
+	if err != nil {
+		return fmt.Errorf("dummy %d lost: %w", i, err)
+	}
+	defer fs.release(r)
+	fs.mu.Lock()
+	payload := fs.dummyPayload(i, fs.dummySize())
+	fs.mu.Unlock()
+	if err := fs.rewriteHidden(r, payload); err != nil {
+		return fmt.Errorf("dummy %d refresh: %w", i, err)
+	}
+	// Rotate the internal free pool so the tick is visible in the
+	// bitmap even when the resize was absorbed by the pool — the whole
+	// point of dummies is to churn allocations between snapshots.
+	fs.mu.Lock()
+	for _, b := range r.hdr.free {
+		_ = fs.bm.Clear(b)
+	}
+	r.hdr.free = r.hdr.free[:0]
+	fs.poolTopUp(r)
+	fs.mu.Unlock()
+	if err := fs.flushHeader(r); err != nil {
+		return fmt.Errorf("dummy %d pool rotate: %w", i, err)
 	}
 	return nil
 }
@@ -97,15 +110,14 @@ func (fs *FS) TickDummies() error {
 // (header + data + pointer + pooled blocks). Space-utilization accounting
 // uses this.
 func (fs *FS) DummyBlocks() (int64, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	var total int64
 	for i := 0; i < fs.params.NDummy; i++ {
-		r, err := fs.probeHeader(dummyPhys(i), fs.dummyFAK(i))
+		r, err := fs.openShared(dummyPhys(i), fs.dummyFAK(i))
 		if err != nil {
 			return 0, err
 		}
 		blocks, err := fs.hiddenBlocks(r)
+		fs.release(r)
 		if err != nil {
 			return 0, err
 		}

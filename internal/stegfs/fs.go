@@ -18,8 +18,17 @@ import (
 // FS is a mounted StegFS volume: an embedded plain file system reached
 // through the central directory, plus hidden objects reachable only with
 // the correct (name, key) pairs.
+//
+// Lock hierarchy (outermost first): nsMu → objs (freeze gate, then one
+// per-object lock) → mu → cache/device internals. mu guards only the shared
+// allocation state (superblock, bitmap, rng) plus the embedded plainfs
+// volume, and is held for short critical sections; bulk hidden-object I/O
+// runs under per-object locks only, so reads of distinct hidden objects —
+// and plain reads alongside hidden reads — proceed in parallel.
 type FS struct {
-	mu     sync.Mutex
+	nsMu   sync.Mutex   // serializes compound namespace ops (directory updates)
+	mu     sync.RWMutex // guards sb, bm, rng and the plainfs allocation state
+	objs   *lockTable   // per-hidden-object locks, keyed by header block
 	dev    vdisk.Device
 	cache  *blockcache.Cache // non-nil when mounted through WithCache
 	bm     *bitmapvec.Bitmap
@@ -209,7 +218,7 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 		}
 	}
 
-	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: rng}
+	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: rng, objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: params.MaxPlainFiles,
@@ -283,7 +292,7 @@ func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
 		FillVolume:        true,
 		DeterministicKeys: sb.flags&flagDeterministicKeys != 0,
 	}
-	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 2))}
+	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 2)), objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),
@@ -299,8 +308,13 @@ func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
 // mounted through a cache, dirty data blocks are flushed to the device first
 // (so no metadata ever references data that has not reached the device) and
 // the metadata writes are flushed after, leaving the on-device image fully
-// consistent at return.
+// consistent at return. The freeze gate drains in-flight hidden-object
+// mutations first — otherwise the bitmap could be written while a rewrite
+// has allocated blocks whose data has not reached the cache yet, and the
+// flushed image would pair fresh metadata with stale data.
 func (fs *FS) Sync() error {
+	fs.objs.Freeze()
+	defer fs.objs.Unfreeze()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.syncLocked()
@@ -369,8 +383,8 @@ func (fs *FS) Device() vdisk.Device { return fs.dev }
 
 // Bitmap returns the live allocation bitmap. Adversary tooling snapshots it.
 func (fs *FS) Bitmap() *bitmapvec.Bitmap {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.bm.Clone()
 }
 
@@ -379,8 +393,8 @@ func (fs *FS) DataStart() int64 { return int64(fs.sb.dataStart) }
 
 // FreeBlocks returns the number of blocks currently free in the bitmap.
 func (fs *FS) FreeBlocks() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.bm.CountFree()
 }
 
@@ -389,11 +403,13 @@ func (fs *FS) FreeBlocks() int64 {
 // SchemeName implements fsapi.FileSystem.
 func (fs *FS) SchemeName() string { return "StegFS" }
 
-// The plain-file wrappers take fs.mu: the embedded plainfs volume shares the
-// volume-wide allocation bitmap with the hidden-file machinery (which runs
-// under fs.mu), so plain and hidden operations must serialize against each
-// other or concurrent sessions race on the bitmap. plainfs's own internal
-// lock only covers volumes used standalone.
+// Plain mutators take fs.mu exclusively: the embedded plainfs volume shares
+// the volume-wide allocation bitmap with the hidden-file machinery, so plain
+// allocation must serialize against hidden allocation or concurrent sessions
+// race on the bitmap. Plain readers take fs.mu shared — they never touch the
+// bitmap, plainfs's own internal lock serializes its directory state, and
+// the shared mode means plain reads no longer block hidden reads (or each
+// other's probe phases).
 
 // Create stores a plain file through the central directory.
 func (fs *FS) Create(name string, data []byte) error {
@@ -404,8 +420,8 @@ func (fs *FS) Create(name string, data []byte) error {
 
 // Read returns a plain file's contents.
 func (fs *FS) Read(name string) ([]byte, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.plain.Read(name)
 }
 
@@ -425,16 +441,16 @@ func (fs *FS) Delete(name string) error {
 
 // Stat describes a plain file.
 func (fs *FS) Stat(name string) (fsapi.FileInfo, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.plain.Stat(name)
 }
 
 // PlainNames lists the central directory (visible to everyone, including
 // adversaries).
 func (fs *FS) PlainNames() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.plain.Names()
 }
 
@@ -442,8 +458,8 @@ func (fs *FS) PlainNames() []string {
 // directory. An adversary can compute this set too — it is exactly what the
 // brute-force examination of §3.1 subtracts from the bitmap.
 func (fs *FS) PlainReferencedBlocks() (map[int64]bool, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.plain.ReferencedBlocks()
 }
 

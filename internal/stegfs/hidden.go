@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"stegfs/internal/fsapi"
 	"stegfs/internal/ptree"
@@ -116,30 +119,134 @@ func decodeHeader(buf []byte, wantSig [sgcrypto.SignatureLen]byte) (*header, boo
 	return h, true, nil
 }
 
-// encIO is a ptree.BlockIO view of the device that transparently seals and
-// opens blocks with a hidden object's sealer, so everything a hidden object
-// writes is indistinguishable from random bytes on disk.
-type encIO struct {
-	dev    vdisk.Device
-	sealer *sgcrypto.Sealer
+// --- Sealed block I/O --------------------------------------------------------
+
+// Bounds for the per-operation seal/open fan-out: the CTR transform of each
+// block is independent, so large batches spread across a few workers. The
+// cap stays low because the fan-out is per operation — concurrent readers
+// already occupy the remaining cores — and a single-CPU box skips it.
+const (
+	sealMaxWorkers = 4
+	sealFanMin     = 32 // below this many blocks the fan-out overhead loses
+)
+
+// fanBlocks runs fn(0..n-1), fanning out across a bounded worker pool when
+// the batch is large enough and more than one CPU is available. The first
+// error stops the fan-out and is returned.
+func fanBlocks(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > sealMaxWorkers {
+		workers = sealMaxWorkers
+	}
+	if workers <= 1 || n < sealFanMin {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
-func (e encIO) BlockSize() int { return e.dev.BlockSize() }
+// encIO is a ptree.BlockIO view of the device that transparently seals and
+// opens blocks with a hidden object's sealer, so everything a hidden object
+// writes is indistinguishable from random bytes on disk. It also implements
+// ptree.BatchBlockIO / the vectored block API: batches go to the device as
+// one sorted submission and the per-block CTR transforms fan out across a
+// bounded worker pool. The ciphertext staging buffer is reused across calls,
+// so steady-state writes allocate nothing per block.
+//
+// An encIO is bound to one operation on one hidden object; it is not safe
+// for concurrent use (the sealer is, but the scratch buffer is not).
+type encIO struct {
+	dev     vdisk.Device
+	sealer  *sgcrypto.Sealer
+	scratch []byte // reused ciphertext staging for writes
+}
 
-func (e encIO) ReadBlock(n int64, buf []byte) error {
+func (e *encIO) BlockSize() int { return e.dev.BlockSize() }
+
+func (e *encIO) ReadBlock(n int64, buf []byte) error {
 	if err := e.dev.ReadBlock(n, buf); err != nil {
 		return err
 	}
 	return e.sealer.Open(n, buf, buf)
 }
 
-func (e encIO) WriteBlock(n int64, buf []byte) error {
-	ct := make([]byte, len(buf))
+func (e *encIO) WriteBlock(n int64, buf []byte) error {
+	if cap(e.scratch) < len(buf) {
+		e.scratch = make([]byte, len(buf))
+	}
+	ct := e.scratch[:len(buf)]
 	if err := e.sealer.Seal(n, ct, buf); err != nil {
 		return err
 	}
 	return e.dev.WriteBlock(n, ct)
 }
+
+// ReadBlocks fetches the batch in one sorted device submission and decrypts
+// the blocks in place.
+func (e *encIO) ReadBlocks(ns []int64, bufs [][]byte) error {
+	if err := vdisk.ReadBlocks(e.dev, ns, bufs); err != nil {
+		return err
+	}
+	return fanBlocks(len(ns), func(i int) error {
+		return e.sealer.Open(ns[i], bufs[i], bufs[i])
+	})
+}
+
+// WriteBlocks seals the batch into the reused staging area and submits one
+// sorted device write.
+func (e *encIO) WriteBlocks(ns []int64, bufs [][]byte) error {
+	if len(ns) != len(bufs) {
+		return fmt.Errorf("%w: %d block numbers, %d buffers", vdisk.ErrBadBuffer, len(ns), len(bufs))
+	}
+	bs := e.dev.BlockSize()
+	if cap(e.scratch) < len(ns)*bs {
+		e.scratch = make([]byte, len(ns)*bs)
+	}
+	ct := e.scratch[:len(ns)*bs]
+	cts := make([][]byte, len(ns))
+	for i := range cts {
+		cts[i] = ct[i*bs : (i+1)*bs]
+	}
+	if err := fanBlocks(len(ns), func(i int) error {
+		return e.sealer.Seal(ns[i], cts[i], bufs[i])
+	}); err != nil {
+		return err
+	}
+	return vdisk.WriteBlocks(e.dev, ns, cts)
+}
+
+var _ ptree.BatchBlockIO = (*encIO)(nil)
 
 // hiddenRef is an open handle to a located hidden object.
 type hiddenRef struct {
@@ -148,17 +255,19 @@ type hiddenRef struct {
 	sealer    *sgcrypto.Sealer
 	headerBlk int64
 	hdr       *header
+	exclusive bool // lock mode held on fs.objs (set by open/createHidden)
 }
 
-func (r *hiddenRef) io(dev vdisk.Device) encIO { return encIO{dev: dev, sealer: r.sealer} }
+func (r *hiddenRef) io(dev vdisk.Device) *encIO { return &encIO{dev: dev, sealer: r.sealer} }
 
-// --- Locating and creating headers ------------------------------------------
+// --- Locating, opening and creating headers ----------------------------------
 
-// probeHeader runs the pseudorandom block-number generator and returns the
-// first candidate holding a matching signature (retrieval mode), mirroring
-// §3.1: "looks for the first block number that is marked as assigned in the
-// bitmap and contains a matching file signature".
-func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
+// probeHeaderLocked runs the pseudorandom block-number generator and returns
+// the first candidate holding a matching signature (retrieval mode),
+// mirroring §3.1: "looks for the first block number that is marked as
+// assigned in the bitmap and contains a matching file signature". The caller
+// holds fs.mu (shared or exclusive) for the bitmap probes.
+func (fs *FS) probeHeaderLocked(physName string, fak []byte) (*hiddenRef, error) {
 	sealer, err := sgcrypto.NewSealer(physName, fak)
 	if err != nil {
 		return nil, err
@@ -197,9 +306,82 @@ func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
 	return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, physName)
 }
 
-// allocHeaderBlock runs the generator in creation mode: the first candidate
-// that is free in the bitmap becomes the header block.
-func (fs *FS) allocHeaderBlock(physName string, fak []byte) (int64, error) {
+// probeHeader locates a hidden object, taking the allocation lock shared for
+// the duration of the probe. The returned ref carries a header snapshot that
+// is only trustworthy while no writer runs; callers that need a stable view
+// go through openShared/openExclusive instead.
+func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.probeHeaderLocked(physName, fak)
+}
+
+// reloadHeader re-reads and re-decodes the object's header block. Called
+// with the object lock held, it upgrades a probe-time snapshot to the
+// current state (the object may have been rewritten — or deleted, reported
+// as ErrNotFound — between the probe and the lock acquisition).
+func (fs *FS) reloadHeader(r *hiddenRef) error {
+	buf := make([]byte, fs.dev.BlockSize())
+	if err := fs.dev.ReadBlock(r.headerBlk, buf); err != nil {
+		return err
+	}
+	if err := r.sealer.Open(r.headerBlk, buf, buf); err != nil {
+		return err
+	}
+	h, ok, err := decodeHeader(buf, r.hdr.sig)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, r.physName)
+	}
+	r.hdr = h
+	return nil
+}
+
+// openShared locates (physName, fak) and returns a ref holding the object's
+// shared lock with a current header. Release with fs.release.
+func (fs *FS) openShared(physName string, fak []byte) (*hiddenRef, error) {
+	return fs.openHidden(physName, fak, false)
+}
+
+// openExclusive is openShared with the exclusive object lock, for callers
+// that will mutate the object.
+func (fs *FS) openExclusive(physName string, fak []byte) (*hiddenRef, error) {
+	return fs.openHidden(physName, fak, true)
+}
+
+func (fs *FS) openHidden(physName string, fak []byte, exclusive bool) (*hiddenRef, error) {
+	r, err := fs.probeHeader(physName, fak)
+	if err != nil {
+		return nil, err
+	}
+	r.exclusive = exclusive
+	if exclusive {
+		fs.objs.Lock(r.headerBlk)
+	} else {
+		fs.objs.RLock(r.headerBlk)
+	}
+	if err := fs.reloadHeader(r); err != nil {
+		fs.release(r)
+		return nil, err
+	}
+	return r, nil
+}
+
+// release drops the object lock taken by openShared/openExclusive.
+func (fs *FS) release(r *hiddenRef) {
+	if r.exclusive {
+		fs.objs.Unlock(r.headerBlk)
+	} else {
+		fs.objs.RUnlock(r.headerBlk)
+	}
+}
+
+// allocHeaderBlockLocked runs the generator in creation mode: the first
+// candidate that is free in the bitmap becomes the header block. The caller
+// holds fs.mu exclusively.
+func (fs *FS) allocHeaderBlockLocked(physName string, fak []byte) (int64, error) {
 	gen := sgcrypto.NewPRBG(sgcrypto.HeaderSeed(physName, fak), fs.dev.NumBlocks())
 	for i := 0; i < fs.params.MaxHeaderProbes; i++ {
 		cand := gen.Next()
@@ -221,6 +403,7 @@ func (fs *FS) allocHeaderBlock(physName string, fak []byte) (int64, error) {
 // poolTake removes and returns a random block from the object's internal
 // free pool, topping the pool up from the file system when it falls below
 // FreeMin. When the pool is empty it allocates directly from the volume.
+// The caller holds fs.mu exclusively.
 func (fs *FS) poolTake(r *hiddenRef) (int64, error) {
 	h := r.hdr
 	if len(h.free) == 0 {
@@ -241,7 +424,8 @@ func (fs *FS) poolTake(r *hiddenRef) (int64, error) {
 }
 
 // poolTopUp refills the pool to FreeMax with random free blocks. Shortfalls
-// are tolerated (the volume may simply be full).
+// are tolerated (the volume may simply be full). The caller holds fs.mu
+// exclusively.
 func (fs *FS) poolTopUp(r *hiddenRef) {
 	capHdr := freeCapacity(fs.dev.BlockSize())
 	target := fs.params.FreeMax
@@ -259,6 +443,7 @@ func (fs *FS) poolTopUp(r *hiddenRef) {
 
 // poolGive returns a freed block to the pool; once the pool exceeds FreeMax
 // the block goes back to the file system instead (§3.1 truncation rule).
+// The caller holds fs.mu exclusively.
 func (fs *FS) poolGive(r *hiddenRef, b int64) {
 	capHdr := freeCapacity(fs.dev.BlockSize())
 	limit := fs.params.FreeMax
@@ -272,23 +457,46 @@ func (fs *FS) poolGive(r *hiddenRef, b int64) {
 	_ = fs.bm.Clear(b)
 }
 
+// lockedAlloc adapts poolTake to a ptree.AllocFunc with its own fs.mu
+// critical section per call (pointer blocks are few).
+func (fs *FS) lockedAlloc(r *hiddenRef) ptree.AllocFunc {
+	return func() (int64, error) {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		return fs.poolTake(r)
+	}
+}
+
 // --- Hidden object CRUD ------------------------------------------------------
 
-// createHidden stores a new hidden object. The caller holds fs.mu.
+// createHidden stores a new hidden object. It is self-locking: the existence
+// probe, the header-block allocation and the initial header flush happen
+// atomically under fs.mu, so two concurrent creates for the same (name, key)
+// cannot both miss the probe and mint duplicate headers; the bulk data write
+// then runs under the new object's exclusive lock only, with fs.mu taken
+// briefly for each pool interaction.
 func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte) (*hiddenRef, error) {
-	// Refuse to overwrite an existing object with the same (name, key).
-	if _, err := fs.probeHeader(physName, fak); err == nil {
-		return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrExists, physName)
-	}
 	sealer, err := sgcrypto.NewSealer(physName, fak)
 	if err != nil {
 		return nil, err
 	}
-	hb, err := fs.allocHeaderBlock(physName, fak)
+	// Gate before fs.mu, matching Freeze's order: the gate hold taken here is
+	// what later lets the fresh object be locked while fs.mu is still held
+	// without ever waiting on the gate (see lockTable.EnterGate).
+	fs.objs.EnterGate()
+	fs.mu.Lock()
+	if _, err := fs.probeHeaderLocked(physName, fak); err == nil {
+		fs.mu.Unlock()
+		fs.objs.ExitGate()
+		return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrExists, physName)
+	}
+	hb, err := fs.allocHeaderBlockLocked(physName, fak)
 	if err != nil {
+		fs.mu.Unlock()
+		fs.objs.ExitGate()
 		return nil, err
 	}
-	r := &hiddenRef{physName: physName, fak: fak, sealer: sealer, headerBlk: hb}
+	r := &hiddenRef{physName: physName, fak: fak, sealer: sealer, headerBlk: hb, exclusive: true}
 	r.hdr = &header{
 		sig:   sgcrypto.Signature(physName, fak),
 		flags: flags,
@@ -297,28 +505,51 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 	// "When a hidden file is created, StegFS straightaway allocates several
 	// blocks to the file" — seed the internal free pool.
 	fs.poolTopUp(r)
+	// Flush the (still empty) header before fs.mu drops: from this instant a
+	// concurrent probe for the same (name, key) finds the object instead of
+	// minting a second header.
+	if err := fs.flushHeader(r); err != nil {
+		for _, b := range r.hdr.free {
+			_ = fs.bm.Clear(b)
+		}
+		_ = fs.bm.Clear(hb)
+		fs.mu.Unlock()
+		fs.objs.ExitGate()
+		return nil, err
+	}
+	// The gate is already held (EnterGate above) and the header block was
+	// free until a moment ago, so this acquisition cannot block on anything
+	// while fs.mu is held.
+	fs.objs.LockGateHeld(hb)
+	fs.mu.Unlock()
+	defer fs.objs.Unlock(hb)
 
 	if err := fs.writeHiddenData(r, data); err != nil {
-		fs.destroyHiddenLocked(r)
+		fs.destroyHidden(r)
 		return nil, err
 	}
 	// The data write may have drained the pool; the created file must end
 	// up holding its free blocks (Figure 2: the header carries a persistent
 	// free-blocks list), or bitmap-snapshot deltas would expose exactly the
 	// data blocks.
+	fs.mu.Lock()
 	fs.poolTopUp(r)
+	fs.mu.Unlock()
 	if err := fs.flushHeader(r); err != nil {
-		fs.destroyHiddenLocked(r)
+		fs.destroyHidden(r)
 		return nil, err
 	}
 	return r, nil
 }
 
-// writeHiddenData allocates blocks (via the pool) and writes the payload and
-// its pointer tree. It fills in r.hdr.{size,nblocks,root}.
+// writeHiddenData allocates blocks (via the pool, in one fs.mu critical
+// section) and writes the payload and its pointer tree with vectored sealed
+// I/O. It fills in r.hdr.{size,nblocks,root}. The caller holds the object's
+// exclusive lock.
 func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
 	bs := fs.dev.BlockSize()
 	n := (int64(len(data)) + int64(bs) - 1) / int64(bs)
+	fs.mu.Lock()
 	blocks := make([]int64, 0, n)
 	for i := int64(0); i < n; i++ {
 		b, err := fs.poolTake(r)
@@ -326,25 +557,24 @@ func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
 			for _, blk := range blocks {
 				_ = fs.bm.Clear(blk)
 			}
+			fs.mu.Unlock()
 			return err
 		}
 		blocks = append(blocks, b)
 	}
+	fs.mu.Unlock()
+
 	io := r.io(fs.dev)
-	buf := make([]byte, bs)
-	for i, b := range blocks {
-		for j := range buf {
-			buf[j] = 0
+	bufs := payloadBufs(data, len(blocks), bs)
+	if err := io.WriteBlocks(blocks, bufs); err != nil {
+		fs.mu.Lock()
+		for _, blk := range blocks {
+			_ = fs.bm.Clear(blk)
 		}
-		off := i * bs
-		if off < len(data) {
-			copy(buf, data[off:])
-		}
-		if err := io.WriteBlock(b, buf); err != nil {
-			return err
-		}
+		fs.mu.Unlock()
+		return err
 	}
-	root, _, err := ptree.Write(io, func() (int64, error) { return fs.poolTake(r) }, hdrNumDirect, blocks)
+	root, _, err := ptree.Write(io, fs.lockedAlloc(r), hdrNumDirect, blocks)
 	if err != nil {
 		return err
 	}
@@ -352,6 +582,25 @@ func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
 	r.hdr.size = int64(len(data))
 	r.hdr.nblocks = n
 	return nil
+}
+
+// payloadBufs splits data into nBlocks block-sized write buffers. Full
+// blocks alias data directly (WriteBlocks only reads them while sealing into
+// its own ciphertext staging); only the final partial block — if any — is
+// copied into a fresh zero-padded buffer, so a hidden write never duplicates
+// the whole payload.
+func payloadBufs(data []byte, nBlocks, bs int) [][]byte {
+	bufs := make([][]byte, nBlocks)
+	full := len(data) / bs
+	for i := 0; i < full && i < nBlocks; i++ {
+		bufs[i] = data[i*bs : (i+1)*bs]
+	}
+	if full < nBlocks {
+		tail := make([]byte, bs)
+		copy(tail, data[full*bs:])
+		bufs[full] = tail
+	}
+	return bufs
 }
 
 // flushHeader seals and writes the header block.
@@ -363,7 +612,9 @@ func (fs *FS) flushHeader(r *hiddenRef) error {
 	return r.io(fs.dev).WriteBlock(r.headerBlk, buf)
 }
 
-// readHidden returns the full payload of an open hidden object.
+// readHidden returns the full payload of an open hidden object: one batched
+// sorted device read for the data blocks, decrypted in place by the seal
+// fan-out. The caller holds the object's lock (shared suffices).
 func (fs *FS) readHidden(r *hiddenRef) ([]byte, error) {
 	io := r.io(fs.dev)
 	blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
@@ -372,83 +623,81 @@ func (fs *FS) readHidden(r *hiddenRef) ([]byte, error) {
 	}
 	bs := fs.dev.BlockSize()
 	out := make([]byte, r.hdr.nblocks*int64(bs))
-	buf := make([]byte, bs)
-	for i, b := range blocks {
-		if err := io.ReadBlock(b, buf); err != nil {
-			return nil, err
-		}
-		copy(out[i*bs:], buf)
+	bufs := make([][]byte, len(blocks))
+	for i := range bufs {
+		bufs[i] = out[i*bs : (i+1)*bs]
+	}
+	if err := io.ReadBlocks(blocks, bufs); err != nil {
+		return nil, err
 	}
 	return out[:r.hdr.size], nil
 }
 
 // rewriteHidden replaces the payload of an open hidden object. Same-shape
 // payloads are updated in place; otherwise old blocks are released through
-// the pool and fresh ones allocated.
+// the pool and fresh ones allocated. The caller holds the object's exclusive
+// lock.
 func (fs *FS) rewriteHidden(r *hiddenRef, data []byte) error {
 	bs := fs.dev.BlockSize()
 	n := (int64(len(data)) + int64(bs) - 1) / int64(bs)
 	io := r.io(fs.dev)
-	if n == r.hdr.nblocks {
-		blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
-		if err != nil {
-			return err
-		}
-		buf := make([]byte, bs)
-		for i, b := range blocks {
-			for j := range buf {
-				buf[j] = 0
-			}
-			off := i * bs
-			if off < len(data) {
-				copy(buf, data[off:])
-			}
-			if err := io.WriteBlock(b, buf); err != nil {
-				return err
-			}
-		}
-		r.hdr.size = int64(len(data))
-		return fs.flushHeader(r)
-	}
-	// Release old data and pointer blocks through the pool.
 	blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
 	if err != nil {
 		return err
 	}
-	if err := ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { fs.poolGive(r, b) }); err != nil {
+	if n == r.hdr.nblocks {
+		if err := io.WriteBlocks(blocks, payloadBufs(data, len(blocks), bs)); err != nil {
+			return err
+		}
+		r.hdr.size = int64(len(data))
+		return fs.flushHeader(r)
+	}
+	// Release old data and pointer blocks through the pool (collected first,
+	// then returned under one allocation-lock acquisition).
+	freed := blocks
+	if err := ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { freed = append(freed, b) }); err != nil {
 		return err
 	}
-	for _, b := range blocks {
+	fs.mu.Lock()
+	for _, b := range freed {
 		fs.poolGive(r, b)
 	}
+	fs.mu.Unlock()
 	if err := fs.writeHiddenData(r, data); err != nil {
 		return err
 	}
 	return fs.flushHeader(r)
 }
 
-// destroyHiddenLocked frees everything the object holds: data blocks,
-// pointer blocks, pooled free blocks and the header itself.
-func (fs *FS) destroyHiddenLocked(r *hiddenRef) {
+// destroyHidden frees everything the object holds: data blocks, pointer
+// blocks, pooled free blocks and the header itself. The caller holds the
+// object's exclusive lock; the bitmap is cleared in one allocation-lock
+// critical section.
+func (fs *FS) destroyHidden(r *hiddenRef) {
 	io := r.io(fs.dev)
+	var victims []int64
 	if r.hdr != nil && r.hdr.nblocks > 0 {
 		if blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks); err == nil {
-			for _, b := range blocks {
-				_ = fs.bm.Clear(b)
-			}
+			victims = append(victims, blocks...)
 		}
-		_ = ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { _ = fs.bm.Clear(b) })
+		if meta, err := ptree.MetaBlocks(io, r.hdr.root, r.hdr.nblocks); err == nil {
+			victims = append(victims, meta...)
+		}
 	}
 	if r.hdr != nil {
-		for _, b := range r.hdr.free {
-			_ = fs.bm.Clear(b)
-		}
+		victims = append(victims, r.hdr.free...)
 	}
-	_ = fs.bm.Clear(r.headerBlk)
+	victims = append(victims, r.headerBlk)
+	fs.mu.Lock()
+	for _, b := range victims {
+		_ = fs.bm.Clear(b)
+	}
+	fs.mu.Unlock()
 }
 
 // hiddenBlocks returns every block an open hidden object occupies: header,
-// data, pointer blocks and pooled free blocks. Backup images these.
+// data, pointer blocks and pooled free blocks. Backup images these. The
+// caller holds the object's lock (shared suffices).
 func (fs *FS) hiddenBlocks(r *hiddenRef) ([]int64, error) {
 	io := r.io(fs.dev)
 	out := []int64{r.headerBlk}

@@ -129,8 +129,6 @@ func mkPayload(n int, tag byte) []byte {
 
 func TestHiddenWrongKeyIndistinguishable(t *testing.T) {
 	fs, _ := newTestFS(t, 4096, 512, nil)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if _, err := fs.createHidden("u/f", []byte("right"), FlagFile, mkPayload(2000, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -146,8 +144,6 @@ func TestHiddenHeaderRelocatable(t *testing.T) {
 	// Two objects whose first PRBG candidates collide: the second must land
 	// on a later candidate and still be found.
 	fs, _ := newTestFS(t, 4096, 512, nil)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	// Occupy many blocks so collisions happen organically.
 	for i := 0; i < 20; i++ {
 		name := fmt.Sprintf("u/f%d", i)
@@ -157,11 +153,12 @@ func TestHiddenHeaderRelocatable(t *testing.T) {
 	}
 	for i := 0; i < 20; i++ {
 		name := fmt.Sprintf("u/f%d", i)
-		r, err := fs.probeHeader(name, []byte("k"))
+		r, err := fs.openShared(name, []byte("k"))
 		if err != nil {
 			t.Fatalf("lost %s: %v", name, err)
 		}
 		data, err := fs.readHidden(r)
+		fs.release(r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,8 +170,6 @@ func TestHiddenHeaderRelocatable(t *testing.T) {
 
 func TestHiddenDuplicateCreateRefused(t *testing.T) {
 	fs, _ := newTestFS(t, 4096, 512, nil)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if _, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(100, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -185,12 +180,12 @@ func TestHiddenDuplicateCreateRefused(t *testing.T) {
 
 func TestFreePoolSeededAtCreate(t *testing.T) {
 	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.FreeMax = 10 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(512, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	// "StegFS straightaway allocates several blocks to the file": after a
 	// 1-block write from a 10-block pool, the pool holds FreeMax-1...FreeMax
 	// blocks (top-ups only below FreeMin=0).
@@ -207,12 +202,12 @@ func TestFreePoolSeededAtCreate(t *testing.T) {
 
 func TestFreePoolTopUpAtFreeMin(t *testing.T) {
 	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.FreeMin = 4; p.FreeMax = 8 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	// Take blocks until the pool would dip below FreeMin; it must top up.
 	for i := 0; i < 40; i++ {
 		if _, err := fs.poolTake(r); err != nil {
@@ -226,12 +221,12 @@ func TestFreePoolTopUpAtFreeMin(t *testing.T) {
 
 func TestFreePoolCapAtFreeMax(t *testing.T) {
 	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.FreeMax = 6 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	free0 := fs.bm.CountFree()
 	// Give back many blocks: the pool absorbs up to FreeMax, the rest go to
 	// the volume.
@@ -260,8 +255,6 @@ func TestFreePoolCapAtFreeMax(t *testing.T) {
 
 func TestHiddenBlocksAccounting(t *testing.T) {
 	fs, _ := newTestFS(t, 8192, 512, nil)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(30*512, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +263,8 @@ func TestHiddenBlocksAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	// 30 data + 1 header + 1 single-indirect (30 > 24 direct) + pool.
 	want := 30 + 1 + 1 + len(r.hdr.free)
 	if len(blocks) != want {

@@ -1,0 +1,129 @@
+package stegfs
+
+import "sync"
+
+// lockTable hands out per-hidden-object locks keyed by header block number,
+// so operations on distinct hidden objects proceed in parallel while reads
+// and writes of the same object serialize. Entries are reference-counted and
+// reclaimed when the last holder releases, so the table stays proportional
+// to the number of objects currently being accessed, not to the number of
+// objects on the volume.
+//
+// The table also carries the volume's freeze gate: every per-object
+// acquisition holds the gate shared, and Freeze takes it exclusively, giving
+// whole-volume operations (Backup) a point where no hidden object is mid-
+// mutation.
+//
+// Lock hierarchy (outermost first):
+//
+//	FS.nsMu  →  lockTable (gate, then one object lock)  →  FS.mu  →  cache/device locks
+//
+// Never acquire a per-object lock while holding FS.mu, with one audited
+// exception: createHidden locks the object it just allocated before
+// releasing FS.mu. It pre-takes the gate with EnterGate (before FS.mu, in
+// hierarchy order) and then uses LockGateHeld, so neither the gate nor the
+// object mutex — the block was free until this moment, nobody else can have
+// discovered it — can block while FS.mu is held.
+type lockTable struct {
+	gate sync.RWMutex // freeze gate; object holders share it, Freeze excludes them
+	mu   sync.Mutex   // guards m
+	m    map[int64]*objLock
+}
+
+type objLock struct {
+	refs int
+	mu   sync.RWMutex
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{m: make(map[int64]*objLock)}
+}
+
+// get returns the lock for header block b, creating it on first use, with
+// its reference count raised.
+func (t *lockTable) get(b int64) *objLock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.m[b]
+	if !ok {
+		l = &objLock{}
+		t.m[b] = l
+	}
+	l.refs++
+	return l
+}
+
+// lookup returns the live lock for b without touching its reference count.
+// Only holders (who own a reference from get) may call it.
+func (t *lockTable) lookup(b int64) *objLock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[b]
+}
+
+// put drops one reference to the lock for b, reclaiming the entry when the
+// last holder is gone. The caller must have released the object mutex first:
+// every waiter takes its reference before blocking, so an entry at zero
+// references has neither holders nor waiters and is safe to drop.
+func (t *lockTable) put(b int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.m[b]
+	l.refs--
+	if l.refs == 0 {
+		delete(t.m, b)
+	}
+}
+
+// Lock takes the exclusive lock of the object whose header lives in block b.
+func (t *lockTable) Lock(b int64) {
+	t.gate.RLock()
+	t.get(b).mu.Lock()
+}
+
+// Unlock releases an exclusive hold.
+func (t *lockTable) Unlock(b int64) {
+	t.lookup(b).mu.Unlock()
+	t.put(b)
+	t.gate.RUnlock()
+}
+
+// RLock takes the shared lock of the object whose header lives in block b.
+func (t *lockTable) RLock(b int64) {
+	t.gate.RLock()
+	t.get(b).mu.RLock()
+}
+
+// RUnlock releases a shared hold.
+func (t *lockTable) RUnlock(b int64) {
+	t.lookup(b).mu.RUnlock()
+	t.put(b)
+	t.gate.RUnlock()
+}
+
+// EnterGate takes the freeze gate shared without locking any object.
+// createHidden uses it to establish the gate → fs.mu order up front, so it
+// can later lock its freshly allocated object with LockGateHeld while
+// holding fs.mu without ever waiting on the gate there (waiting on the gate
+// while holding fs.mu would deadlock against Freeze, which takes the gate
+// before fs.mu).
+func (t *lockTable) EnterGate() { t.gate.RLock() }
+
+// ExitGate releases a shared gate hold taken with EnterGate and not yet
+// transferred to an object lock.
+func (t *lockTable) ExitGate() { t.gate.RUnlock() }
+
+// LockGateHeld locks object b exclusively for a caller that already holds
+// the gate shared (via EnterGate). The matching release is the ordinary
+// Unlock, which gives the gate hold back.
+func (t *lockTable) LockGateHeld(b int64) { t.get(b).mu.Lock() }
+
+// Freeze blocks until no per-object lock is held and prevents new ones from
+// being taken until Unfreeze. Whole-volume operations (Backup, Sync) use
+// this to quiesce hidden-object activity. Freeze is taken BEFORE FS.mu by
+// its callers; since object holders never nest a second object acquisition
+// (hand-over-hand only), a pending Freeze cannot deadlock a holder.
+func (t *lockTable) Freeze() { t.gate.Lock() }
+
+// Unfreeze reopens the gate.
+func (t *lockTable) Unfreeze() { t.gate.Unlock() }

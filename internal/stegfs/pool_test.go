@@ -12,12 +12,12 @@ import (
 // and leave the pool empty.
 func TestPoolTakeEmptyPoolFallsBackToVolume(t *testing.T) {
 	fs, _ := newTestFS(t, 8192, 512, func(p *Params) { p.FreeMin = 0; p.FreeMax = 0 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(512, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	if len(r.hdr.free) != 0 {
 		t.Fatalf("FreeMax=0 volume seeded a pool of %d blocks", len(r.hdr.free))
 	}
@@ -40,13 +40,13 @@ func TestPoolTopUpClampedToHeaderCapacity(t *testing.T) {
 	const bs = 512
 	capHdr := freeCapacity(bs)
 	fs, _ := newTestFS(t, 8192, bs, func(p *Params) { p.FreeMax = capHdr * 4 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(bs, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
 	fs.poolTopUp(r)
+	fs.mu.Unlock()
 	if len(r.hdr.free) > capHdr {
 		t.Fatalf("pool %d exceeds header capacity %d", len(r.hdr.free), capHdr)
 	}
@@ -66,12 +66,12 @@ func TestPoolGiveBeyondClampReturnsToVolume(t *testing.T) {
 	const bs = 512
 	capHdr := freeCapacity(bs)
 	fs, _ := newTestFS(t, 8192, bs, func(p *Params) { p.FreeMax = capHdr * 4 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	fs.poolTopUp(r)
 	if len(r.hdr.free) != capHdr {
 		t.Fatalf("pool %d after top-up, want %d", len(r.hdr.free), capHdr)
@@ -94,12 +94,12 @@ func TestPoolGiveBeyondClampReturnsToVolume(t *testing.T) {
 // looping or panicking.
 func TestPoolTakeFullVolumeReportsNoSpace(t *testing.T) {
 	fs, _ := newTestFS(t, 2048, 512, func(p *Params) { p.FreeMin = 0; p.FreeMax = 0 })
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	r, err := fs.createHidden("u/f", []byte("k"), FlagFile, mkPayload(512, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	// Exhaust the volume.
 	for {
 		if _, err := fs.bm.AllocRandomFree(fs.rng); err != nil {

@@ -13,18 +13,20 @@ import (
 // payload sizes and keys.
 func TestPropertyHiddenRoundTrip(t *testing.T) {
 	fs, _ := newTestFS(t, 8192, 512, nil)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	i := 0
 	f := func(szRaw uint16, key []byte) bool {
 		i++
 		name := fmt.Sprintf("u/p%d", i)
 		data := mkPayload(int(szRaw)%30000, byte(i))
-		r, err := fs.createHidden(name, key, FlagFile, data)
+		if _, err := fs.createHidden(name, key, FlagFile, data); err != nil {
+			return false
+		}
+		r, err := fs.openShared(name, key)
 		if err != nil {
 			return false
 		}
 		got, err := fs.readHidden(r)
+		fs.release(r)
 		if err != nil {
 			return false
 		}
@@ -32,7 +34,12 @@ func TestPropertyHiddenRoundTrip(t *testing.T) {
 			return false
 		}
 		// Clean up so the volume does not fill.
-		fs.destroyHiddenLocked(r)
+		r, err = fs.openExclusive(name, key)
+		if err != nil {
+			return false
+		}
+		fs.destroyHidden(r)
+		fs.release(r)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

@@ -3,6 +3,7 @@ package stegfs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"stegfs/internal/fsapi"
 	"stegfs/internal/ptree"
@@ -14,9 +15,14 @@ import (
 // schemes. The view plays the role of a logged-in user: it remembers the
 // FAKs of the files it created (in memory only — nothing identifying leaks
 // to the volume).
+//
+// A HiddenView is safe for concurrent use: the FAK map has its own lock, and
+// file operations take the underlying per-object locks, so reads of distinct
+// files through one view (or many views) run in parallel.
 type HiddenView struct {
 	fs   *FS
 	uid  string
+	mu   sync.RWMutex // guards faks
 	faks map[string][]byte
 }
 
@@ -30,19 +36,43 @@ func (v *HiddenView) SchemeName() string { return "StegFS" }
 
 func (v *HiddenView) phys(name string) string { return v.uid + "/" + name }
 
-func (v *HiddenView) open(name string) (*hiddenRef, error) {
+// fakFor returns the remembered FAK for name.
+func (v *HiddenView) fakFor(name string) ([]byte, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	fak, ok := v.faks[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", fsapi.ErrNotFound, name)
 	}
-	return v.fs.probeHeader(v.phys(name), fak)
+	return fak, nil
+}
+
+// openShared opens the named file with its object lock held shared.
+func (v *HiddenView) openShared(name string) (*hiddenRef, error) {
+	fak, err := v.fakFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.fs.openShared(v.phys(name), fak)
+}
+
+// openExclusive opens the named file with its object lock held exclusively.
+func (v *HiddenView) openExclusive(name string) (*hiddenRef, error) {
+	fak, err := v.fakFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.fs.openExclusive(v.phys(name), fak)
 }
 
 // Create stores a hidden file with a fresh random FAK.
 func (v *HiddenView) Create(name string, data []byte) error {
+	v.mu.Lock()
 	if _, ok := v.faks[name]; ok {
+		v.mu.Unlock()
 		return fmt.Errorf("%w: %q", fsapi.ErrExists, name)
 	}
+	v.mu.Unlock()
 	var fak []byte
 	if v.fs.params.DeterministicKeys {
 		sig := sgcrypto.Signature("stegfs.view.fak\x00"+v.uid+"\x00"+name, v.fs.sb.volKey[:])
@@ -53,12 +83,12 @@ func (v *HiddenView) Create(name string, data []byte) error {
 			return err
 		}
 	}
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
 	if _, err := v.fs.createHidden(v.phys(name), fak, FlagFile, data); err != nil {
 		return err
 	}
+	v.mu.Lock()
 	v.faks[name] = fak
+	v.mu.Unlock()
 	return nil
 }
 
@@ -76,47 +106,46 @@ func (v *HiddenView) Adopt(name string) error {
 // AdoptWithFAK registers an existing hidden file under its file access key,
 // verifying that the header can be located.
 func (v *HiddenView) AdoptWithFAK(name string, fak []byte) error {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
 	if _, err := v.fs.probeHeader(v.phys(name), fak); err != nil {
 		return err
 	}
+	v.mu.Lock()
 	v.faks[name] = append([]byte(nil), fak...)
+	v.mu.Unlock()
 	return nil
 }
 
 // Read returns a hidden file's contents.
 func (v *HiddenView) Read(name string) ([]byte, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openShared(name)
 	if err != nil {
 		return nil, err
 	}
+	defer v.fs.release(r)
 	return v.fs.readHidden(r)
 }
 
 // Write replaces a hidden file's contents.
 func (v *HiddenView) Write(name string, data []byte) error {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openExclusive(name)
 	if err != nil {
 		return err
 	}
+	defer v.fs.release(r)
 	return v.fs.rewriteHidden(r, data)
 }
 
 // Delete removes a hidden file.
 func (v *HiddenView) Delete(name string) error {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openExclusive(name)
 	if err != nil {
 		return err
 	}
-	v.fs.destroyHiddenLocked(r)
+	v.fs.destroyHidden(r)
+	v.fs.release(r)
+	v.mu.Lock()
 	delete(v.faks, name)
+	v.mu.Unlock()
 	return nil
 }
 
@@ -130,35 +159,39 @@ func (v *HiddenView) Sync() error { return v.fs.Sync() }
 // view via Adopt/AdoptWithFAK.
 func (v *HiddenView) Close() error {
 	err := v.fs.Sync()
-	v.fs.mu.Lock()
+	v.mu.Lock()
 	v.faks = make(map[string][]byte)
-	v.fs.mu.Unlock()
+	v.mu.Unlock()
 	return err
 }
 
 // Stat describes a hidden file.
 func (v *HiddenView) Stat(name string) (fsapi.FileInfo, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openShared(name)
 	if err != nil {
 		return fsapi.FileInfo{}, err
 	}
+	defer v.fs.release(r)
 	return fsapi.FileInfo{Name: name, Size: r.hdr.size, Blocks: r.hdr.nblocks}, nil
 }
 
 // OccupiedBlocks returns every block the view's files hold, including
 // header, pointer and pooled free blocks. Space accounting uses this.
 func (v *HiddenView) OccupiedBlocks() (int64, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	var total int64
+	v.mu.RLock()
+	names := make([]string, 0, len(v.faks))
 	for name := range v.faks {
-		r, err := v.open(name)
+		names = append(names, name)
+	}
+	v.mu.RUnlock()
+	var total int64
+	for _, name := range names {
+		r, err := v.openShared(name)
 		if err != nil {
 			return 0, err
 		}
 		blocks, err := v.fs.hiddenBlocks(r)
+		v.fs.release(r)
 		if err != nil {
 			return 0, err
 		}
@@ -171,12 +204,11 @@ func (v *HiddenView) OccupiedBlocks() (int64, error) {
 // it occupies (header + data + pointer + pooled free blocks). The adversary
 // experiments use the data blocks as attack ground truth.
 func (v *HiddenView) BlocksOf(name string) (data, all []int64, err error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openShared(name)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer v.fs.release(r)
 	data, err = ptree.Read(r.io(v.fs.dev), r.hdr.root, r.hdr.nblocks)
 	if err != nil {
 		return nil, nil, err
@@ -191,9 +223,10 @@ func (v *HiddenView) BlocksOf(name string) (data, all []int64, err error) {
 // hiddenCursor steps a hidden-file read or write one data block per Step.
 // Every Step performs the device I/O plus the seal/open, as the real system
 // would ("data blocks ... are decrypted on-the-fly during retrieval", §4).
+// The cursor holds no locks between Steps; it belongs to one goroutine.
 type hiddenCursor struct {
 	fs     *FS
-	ref    *hiddenRef
+	io     *encIO
 	blocks []int64
 	data   []byte // nil for reads
 	pos    int
@@ -204,28 +237,26 @@ type hiddenCursor struct {
 // the cursor's steps are pure data-block I/O — matching the paper's model
 // where the header is located once at open time.
 func (v *HiddenView) ReadCursor(name string) (fsapi.Cursor, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openShared(name)
 	if err != nil {
 		return nil, err
 	}
+	defer v.fs.release(r)
 	blocks, err := ptree.Read(r.io(v.fs.dev), r.hdr.root, r.hdr.nblocks)
 	if err != nil {
 		return nil, err
 	}
-	return &hiddenCursor{fs: v.fs, ref: r, blocks: blocks, buf: make([]byte, v.fs.dev.BlockSize())}, nil
+	return &hiddenCursor{fs: v.fs, io: r.io(v.fs.dev), blocks: blocks, buf: make([]byte, v.fs.dev.BlockSize())}, nil
 }
 
 // WriteCursor implements fsapi.CursorFS for an in-place like-shaped
 // overwrite.
 func (v *HiddenView) WriteCursor(name string, data []byte) (fsapi.Cursor, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openExclusive(name)
 	if err != nil {
 		return nil, err
 	}
+	defer v.fs.release(r)
 	bs := int64(v.fs.dev.BlockSize())
 	if (int64(len(data))+bs-1)/bs != r.hdr.nblocks {
 		return nil, fmt.Errorf("stegfs: write cursor size mismatch")
@@ -238,7 +269,7 @@ func (v *HiddenView) WriteCursor(name string, data []byte) (fsapi.Cursor, error)
 	if err := v.fs.flushHeader(r); err != nil {
 		return nil, err
 	}
-	return &hiddenCursor{fs: v.fs, ref: r, blocks: blocks, data: data, buf: make([]byte, v.fs.dev.BlockSize())}, nil
+	return &hiddenCursor{fs: v.fs, io: r.io(v.fs.dev), blocks: blocks, data: data, buf: make([]byte, v.fs.dev.BlockSize())}, nil
 }
 
 // Step performs the next block's sealed I/O.
@@ -246,10 +277,9 @@ func (c *hiddenCursor) Step() (bool, error) {
 	if c.pos >= len(c.blocks) {
 		return true, errors.New("stegfs: Step past end of cursor")
 	}
-	io := c.ref.io(c.fs.dev)
 	b := c.blocks[c.pos]
 	if c.data == nil {
-		if err := io.ReadBlock(b, c.buf); err != nil {
+		if err := c.io.ReadBlock(b, c.buf); err != nil {
 			return false, err
 		}
 	} else {
@@ -260,7 +290,7 @@ func (c *hiddenCursor) Step() (bool, error) {
 		if off < len(c.data) {
 			copy(c.buf, c.data[off:])
 		}
-		if err := io.WriteBlock(b, c.buf); err != nil {
+		if err := c.io.WriteBlock(b, c.buf); err != nil {
 			return false, err
 		}
 	}

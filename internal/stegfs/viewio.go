@@ -10,18 +10,18 @@ import (
 // Random-access I/O on hidden files. The DBMS extension (internal/stegdb,
 // the future work of §6) needs page-granular reads and writes inside a
 // hidden file without rewriting it wholesale; these methods perform sealed
-// in-place block I/O through the file's inode table.
+// in-place block I/O through the file's inode table, batched into one
+// vectored device submission per call.
 
 // ReadAt reads len(p) bytes from the named hidden file starting at offset
 // off. It returns io.EOF semantics like os.File.ReadAt: a short read at the
 // end of the file reports io.EOF.
 func (v *HiddenView) ReadAt(name string, p []byte, off int64) (int, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openShared(name)
 	if err != nil {
 		return 0, err
 	}
+	defer v.fs.release(r)
 	if off < 0 {
 		return 0, fmt.Errorf("stegfs: negative offset %d", off)
 	}
@@ -45,12 +45,11 @@ func (v *HiddenView) ReadAt(name string, p []byte, off int64) (int, error) {
 // WriteAt writes p into the named hidden file at offset off, in place. The
 // write must lie within the file's current size; use Resize to grow first.
 func (v *HiddenView) WriteAt(name string, p []byte, off int64) (int, error) {
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openExclusive(name)
 	if err != nil {
 		return 0, err
 	}
+	defer v.fs.release(r)
 	if off < 0 || off+int64(len(p)) > r.hdr.size {
 		return 0, fmt.Errorf("stegfs: write [%d,%d) outside file of %d bytes (Resize first)",
 			off, off+int64(len(p)), r.hdr.size)
@@ -59,46 +58,62 @@ func (v *HiddenView) WriteAt(name string, p []byte, off int64) (int, error) {
 }
 
 // rwHidden performs a sealed partial read or write across the file's data
-// blocks, with read-modify-write on partially covered edge blocks.
+// blocks, with read-modify-write on partially covered edge blocks. The
+// spanned blocks are staged in one buffer and submitted as a single vectored
+// request (reads: one batch in; writes: edge blocks batched in, then the
+// whole span batched out). The caller holds the object's lock — shared for
+// reads, exclusive for writes.
 func (fs *FS) rwHidden(r *hiddenRef, p []byte, off int64, write bool) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
 	bs := int64(fs.dev.BlockSize())
 	io_ := r.io(fs.dev)
 	blocks, err := ptree.Read(io_, r.hdr.root, r.hdr.nblocks)
 	if err != nil {
 		return 0, err
 	}
-	buf := make([]byte, bs)
-	done := 0
-	for done < len(p) {
-		pos := off + int64(done)
-		bi := pos / bs
-		if bi >= int64(len(blocks)) {
-			return done, fmt.Errorf("stegfs: offset %d beyond mapped blocks", pos)
-		}
-		inOff := pos % bs
-		chunk := int(bs - inOff)
-		if chunk > len(p)-done {
-			chunk = len(p) - done
-		}
-		if write {
-			if inOff != 0 || chunk != int(bs) {
-				if err := io_.ReadBlock(blocks[bi], buf); err != nil {
-					return done, err
-				}
-			}
-			copy(buf[inOff:], p[done:done+chunk])
-			if err := io_.WriteBlock(blocks[bi], buf); err != nil {
-				return done, err
-			}
-		} else {
-			if err := io_.ReadBlock(blocks[bi], buf); err != nil {
-				return done, err
-			}
-			copy(p[done:done+chunk], buf[inOff:int(inOff)+chunk])
-		}
-		done += chunk
+	first := off / bs
+	last := (off + int64(len(p)) - 1) / bs
+	if last >= int64(len(blocks)) {
+		return 0, fmt.Errorf("stegfs: offset %d beyond mapped blocks", off+int64(len(p))-1)
 	}
-	return done, nil
+	span := blocks[first : last+1]
+	staging := make([]byte, int64(len(span))*bs)
+	bufs := make([][]byte, len(span))
+	for i := range bufs {
+		bufs[i] = staging[int64(i)*bs : int64(i+1)*bs]
+	}
+	inOff := off - first*bs // offset of p[0] within the staging area
+
+	if !write {
+		if err := io_.ReadBlocks(span, bufs); err != nil {
+			return 0, err
+		}
+		copy(p, staging[inOff:])
+		return len(p), nil
+	}
+
+	// Read-modify-write: only partially covered edge blocks need their old
+	// contents fetched.
+	var edgeNs []int64
+	var edgeBufs [][]byte
+	if inOff != 0 {
+		edgeNs = append(edgeNs, span[0])
+		edgeBufs = append(edgeBufs, bufs[0])
+	}
+	if tail := inOff + int64(len(p)); tail != int64(len(span))*bs && (len(edgeNs) == 0 || span[len(span)-1] != edgeNs[0]) {
+		edgeNs = append(edgeNs, span[len(span)-1])
+		edgeBufs = append(edgeBufs, bufs[len(span)-1])
+	}
+	if err := io_.ReadBlocks(edgeNs, edgeBufs); err != nil {
+		return 0, err
+	}
+	copy(staging[inOff:], p)
+	if err := io_.WriteBlocks(span, bufs); err != nil {
+		return 0, err
+	}
+	return len(p), nil
 }
 
 // Resize grows or shrinks the named hidden file to newSize bytes, preserving
@@ -107,12 +122,11 @@ func (v *HiddenView) Resize(name string, newSize int64) error {
 	if newSize < 0 {
 		return fmt.Errorf("stegfs: negative size %d", newSize)
 	}
-	v.fs.mu.Lock()
-	defer v.fs.mu.Unlock()
-	r, err := v.open(name)
+	r, err := v.openExclusive(name)
 	if err != nil {
 		return err
 	}
+	defer v.fs.release(r)
 	if newSize == r.hdr.size {
 		return nil
 	}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -43,6 +44,56 @@ type Device interface {
 	NumBlocks() int64
 	// BlockSize returns the block size in bytes.
 	BlockSize() int
+}
+
+// BatchDevice is a Device that can service many blocks in one call. A batch
+// is submitted to the device as a unit: implementations sort the requests by
+// block number before issuing them (so sequential runs earn the read-ahead /
+// streaming reward of the timing model) and acquire their internal locks once
+// per batch instead of once per block. The data read or written is exactly
+// what the equivalent sequence of per-block calls would produce; only the
+// submission order and the locking cost differ.
+type BatchDevice interface {
+	Device
+	// ReadBlocks reads block ns[i] into bufs[i] for every i. len(ns) must
+	// equal len(bufs) and every buffer must be exactly one block long.
+	ReadBlocks(ns []int64, bufs [][]byte) error
+	// WriteBlocks writes bufs[i] to block ns[i] for every i.
+	WriteBlocks(ns []int64, bufs [][]byte) error
+}
+
+// ReadBlocks reads many blocks through dev, using the BatchDevice fast path
+// when the device offers one and falling back to per-block calls otherwise.
+func ReadBlocks(dev Device, ns []int64, bufs [][]byte) error {
+	if len(ns) != len(bufs) {
+		return fmt.Errorf("%w: %d block numbers, %d buffers", ErrBadBuffer, len(ns), len(bufs))
+	}
+	if bd, ok := dev.(BatchDevice); ok {
+		return bd.ReadBlocks(ns, bufs)
+	}
+	for i, n := range ns {
+		if err := dev.ReadBlock(n, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlocks writes many blocks through dev, using the BatchDevice fast
+// path when available.
+func WriteBlocks(dev Device, ns []int64, bufs [][]byte) error {
+	if len(ns) != len(bufs) {
+		return fmt.Errorf("%w: %d block numbers, %d buffers", ErrBadBuffer, len(ns), len(bufs))
+	}
+	if bd, ok := dev.(BatchDevice); ok {
+		return bd.WriteBlocks(ns, bufs)
+	}
+	for i, n := range ns {
+		if err := dev.WriteBlock(n, bufs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Geometry describes the mechanical timing model of the simulated drive.
@@ -153,6 +204,11 @@ type Disk struct {
 	headPos int64 // next block after the last serviced request; -1 = unknown
 	raEnd   int64 // exclusive end of the current read-ahead window
 	stats   Stats
+
+	// emuScale > 0 turns on latency emulation: every request additionally
+	// sleeps emuScale x its simulated service time, outside d.mu. See
+	// EmulateLatency.
+	emuScale float64
 }
 
 // NewDisk builds a timing-simulated disk over store.
@@ -183,6 +239,33 @@ func (d *Disk) Stats() Stats {
 	return d.stats
 }
 
+// EmulateLatency makes every request actually sleep scale x its simulated
+// service time (0 disables, the default). The simulated clock is untouched:
+// it remains the serialized single-spindle cost and stays the canonical
+// experiment metric. The sleep happens outside the simulator lock, so
+// requests from concurrent callers overlap their waits the way a
+// command-queuing device overlaps outstanding requests. Concurrency
+// experiments use this to measure how much device latency the software
+// stack above the disk can keep in flight: a layer that holds a shared lock
+// across its device calls serializes the sleeps and its wall-clock
+// throughput stays flat no matter how many callers pile on.
+func (d *Disk) EmulateLatency(scale float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if scale < 0 {
+		scale = 0
+	}
+	d.emuScale = scale
+}
+
+// emulate sleeps the emulated share of cost, if emulation is on. Called
+// without d.mu held; scale is the emuScale captured under the lock.
+func emulate(scale float64, cost time.Duration) {
+	if scale > 0 && cost > 0 {
+		time.Sleep(time.Duration(float64(cost) * scale))
+	}
+}
+
 // ResetClock zeroes the simulated clock and statistics without touching the
 // stored data or the head position.
 func (d *Disk) ResetClock() {
@@ -206,7 +289,9 @@ func (d *Disk) ReadBlock(n int64, buf []byte) error {
 	d.stats.BytesRead += int64(len(buf))
 	d.clock += cost
 	d.stats.Busy += cost
+	scale := d.emuScale
 	d.mu.Unlock()
+	emulate(scale, cost)
 	return nil
 }
 
@@ -223,7 +308,71 @@ func (d *Disk) WriteBlock(n int64, buf []byte) error {
 	d.stats.BytesWritten += int64(len(buf))
 	d.clock += cost
 	d.stats.Busy += cost
+	scale := d.emuScale
 	d.mu.Unlock()
+	emulate(scale, cost)
+	return nil
+}
+
+// ReadBlocks implements BatchDevice: the batch is sorted by block number and
+// charged as one uninterrupted submission, so an ascending run earns the
+// sequential/read-ahead pricing even when other callers are hammering the
+// disk concurrently. All store reads are performed (and validated) before
+// any simulator state is touched, so a failed batch charges nothing.
+func (d *Disk) ReadBlocks(ns []int64, bufs [][]byte) error {
+	return d.batch(ns, bufs, true)
+}
+
+// WriteBlocks implements BatchDevice with the same sorted-submission and
+// fail-charge-nothing semantics as ReadBlocks.
+func (d *Disk) WriteBlocks(ns []int64, bufs [][]byte) error {
+	return d.batch(ns, bufs, false)
+}
+
+func (d *Disk) batch(ns []int64, bufs [][]byte, read bool) error {
+	if len(ns) != len(bufs) {
+		return fmt.Errorf("%w: %d block numbers, %d buffers", ErrBadBuffer, len(ns), len(bufs))
+	}
+	if len(ns) == 0 {
+		return nil
+	}
+	order := make([]int, len(ns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ns[order[a]] < ns[order[b]] })
+
+	// Store pass first: every block transfers (or the whole batch is
+	// rejected) before the clock, head position or statistics move.
+	for _, i := range order {
+		var err error
+		if read {
+			err = d.store.ReadBlock(ns[i], bufs[i])
+		} else {
+			err = d.store.WriteBlock(ns[i], bufs[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	var total time.Duration
+	d.mu.Lock()
+	for _, i := range order {
+		cost := d.chargeLocked(ns[i], read)
+		if read {
+			d.stats.Reads++
+			d.stats.BytesRead += int64(len(bufs[i]))
+		} else {
+			d.stats.Writes++
+			d.stats.BytesWritten += int64(len(bufs[i]))
+		}
+		d.clock += cost
+		d.stats.Busy += cost
+		total += cost
+	}
+	scale := d.emuScale
+	d.mu.Unlock()
+	emulate(scale, total)
 	return nil
 }
 
@@ -307,4 +456,4 @@ func (d *Disk) String() string {
 	return fmt.Sprintf("vdisk.Disk{blocks=%d bs=%d}", d.NumBlocks(), d.BlockSize())
 }
 
-var _ Device = (*Disk)(nil)
+var _ BatchDevice = (*Disk)(nil)
