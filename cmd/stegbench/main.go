@@ -10,7 +10,7 @@
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
-// ablate-concurrency, all.
+// ablate-concurrency, ablate-write-concurrency, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ida|all")
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ida|all")
 		scale  = flag.String("scale", "small", "workload scale: paper|small")
 		volume = flag.Int64("volume", 0, "override volume size in bytes")
 		bs     = flag.Int("bs", 0, "override block size in bytes")
@@ -83,6 +83,7 @@ func main() {
 	run("ablate-cache", runAblateCache)
 	run("ablate-policy", runAblatePolicy)
 	run("ablate-concurrency", runAblateConcurrency)
+	run("ablate-write-concurrency", runAblateWriteConcurrency)
 	run("ida", runIDA)
 }
 
@@ -112,6 +113,21 @@ func runAblateConcurrency(cfg bench.Config) error {
 	for _, r := range rows {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
+	}
+	return nil
+}
+
+func runAblateWriteConcurrency(cfg bench.Config) error {
+	rows, err := bench.WriteConcurrencySweep(cfg, nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A6 — parallel write path (goroutines over one shared uncached volume,")
+	fmt.Println("mixed create/rewrite/delete on distinct objects; latency-emulated disk):")
+	fmt.Println("  goroutines  wall-sec     ops/s   speedup  disk-sec")
+	for _, r := range rows {
+		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f\n",
+			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds)
 	}
 	return nil
 }

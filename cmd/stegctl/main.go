@@ -12,6 +12,8 @@
 //	get   -name N -out FILE                read a plain file
 //	rm    -name N                          delete a plain file
 //	steg-create  -uid U -uak K -name N [-dir] [-in FILE]   steg_create
+//	steg-put     -uid U -uak K -name N[,N...] -in F[,F...] [-workers W]
+//	                                           parallel multi-file steg_create
 //	steg-hide    -uid U -uak K -path P -name N             steg_hide
 //	steg-unhide  -uid U -uak K -path P -name N             steg_unhide
 //	steg-ls      -uid U -uak K                             list a UAK directory
@@ -114,6 +116,8 @@ func runCmd(fs *stegfs.FS, cmd string, cmdArgs []string) error {
 		return cmdRm(fs, cmdArgs)
 	case "steg-create":
 		return cmdStegCreate(fs, cmdArgs)
+	case "steg-put":
+		return cmdStegPut(fs, cmdArgs)
 	case "steg-hide":
 		return cmdStegHide(fs, cmdArgs)
 	case "steg-unhide":
@@ -205,6 +209,34 @@ func cmdStegCreate(fs *stegfs.FS, args []string) error {
 		}
 	}
 	return s.CreateHidden(*name, []byte(*uak), objtype, data)
+}
+
+func cmdStegPut(fs *stegfs.FS, args []string) error {
+	fl := flag.NewFlagSet("steg-put", flag.ExitOnError)
+	uid, uak := userFlags(fl)
+	name := fl.String("name", "", "hidden object name(s), comma-separated")
+	in := fl.String("in", "", "input file(s), comma-separated, one per name")
+	workers := fl.Int("workers", 4, "bound on concurrent object writes")
+	fl.Parse(args)
+	s, err := session(fs, *uid)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*name, ",")
+	files := strings.Split(*in, ",")
+	if len(names) != len(files) {
+		return fmt.Errorf("steg-put: %d names but %d input files", len(names), len(files))
+	}
+	datas := make([][]byte, len(files))
+	for i, f := range files {
+		if datas[i], err = os.ReadFile(f); err != nil {
+			return err
+		}
+	}
+	// Writers to distinct hidden objects overlap their device waits (the
+	// object creations spread across the sharded allocator's groups); the
+	// directory entries are recorded in one namespace-lock hold at the end.
+	return s.CreateHiddenBatch(names, []byte(*uak), datas, *workers)
 }
 
 func cmdStegHide(fs *stegfs.FS, args []string) error {

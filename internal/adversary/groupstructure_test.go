@@ -1,0 +1,98 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+)
+
+// TestBitmapDiffRevealsNoGroupStructure runs the §3.1 bitmap-snapshot attack
+// against a volume whose allocator is sharded into many groups, and checks
+// that the delta — the blocks newly allocated between two snapshots — shows
+// no statistical trace of the group boundaries. The adversary knows the
+// volume geometry but not the grouping; if allocations clustered per group
+// (e.g. one writer pinned to one group), the delta's distribution across
+// group-aligned bins would diverge from the free-space-weighted uniform
+// expectation and the chi-squared statistic would explode. Two-level
+// free-weighted sampling keeps the delta uniform over the pre-snapshot free
+// space, so the statistic stays near its degrees of freedom.
+func TestBitmapDiffRevealsNoGroupStructure(t *testing.T) {
+	store, err := vdisk.NewMemStore(1<<16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stegfs.DefaultParams()
+	p.NDummy = 2
+	p.DummyAvgSize = 4 * 512
+	p.MaxPlainFiles = 64
+	p.DeterministicKeys = true
+	fs, err := stegfs.Format(store, p, stegfs.WithAllocGroups(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := fs.NewHiddenView("victim")
+
+	prev := fs.Bitmap()
+	// Victim activity between the snapshots: hidden creates, rewrites with
+	// reallocation, and dummy maintenance — the full mutation surface.
+	for i := 0; i < 24; i++ {
+		payload := make([]byte, 3000+i*200)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		if err := view.Create(fmt.Sprintf("doc%02d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.TickDummies(); err != nil {
+		t.Fatal(err)
+	}
+	cur := fs.Bitmap()
+
+	// Bin the newly allocated blocks by allocation group and compare with
+	// the expectation proportional to each group's free space in the PREV
+	// snapshot (what a uniform whole-volume sampler would produce).
+	al := fs.Alloc()
+	groups := al.Groups()
+	if groups != 32 {
+		t.Fatalf("volume built %d groups, want 32", groups)
+	}
+	newBlocks := 0
+	observed := make([]float64, groups)
+	freeWeight := make([]float64, groups)
+	var totalFree float64
+	for g := 0; g < groups; g++ {
+		lo, hi := al.GroupRange(g)
+		f := float64(prev.CountFreeInRange(lo, hi))
+		freeWeight[g] = f
+		totalFree += f
+	}
+	for b := fs.DataStart(); b < prev.Len(); b++ {
+		if cur.Test(b) && !prev.Test(b) {
+			observed[al.GroupOf(b)]++
+			newBlocks++
+		}
+	}
+	if newBlocks < 300 {
+		t.Fatalf("only %d new blocks between snapshots; workload too small for the test", newBlocks)
+	}
+	var chi float64
+	for g := 0; g < groups; g++ {
+		expected := float64(newBlocks) * freeWeight[g] / totalFree
+		if expected < 5 {
+			t.Fatalf("group %d expected %.1f new blocks; workload too small", g, expected)
+		}
+		d := observed[g] - expected
+		chi += d * d / expected
+	}
+	// df = 31; p=0.001 critical value is 61.1. A per-group allocation policy
+	// (each writer draining "its" group) scores in the hundreds.
+	const critical = 61.1
+	t.Logf("bitmap-diff group histogram: %d new blocks, chi²=%.1f over %d groups (critical %.1f)",
+		newBlocks, chi, groups, critical)
+	if chi > critical {
+		t.Fatalf("bitmap diff exposes group-boundary structure: chi²=%.1f > %.1f", chi, critical)
+	}
+}

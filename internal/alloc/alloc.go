@@ -1,0 +1,329 @@
+// Package alloc implements the sharded block allocator: the volume's data
+// region is partitioned into G allocation groups, each with its own mutex,
+// live free count and PRNG, laid over the *same* on-disk bitmap
+// (bitmapvec.Marshal/Unmarshal are unchanged, so the format is untouched and
+// the grouping is invisible on disk). Writers to distinct hidden objects —
+// or plain files — contend only when their allocations land in the same
+// group, instead of serializing on one volume-wide allocation mutex.
+//
+// The steganographic contract of the paper's §3.1 — hidden blocks are drawn
+// uniformly from the whole free space, so a bitmap-diff adversary learns
+// nothing from block placement — survives the sharding because Alloc does
+// two-level sampling: it first picks a group weighted by that group's live
+// free count, then samples uniformly inside the group. For a volume with
+// free counts f_1..f_G summing to F, a free block b in group g is returned
+// with probability (f_g/F) * (1/f_g) = 1/F — exactly the distribution of
+// bitmapvec.AllocRandomFree over the whole volume. The chi-squared test in
+// alloc_test.go and the group-boundary test in internal/adversary pin this
+// equivalence statistically.
+//
+// Locking: each group's mutex guards only that group's range of the bitmap
+// (group boundaries are multiples of 64 blocks, so groups never share a
+// bitmap word; the shared set-count is atomic — see bitmapvec.Bitmap).
+// Whole-bitmap operations (Snapshot, MarshalBitmap) quiesce all groups by
+// taking every group mutex in ascending order. Group mutexes are leaves in
+// the callers' lock hierarchies: no other lock is ever acquired while one is
+// held.
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"stegfs/internal/bitmapvec"
+)
+
+// DefaultGroups is the default number of allocation groups. High enough
+// that a few dozen concurrent writers rarely collide, low enough that
+// per-group state stays trivial on small volumes (groups shrink further when
+// the data region cannot sustain this many 64-block-aligned groups).
+const DefaultGroups = 64
+
+// minGroupBlocks is the smallest group span worth its own mutex; group
+// boundaries must be multiples of 64 anyway (one bitmap word).
+const minGroupBlocks = 64
+
+// Allocator is the sharded allocator over one shared bitmap. Blocks below
+// the data start (file-system metadata: superblock, bitmap region, central
+// directory) are permanently allocated and outside every group.
+type Allocator struct {
+	bm    *bitmapvec.Bitmap
+	start int64 // first group-managed block (the volume's data start)
+	n     int64 // bm.Len()
+	base  int64 // start rounded down to a word boundary (group-0 origin)
+	glen  int64 // nominal group span in blocks, a multiple of 64
+
+	groups []group
+
+	// state drives the lock-free auxiliary randomness (group selection and
+	// the misc Intn/Int63 helpers): an atomic splitmix64 counter, so callers
+	// need no lock to draw and single-threaded runs stay deterministic for a
+	// given seed.
+	state atomic.Uint64
+}
+
+type group struct {
+	lo, hi int64        // block range [lo, hi), hi-exclusive
+	free   atomic.Int64 // live free count, readable without the lock
+	mu     sync.Mutex   // guards the bitmap words of [lo, hi) and rng
+	rng    *rand.Rand
+}
+
+// New builds an allocator with up to numGroups groups over [dataStart,
+// bm.Len()). numGroups <= 0 selects DefaultGroups. The group count is
+// reduced when the data region is too small to give every group at least one
+// bitmap word. The caller must have finished all single-threaded bitmap
+// setup (metadata marking, mount-time Unmarshal) before New; afterwards all
+// mutations of [dataStart, n) must go through the allocator.
+func New(bm *bitmapvec.Bitmap, dataStart int64, numGroups int, seed int64) (*Allocator, error) {
+	n := bm.Len()
+	if dataStart < 0 || dataStart > n {
+		return nil, fmt.Errorf("alloc: data start %d outside volume [0,%d]", dataStart, n)
+	}
+	if numGroups <= 0 {
+		numGroups = DefaultGroups
+	}
+	// Word-aligned interior boundaries: every group except the first starts
+	// at a multiple of 64, so no two groups share a bitmap word. (The first
+	// group's word may straddle the metadata boundary; metadata bits never
+	// change after format, so the sharing is harmless.) The group span is
+	// derived first and the count re-derived from it, so the groups tile
+	// [base, n) exactly — no empty trailing groups.
+	base := dataStart &^ 63
+	span := n - base
+	glen := (span/int64(numGroups) + 63) &^ 63
+	if glen < minGroupBlocks {
+		glen = minGroupBlocks
+	}
+	numGroups = int((span + glen - 1) / glen)
+	if numGroups < 1 {
+		numGroups = 1
+	}
+	a := &Allocator{bm: bm, start: dataStart, n: n, base: base, glen: glen, groups: make([]group, numGroups)}
+	a.state.Store(splitmix64(uint64(seed)) | 1)
+	for i := range a.groups {
+		g := &a.groups[i]
+		g.lo = base + int64(i)*glen
+		g.hi = g.lo + glen
+		if i == 0 {
+			g.lo = dataStart
+		}
+		if g.hi > n || i == numGroups-1 {
+			g.hi = n
+		}
+		g.free.Store(bm.CountFreeInRange(g.lo, g.hi))
+		g.rng = rand.New(rand.NewSource(seed + int64(i)*0x9E37))
+	}
+	return a, nil
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Uint64 returns the next value of the lock-free auxiliary generator.
+func (a *Allocator) Uint64() uint64 { return splitmix64(a.state.Add(0x9E3779B97F4A7C15)) }
+
+// Int63 returns a non-negative random int64 from the auxiliary generator.
+func (a *Allocator) Int63() int64 { return int64(a.Uint64() >> 1) }
+
+// Int63n returns a uniform value in [0, n) from the auxiliary generator.
+// It panics when n <= 0, matching math/rand.
+func (a *Allocator) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("alloc: Int63n with n <= 0")
+	}
+	// Rejection below the largest multiple of n keeps the draw exactly
+	// uniform (a plain modulo would bias low values).
+	max := (1 << 63) - 1 - ((1<<63)-1)%uint64(n) // nolint: last acceptable value + 1 window
+	for {
+		v := a.Uint64() >> 1
+		if v < max {
+			return int64(v % uint64(n))
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n) from the auxiliary generator.
+func (a *Allocator) Intn(n int) int { return int(a.Int63n(int64(n))) }
+
+// Groups returns the number of allocation groups.
+func (a *Allocator) Groups() int { return len(a.groups) }
+
+// GroupRange returns the block range [lo, hi) of group i.
+func (a *Allocator) GroupRange(i int) (lo, hi int64) {
+	return a.groups[i].lo, a.groups[i].hi
+}
+
+// GroupOf returns the index of the group owning block b, or -1 for metadata
+// blocks below the data start.
+func (a *Allocator) GroupOf(b int64) int {
+	if b < a.start || b >= a.n {
+		return -1
+	}
+	i := int((b - a.base) / a.glen)
+	if i >= len(a.groups) {
+		i = len(a.groups) - 1 // the last group absorbs the tail past n&^63
+	}
+	return i
+}
+
+// FreeBlocks returns the volume's live free-block count (the sum of the
+// groups' counts; metadata blocks are never free).
+func (a *Allocator) FreeBlocks() int64 {
+	var total int64
+	for i := range a.groups {
+		total += a.groups[i].free.Load()
+	}
+	return total
+}
+
+// Alloc marks and returns a block drawn uniformly from the volume's free
+// space: a group is picked with probability proportional to its live free
+// count, then a uniform free block of that group is taken under the group's
+// lock. It returns bitmapvec.ErrNoFree when the volume is full.
+func (a *Allocator) Alloc() (int64, error) {
+	// Under concurrency the weights shift while we walk them, so a chosen
+	// group can be empty by the time its lock is taken (or the stale sum can
+	// leave k past the end of the walk). Retrying the whole weighted draw
+	// keeps every successful allocation on the free-weighted path, so
+	// placement stays uniform even when writers contend; the bound is
+	// generous enough that falling out of the loop means either the volume
+	// is exhausted or an adversarially timed churn kept draining exactly the
+	// chosen group hundreds of times in a row.
+	for attempt := 0; attempt < 256; attempt++ {
+		total := a.FreeBlocks()
+		if total == 0 {
+			break
+		}
+		k := a.Int63n(total)
+		for i := range a.groups {
+			g := &a.groups[i]
+			f := g.free.Load()
+			if k >= f {
+				k -= f
+				continue
+			}
+			if b, err := a.allocIn(g); err == nil {
+				return b, nil
+			}
+			break // group drained between the load and the lock; re-weigh
+		}
+	}
+	// Last resort: a locked sweep from a random origin. Its real purpose is
+	// to prove ErrNoFree — a transiently-zero sum must not fail a caller
+	// racing a Free — and the random origin keeps even this path free of
+	// fixed positional bias on the (pathological) chance it ever allocates.
+	start := a.Intn(len(a.groups))
+	for k := range a.groups {
+		if b, err := a.allocIn(&a.groups[(start+k)%len(a.groups)]); err == nil {
+			return b, nil
+		}
+	}
+	return 0, bitmapvec.ErrNoFree
+}
+
+// allocIn takes one uniform free block of g under its lock.
+func (a *Allocator) allocIn(g *group) (int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, err := a.bm.AllocRandomFreeInRange(g.rng, g.lo, g.hi)
+	if err != nil {
+		return 0, err
+	}
+	g.free.Add(-1)
+	return b, nil
+}
+
+// Free returns block b to the free space. Freeing a metadata block or an
+// already-free block is a no-op, mirroring the tolerant bitmap Clear the
+// callers used before sharding.
+func (a *Allocator) Free(b int64) {
+	i := a.GroupOf(b)
+	if i < 0 {
+		return
+	}
+	g := &a.groups[i]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if a.bm.Test(b) {
+		_ = a.bm.Clear(b)
+		g.free.Add(1)
+	}
+}
+
+// Test reports whether block b is currently allocated. Metadata blocks
+// (below the data start) are always allocated — they are marked at format
+// time and never freed — and are answered without touching the bitmap, so
+// the word a group shares with the metadata region is only ever read under
+// that group's lock.
+func (a *Allocator) Test(b int64) bool {
+	i := a.GroupOf(b)
+	if i < 0 {
+		return b >= 0 && b < a.n
+	}
+	g := &a.groups[i]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return a.bm.Test(b)
+}
+
+// TryAlloc atomically claims block b if it is free: the test-and-set the
+// header-creation probe needs (the first free candidate on the pseudorandom
+// chain becomes the header block). It reports whether the claim succeeded;
+// metadata blocks are never claimable.
+func (a *Allocator) TryAlloc(b int64) bool {
+	i := a.GroupOf(b)
+	if i < 0 {
+		return false
+	}
+	g := &a.groups[i]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if a.bm.Test(b) {
+		return false
+	}
+	if err := a.bm.Set(b); err != nil {
+		return false
+	}
+	g.free.Add(-1)
+	return true
+}
+
+// lockAll takes every group mutex in ascending order; unlockAll releases
+// them. Between the two calls no group can allocate or free, so the bitmap
+// is frozen.
+func (a *Allocator) lockAll() {
+	for i := range a.groups {
+		a.groups[i].mu.Lock()
+	}
+}
+
+func (a *Allocator) unlockAll() {
+	for i := len(a.groups) - 1; i >= 0; i-- {
+		a.groups[i].mu.Unlock()
+	}
+}
+
+// Snapshot returns a deep copy of the bitmap taken with all groups
+// quiesced — the consistent image the adversary tooling and Backup diff.
+func (a *Allocator) Snapshot() *bitmapvec.Bitmap {
+	a.lockAll()
+	defer a.unlockAll()
+	return a.bm.Clone()
+}
+
+// MarshalBitmap serializes the bitmap with all groups quiesced. Sync writes
+// the result to the device after flushing data blocks, so the on-device
+// bitmap never references torn allocation state.
+func (a *Allocator) MarshalBitmap() []byte {
+	a.lockAll()
+	defer a.unlockAll()
+	return a.bm.Marshal()
+}

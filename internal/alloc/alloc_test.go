@@ -1,0 +1,250 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stegfs/internal/bitmapvec"
+)
+
+// mkBitmap builds an n-block bitmap with [0, dataStart) marked as metadata
+// and the data region occupied at roughly the given density.
+func mkBitmap(t *testing.T, n, dataStart int64, density float64, seed int64) *bitmapvec.Bitmap {
+	t.Helper()
+	bm := bitmapvec.New(n)
+	for i := int64(0); i < dataStart; i++ {
+		if err := bm.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := dataStart; i < n; i++ {
+		if rng.Float64() < density {
+			if err := bm.Set(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return bm
+}
+
+func TestGroupPartition(t *testing.T) {
+	for _, tc := range []struct {
+		n, start int64
+		groups   int
+	}{
+		{1 << 16, 517, 64},
+		{1 << 16, 517, 1},
+		{4096, 100, 64}, // more groups than the region sustains
+		{8192, 8000, 16},
+		{1 << 16, 0, 7},
+		{200, 130, 4}, // tiny tail region
+	} {
+		bm := mkBitmap(t, tc.n, tc.start, 0.3, 1)
+		a, err := New(bm, tc.start, tc.groups, 1)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", tc, err)
+		}
+		// Groups tile [start, n) exactly, word-aligned interior boundaries.
+		prev := tc.start
+		for i := 0; i < a.Groups(); i++ {
+			lo, hi := a.GroupRange(i)
+			if lo != prev {
+				t.Fatalf("%+v: group %d starts at %d, want %d", tc, i, lo, prev)
+			}
+			if i > 0 && lo%64 != 0 {
+				t.Fatalf("%+v: interior boundary %d not word-aligned", tc, lo)
+			}
+			if hi <= lo {
+				t.Fatalf("%+v: group %d empty [%d,%d)", tc, i, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("%+v: groups end at %d, want %d", tc, prev, tc.n)
+		}
+		// GroupOf agrees with the ranges.
+		for b := tc.start; b < tc.n; b++ {
+			i := a.GroupOf(b)
+			lo, hi := a.GroupRange(i)
+			if b < lo || b >= hi {
+				t.Fatalf("%+v: GroupOf(%d) = %d [%d,%d)", tc, b, i, lo, hi)
+			}
+		}
+		if a.GroupOf(tc.start-1) != -1 && tc.start > 0 {
+			t.Fatalf("%+v: metadata block assigned to a group", tc)
+		}
+		if a.FreeBlocks() != bm.CountFree() {
+			t.Fatalf("%+v: FreeBlocks %d != bitmap %d", tc, a.FreeBlocks(), bm.CountFree())
+		}
+	}
+}
+
+func TestAllocFreeTryAlloc(t *testing.T) {
+	bm := mkBitmap(t, 8192, 200, 0.5, 2)
+	a, err := New(bm, 200, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := a.FreeBlocks()
+	var got []int64
+	for i := 0; i < 100; i++ {
+		b, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < 200 || b >= 8192 {
+			t.Fatalf("alloc %d outside data region", b)
+		}
+		if !a.Test(b) {
+			t.Fatalf("allocated block %d not marked", b)
+		}
+		got = append(got, b)
+	}
+	if a.FreeBlocks() != free0-100 {
+		t.Fatalf("free count %d, want %d", a.FreeBlocks(), free0-100)
+	}
+	for _, b := range got {
+		a.Free(b)
+	}
+	if a.FreeBlocks() != free0 {
+		t.Fatalf("free count after release %d, want %d", a.FreeBlocks(), free0)
+	}
+	// Double-free is a no-op.
+	a.Free(got[0])
+	if a.FreeBlocks() != free0 {
+		t.Fatal("double free changed the count")
+	}
+	// TryAlloc claims a free block exactly once.
+	b := got[0]
+	if !a.TryAlloc(b) {
+		t.Fatalf("TryAlloc(%d) on free block failed", b)
+	}
+	if a.TryAlloc(b) {
+		t.Fatalf("TryAlloc(%d) claimed a used block", b)
+	}
+	if a.TryAlloc(100) {
+		t.Fatal("TryAlloc claimed a metadata block")
+	}
+	if !a.Test(100) {
+		t.Fatal("metadata block reported free")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	bm := mkBitmap(t, 1024, 100, 0, 3)
+	a, err := New(bm, 100, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for {
+		b, err := a.Alloc()
+		if err != nil {
+			if !errors.Is(err, bitmapvec.ErrNoFree) {
+				t.Fatalf("exhaustion error = %v, want ErrNoFree", err)
+			}
+			break
+		}
+		if seen[b] {
+			t.Fatalf("block %d allocated twice", b)
+		}
+		seen[b] = true
+	}
+	if int64(len(seen)) != 1024-100 {
+		t.Fatalf("allocated %d blocks, want %d", len(seen), 1024-100)
+	}
+	if a.FreeBlocks() != 0 {
+		t.Fatalf("FreeBlocks %d after exhaustion", a.FreeBlocks())
+	}
+}
+
+func TestSnapshotMatchesState(t *testing.T) {
+	bm := mkBitmap(t, 4096, 300, 0.4, 4)
+	a, err := New(bm, 300, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := a.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := a.Snapshot()
+	if snap.CountFree() != a.FreeBlocks() {
+		t.Fatalf("snapshot free %d != allocator %d", snap.CountFree(), a.FreeBlocks())
+	}
+	raw := a.MarshalBitmap()
+	rt, err := bitmapvec.Unmarshal(4096, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.CountSet() != snap.CountSet() {
+		t.Fatalf("marshal/unmarshal set count %d != snapshot %d", rt.CountSet(), snap.CountSet())
+	}
+}
+
+func TestConcurrentAllocFreeRaceClean(t *testing.T) {
+	bm := mkBitmap(t, 1<<15, 512, 0.2, 5)
+	a, err := New(bm, 512, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := a.FreeBlocks()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			held := make([]int64, 0, 64)
+			for i := 0; i < 2000; i++ {
+				if len(held) < 32 || a.Intn(2) == 0 {
+					b, err := a.Alloc()
+					if err != nil {
+						continue
+					}
+					held = append(held, b)
+				} else {
+					b := held[len(held)-1]
+					held = held[:len(held)-1]
+					a.Free(b)
+					_ = a.Test(b)
+				}
+			}
+			for _, b := range held {
+				a.Free(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.FreeBlocks() != free0 {
+		t.Fatalf("free count drifted: %d -> %d", free0, a.FreeBlocks())
+	}
+	if snap := a.Snapshot(); snap.CountFree() != free0 {
+		t.Fatalf("bitmap free drifted: %d -> %d", free0, snap.CountFree())
+	}
+}
+
+func TestInt63nUniformBounds(t *testing.T) {
+	bm := mkBitmap(t, 256, 64, 0, 6)
+	a, err := New(bm, 64, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := a.Int63n(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Int63n(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Errorf("Int63n(7): value %d drawn %d/70000 times", v, c)
+		}
+	}
+}

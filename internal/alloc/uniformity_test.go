@@ -1,0 +1,176 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"stegfs/internal/bitmapvec"
+)
+
+// The §3.1 security contract says hidden blocks are drawn uniformly from the
+// whole free space, so a bitmap-diff adversary learns nothing from block
+// placement. The sharded allocator must therefore be statistically
+// indistinguishable from bitmapvec.AllocRandomFree over the whole volume.
+// These tests pin that with chi-squared goodness-of-fit (each sampler
+// against the exact uniform expectation over the free set) and a two-sample
+// homogeneity test (sharded vs single-bitmap histograms against each other).
+//
+// Procedure: from one fixed bitmap state, draw-and-return single allocations
+// many times — Alloc then Free restores the state, so every draw sees the
+// same free set and the exact distribution is known (uniform over the free
+// blocks). Counts are binned by block number; bins deliberately do NOT align
+// with group boundaries (the adversary does not know them), so any
+// group-boundary artifact shows up as excess variance across bins.
+
+const (
+	uniVolBlocks = 1 << 15
+	uniDataStart = 517 // not word-aligned on purpose
+	uniBins      = 60  // does not divide the group count
+	uniTrials    = 120000
+	// Chi-squared critical value for df=59 at p=0.001 is 98.3. A correct
+	// sampler lands near df (~59) with overwhelming probability; a sampler
+	// with per-group bias of even a few percent blows past 200. Seeds are
+	// fixed, so the test is deterministic.
+	uniCritical = 98.3
+)
+
+// drawHistogram bins `trials` draw-and-return allocations from draw().
+func drawHistogram(t *testing.T, trials int, draw func() int64) []int64 {
+	t.Helper()
+	binSpan := (int64(uniVolBlocks) - uniDataStart + uniBins - 1) / uniBins
+	hist := make([]int64, uniBins)
+	for i := 0; i < trials; i++ {
+		b := draw()
+		if b < uniDataStart || b >= uniVolBlocks {
+			t.Fatalf("draw %d returned block %d outside the data region", i, b)
+		}
+		hist[(b-uniDataStart)/binSpan]++
+	}
+	return hist
+}
+
+// chiSquareGoF returns the goodness-of-fit statistic of hist against the
+// uniform-over-free expectation for each bin.
+func chiSquareGoF(t *testing.T, bm *bitmapvec.Bitmap, hist []int64, trials int) float64 {
+	t.Helper()
+	binSpan := (int64(uniVolBlocks) - uniDataStart + uniBins - 1) / uniBins
+	totalFree := bm.CountFreeInRange(uniDataStart, uniVolBlocks)
+	var chi float64
+	for i, got := range hist {
+		lo := uniDataStart + int64(i)*binSpan
+		hi := lo + binSpan
+		if hi > uniVolBlocks {
+			hi = uniVolBlocks
+		}
+		expected := float64(trials) * float64(bm.CountFreeInRange(lo, hi)) / float64(totalFree)
+		if expected < 5 {
+			t.Fatalf("bin %d expected count %.1f too small for chi-squared", i, expected)
+		}
+		d := float64(got) - expected
+		chi += d * d / expected
+	}
+	return chi
+}
+
+func uniBitmap(t *testing.T) *bitmapvec.Bitmap {
+	return mkBitmap(t, uniVolBlocks, uniDataStart, 0.35, 99)
+}
+
+// TestShardedAllocationUniform: the sharded sampler fits the uniform
+// distribution over the free set.
+func TestShardedAllocationUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	bm := uniBitmap(t)
+	a, err := New(bm, uniDataStart, DefaultGroups, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := drawHistogram(t, uniTrials, func() int64 {
+		b, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Free(b)
+		return b
+	})
+	chi := chiSquareGoF(t, bm, hist, uniTrials)
+	t.Logf("sharded sampler: chi²=%.1f over %d bins (critical %.1f)", chi, uniBins, uniCritical)
+	if chi > uniCritical {
+		t.Fatalf("sharded allocation deviates from uniform: chi²=%.1f > %.1f", chi, uniCritical)
+	}
+}
+
+// TestSingleBitmapAllocationUniform: the reference whole-volume sampler fits
+// the same expectation (calibrates the harness — if this fails the test
+// setup, not the allocator, is wrong).
+func TestSingleBitmapAllocationUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	bm := uniBitmap(t)
+	rng := rand.New(rand.NewSource(8))
+	hist := drawHistogram(t, uniTrials, func() int64 {
+		b, err := bm.AllocRandomFree(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bm.Clear(b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+	chi := chiSquareGoF(t, bm, hist, uniTrials)
+	t.Logf("single-bitmap sampler: chi²=%.1f over %d bins (critical %.1f)", chi, uniBins, uniCritical)
+	if chi > uniCritical {
+		t.Fatalf("reference sampler deviates from uniform: chi²=%.1f > %.1f", chi, uniCritical)
+	}
+}
+
+// TestShardedVsSingleBitmapHomogeneity: two-sample chi-squared — the sharded
+// and whole-volume histograms are draws from the same distribution.
+func TestShardedVsSingleBitmapHomogeneity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	bm := uniBitmap(t)
+	a, err := New(bm, uniDataStart, DefaultGroups, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := drawHistogram(t, uniTrials, func() int64 {
+		b, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Free(b)
+		return b
+	})
+	rng := rand.New(rand.NewSource(10))
+	single := drawHistogram(t, uniTrials, func() int64 {
+		b, err := bm.AllocRandomFree(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bm.Clear(b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+	// Equal totals, so the homogeneity statistic reduces to
+	// sum (o1-o2)² / (o1+o2), chi-squared with df = bins-1.
+	var chi float64
+	for i := range sharded {
+		o1, o2 := float64(sharded[i]), float64(single[i])
+		if o1+o2 == 0 {
+			continue
+		}
+		d := o1 - o2
+		chi += d * d / (o1 + o2)
+	}
+	t.Logf("homogeneity: chi²=%.1f over %d bins (critical %.1f)", chi, uniBins, uniCritical)
+	if chi > uniCritical {
+		t.Fatalf("sharded and single-bitmap samplers distinguishable: chi²=%.1f > %.1f", chi, uniCritical)
+	}
+}

@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestWriteConcurrencySweepScalesAndKeepsDiskCost asserts the acceptance
+// shape of ablation A6 at a reduced size: wall-clock throughput of the mixed
+// create/rewrite/delete workload must rise with goroutines (the emulated
+// device waits of writers to distinct objects overlap instead of
+// serializing on one allocation mutex), and the simulated-disk cost of the
+// window must stay essentially unchanged — concurrency buys wall time, it
+// does not re-price the device.
+func TestWriteConcurrencySweepScalesAndKeepsDiskCost(t *testing.T) {
+	cfg := SmallConfig()
+	rows, err := WriteConcurrencySweep(cfg, []int{1, 4}, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.DiskSeconds <= 0 {
+			t.Fatalf("window consumed no simulated disk time: %+v", r)
+		}
+	}
+	if rows[1].Speedup < 1.5 {
+		t.Errorf("4 goroutines speedup %.2fx, want >= 1.5x (writers to distinct objects should overlap)", rows[1].Speedup)
+	}
+	ratio := rows[1].DiskSeconds / rows[0].DiskSeconds
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("simulated-disk cost moved %.2fx across levels; concurrency must not re-price the device", ratio)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync/atomic"
 )
 
 // ErrNoFree is returned when an allocation is requested but no block is free.
@@ -22,10 +23,20 @@ var ErrNoFree = errors.New("bitmapvec: no free block")
 
 // Bitmap is a fixed-size bit vector over block numbers [0, N).
 // The zero value is unusable; use New or Unmarshal.
+//
+// A Bitmap is not internally synchronized, with one deliberate carve-out for
+// the sharded allocator (internal/alloc): callers that partition the block
+// space into ranges whose boundaries are multiples of 64 (so no two ranges
+// share a word) may mutate distinct ranges concurrently, each under its own
+// lock, using the *InRange primitives plus Set/Clear/Test on blocks inside
+// their own range. The set-count is kept atomically so those disjoint-word
+// mutations never race on the shared counter. Whole-bitmap operations
+// (Marshal, Clone, RandomFree, NewlySet, ...) still require all ranges to be
+// quiescent.
 type Bitmap struct {
 	n     int64
 	words []uint64
-	nset  int64
+	nset  atomic.Int64
 }
 
 // New creates a bitmap for n blocks, all free (zero).
@@ -40,10 +51,10 @@ func New(n int64) *Bitmap {
 func (b *Bitmap) Len() int64 { return b.n }
 
 // CountSet returns the number of used (1) blocks.
-func (b *Bitmap) CountSet() int64 { return b.nset }
+func (b *Bitmap) CountSet() int64 { return b.nset.Load() }
 
 // CountFree returns the number of free (0) blocks.
-func (b *Bitmap) CountFree() int64 { return b.n - b.nset }
+func (b *Bitmap) CountFree() int64 { return b.n - b.nset.Load() }
 
 func (b *Bitmap) checkRange(i int64) error {
 	if i < 0 || i >= b.n {
@@ -68,7 +79,7 @@ func (b *Bitmap) Set(i int64) error {
 	w, m := i>>6, uint64(1)<<(uint(i)&63)
 	if b.words[w]&m == 0 {
 		b.words[w] |= m
-		b.nset++
+		b.nset.Add(1)
 	}
 	return nil
 }
@@ -81,7 +92,7 @@ func (b *Bitmap) Clear(i int64) error {
 	w, m := i>>6, uint64(1)<<(uint(i)&63)
 	if b.words[w]&m != 0 {
 		b.words[w] &^= m
-		b.nset--
+		b.nset.Add(-1)
 	}
 	return nil
 }
@@ -89,7 +100,7 @@ func (b *Bitmap) Clear(i int64) error {
 // FirstFreeFrom returns the lowest free block number >= from, wrapping past
 // the end of the volume. It returns ErrNoFree when every block is used.
 func (b *Bitmap) FirstFreeFrom(from int64) (int64, error) {
-	if b.nset >= b.n {
+	if b.nset.Load() >= b.n {
 		return 0, ErrNoFree
 	}
 	if from < 0 || from >= b.n {
@@ -284,7 +295,9 @@ func (b *Bitmap) AllocContiguousAt(rng *rand.Rand, count int64) (int64, error) {
 func (b *Bitmap) Clone() *Bitmap {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)
-	return &Bitmap{n: b.n, words: w, nset: b.nset}
+	c := &Bitmap{n: b.n, words: w}
+	c.nset.Store(b.nset.Load())
+	return c
 }
 
 // NewlySet returns the block numbers that are used in cur but were free in
@@ -334,11 +347,13 @@ func Unmarshal(n int64, data []byte) (*Bitmap, error) {
 		return nil, fmt.Errorf("bitmapvec: short data %d < %d", len(data), want)
 	}
 	b := New(n)
+	var nset int64
 	for i := int64(0); i < n; i++ {
 		if data[i>>3]&(1<<(uint(i)&7)) != 0 {
 			b.words[i>>6] |= 1 << (uint(i) & 63)
-			b.nset++
+			nset++
 		}
 	}
+	b.nset.Store(nset)
 	return b, nil
 }

@@ -2,6 +2,8 @@ package bitmapvec
 
 import (
 	"bytes"
+	"errors"
+	"math/rand"
 	"testing"
 )
 
@@ -51,6 +53,62 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if again.CountSet() != b.CountSet() {
 			t.Fatalf("round trip changed set count: %d vs %d", again.CountSet(), b.CountSet())
+		}
+	})
+}
+
+// FuzzRangePrimitives feeds arbitrary bit patterns and (lo, hi) bounds —
+// including inverted, negative and out-of-range ones — to the per-group
+// range primitives the sharded allocator is built on. CountFreeInRange must
+// agree with a bit-by-bit count, and RandomFreeInRange must return a free
+// block inside the clipped range exactly when one exists.
+func FuzzRangePrimitives(f *testing.F) {
+	f.Add(int64(200), []byte{0xAA, 0x55, 0xFF, 0x00}, int64(3), int64(130), int64(1))
+	f.Add(int64(64), []byte{0xFF}, int64(0), int64(64), int64(2))
+	f.Add(int64(129), []byte{}, int64(-7), int64(9999), int64(3))
+	f.Add(int64(300), []byte{0x01}, int64(250), int64(100), int64(4)) // inverted
+	f.Fuzz(func(t *testing.T, n int64, pattern []byte, lo, hi, seed int64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 16
+		b := New(n)
+		for i := int64(0); i < n; i++ {
+			if len(pattern) > 0 && pattern[int(i)%len(pattern)]&(1<<(uint(i)&7)) != 0 {
+				if err := b.Set(i); err != nil {
+					t.Fatalf("Set(%d): %v", i, err)
+				}
+			}
+		}
+		got := b.CountFreeInRange(lo, hi)
+		want := naiveCountFree(b, lo, hi)
+		if got != want {
+			t.Fatalf("CountFreeInRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		i, err := b.RandomFreeInRange(rng, lo, hi)
+		if want == 0 {
+			if !errors.Is(err, ErrNoFree) {
+				t.Fatalf("empty range returned (%d, %v), want ErrNoFree", i, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("RandomFreeInRange(%d,%d) with %d free: %v", lo, hi, want, err)
+		}
+		cl, ch := b.clampRange(lo, hi)
+		if i < cl || i >= ch {
+			t.Fatalf("block %d outside clipped range [%d,%d)", i, cl, ch)
+		}
+		if b.Test(i) {
+			t.Fatalf("block %d reported free but is set", i)
+		}
+		// Allocating it must shrink the range's free count by exactly one.
+		if _, err := b.AllocRandomFreeInRange(rng, lo, hi); err != nil {
+			t.Fatalf("alloc with %d free: %v", want, err)
+		}
+		if b.CountFreeInRange(lo, hi) != want-1 {
+			t.Fatalf("alloc changed range free count %d -> %d", want, b.CountFreeInRange(lo, hi))
 		}
 	})
 }

@@ -1,0 +1,117 @@
+package bitmapvec
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// The *InRange primitives below operate on a half-open block range [lo, hi).
+// They are what the sharded allocator (internal/alloc) builds its groups on:
+// each group owns one range, takes its own lock, and samples uniformly inside
+// it, so allocation in distinct groups never contends. Ranges whose
+// boundaries are multiples of 64 touch disjoint words, which is what makes
+// that pattern race-free (see the Bitmap type comment).
+
+// clampRange clips [lo, hi) to the bitmap's [0, n).
+func (b *Bitmap) clampRange(lo, hi int64) (int64, int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// CountFreeInRange returns the number of free (0) blocks in [lo, hi),
+// clipped to the bitmap bounds. It scans word-at-a-time with popcounts.
+func (b *Bitmap) CountFreeInRange(lo, hi int64) int64 {
+	lo, hi = b.clampRange(lo, hi)
+	if lo >= hi {
+		return 0
+	}
+	var free int64
+	for i := lo; i < hi; {
+		w := i >> 6
+		word := b.words[w]
+		// Mask to the bits of this word that fall inside [i, hi).
+		mask := ^uint64(0) << (uint(i) & 63)
+		wordEnd := (w + 1) << 6
+		if hi < wordEnd {
+			mask &= ^uint64(0) >> uint(wordEnd-hi)
+		}
+		free += int64(bits.OnesCount64(^word & mask))
+		i = wordEnd
+	}
+	return free
+}
+
+// RandomFreeInRange returns a uniformly random free block in [lo, hi), using
+// rng for randomness. It returns ErrNoFree when no block in the range is
+// free. Like RandomFree it tries bounded rejection sampling first and falls
+// back to rank selection, so it stays O(range) worst-case at any occupancy.
+func (b *Bitmap) RandomFreeInRange(rng *rand.Rand, lo, hi int64) (int64, error) {
+	lo, hi = b.clampRange(lo, hi)
+	span := hi - lo
+	if span <= 0 {
+		return 0, ErrNoFree
+	}
+	free := b.CountFreeInRange(lo, hi)
+	if free == 0 {
+		return 0, ErrNoFree
+	}
+	// Rejection sampling: expected tries = span/free.
+	if free*4 >= span {
+		for tries := 0; tries < 32; tries++ {
+			i := lo + rng.Int63n(span)
+			if !b.Test(i) {
+				return i, nil
+			}
+		}
+	}
+	// Rank selection: pick the k-th free block of the range.
+	k := rng.Int63n(free)
+	for i := lo; i < hi; {
+		w := i >> 6
+		word := b.words[w]
+		mask := ^uint64(0) << (uint(i) & 63)
+		wordEnd := (w + 1) << 6
+		if hi < wordEnd {
+			mask &= ^uint64(0) >> uint(wordEnd-hi)
+		}
+		inv := ^word & mask
+		zeros := int64(bits.OnesCount64(inv))
+		if k >= zeros {
+			k -= zeros
+			i = wordEnd
+			continue
+		}
+		// The k-th free block of the range lives in this word.
+		for inv != 0 {
+			bit := int64(bits.TrailingZeros64(inv))
+			if k == 0 {
+				return w<<6 + bit, nil
+			}
+			k--
+			inv &^= 1 << uint(bit)
+		}
+		break // unreachable: zeros > k guaranteed a hit above
+	}
+	return 0, ErrNoFree
+}
+
+// AllocRandomFreeInRange finds, marks and returns a uniformly random free
+// block in [lo, hi).
+func (b *Bitmap) AllocRandomFreeInRange(rng *rand.Rand, lo, hi int64) (int64, error) {
+	i, err := b.RandomFreeInRange(rng, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.Set(i); err != nil {
+		return 0, err
+	}
+	return i, nil
+}

@@ -1,0 +1,161 @@
+package bitmapvec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// naiveCountFree is the reference implementation the word-at-a-time scan is
+// checked against.
+func naiveCountFree(b *Bitmap, lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.Len() {
+		hi = b.Len()
+	}
+	var n int64
+	for i := lo; i < hi; i++ {
+		if !b.Test(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCountFreeInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := New(517) // deliberately not a multiple of 64
+	for i := int64(0); i < b.Len(); i++ {
+		if rng.Intn(3) == 0 {
+			_ = b.Set(i)
+		}
+	}
+	ranges := [][2]int64{
+		{0, 517}, {0, 0}, {517, 517}, {64, 128}, {63, 65}, {1, 516},
+		{100, 100}, {511, 517}, {-10, 50}, {400, 9999}, {200, 100},
+	}
+	for _, r := range ranges {
+		got := b.CountFreeInRange(r[0], r[1])
+		want := naiveCountFree(b, r[0], r[1])
+		if got != want {
+			t.Errorf("CountFreeInRange(%d,%d) = %d, want %d", r[0], r[1], got, want)
+		}
+	}
+	if b.CountFreeInRange(0, b.Len()) != b.CountFree() {
+		t.Errorf("full-range count %d != CountFree %d", b.CountFreeInRange(0, b.Len()), b.CountFree())
+	}
+}
+
+func TestRandomFreeInRangeStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := New(1024)
+	for i := int64(0); i < b.Len(); i++ {
+		if rng.Intn(2) == 0 {
+			_ = b.Set(i)
+		}
+	}
+	lo, hi := int64(192), int64(832)
+	for trial := 0; trial < 500; trial++ {
+		i, err := b.RandomFreeInRange(rng, lo, hi)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if i < lo || i >= hi {
+			t.Fatalf("block %d outside [%d,%d)", i, lo, hi)
+		}
+		if b.Test(i) {
+			t.Fatalf("block %d reported free but is set", i)
+		}
+	}
+}
+
+// TestRandomFreeInRangeRankPath drives occupancy above the rejection-sampling
+// cutoff so the rank-selection fallback is what returns the block.
+func TestRandomFreeInRangeRankPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := New(640)
+	lo, hi := int64(64), int64(576)
+	// Leave exactly 5 free blocks in the range (occupancy ~99%).
+	keep := map[int64]bool{70: true, 133: true, 134: true, 400: true, 575: true}
+	for i := int64(0); i < b.Len(); i++ {
+		if i >= lo && i < hi && keep[i] {
+			continue
+		}
+		_ = b.Set(i)
+	}
+	seen := map[int64]int{}
+	for trial := 0; trial < 2000; trial++ {
+		i, err := b.RandomFreeInRange(rng, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !keep[i] {
+			t.Fatalf("rank path returned non-free block %d", i)
+		}
+		seen[i]++
+	}
+	for want := range keep {
+		if seen[want] == 0 {
+			t.Errorf("free block %d never sampled in 2000 trials", want)
+		}
+	}
+}
+
+func TestAllocRandomFreeInRangeExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := New(256)
+	lo, hi := int64(64), int64(128)
+	for i := int64(0); i < 64; i++ {
+		blk, err := b.AllocRandomFreeInRange(rng, lo, hi)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if blk < lo || blk >= hi {
+			t.Fatalf("alloc %d: block %d outside [%d,%d)", i, blk, lo, hi)
+		}
+	}
+	if _, err := b.AllocRandomFreeInRange(rng, lo, hi); !errors.Is(err, ErrNoFree) {
+		t.Fatalf("exhausted range alloc = %v, want ErrNoFree", err)
+	}
+	// Blocks outside the range were untouched.
+	if got := b.CountFreeInRange(0, lo); got != lo {
+		t.Fatalf("allocation leaked below the range: %d free, want %d", got, lo)
+	}
+	if got := b.CountFreeInRange(hi, 256); got != 256-hi {
+		t.Fatalf("allocation leaked above the range: %d free, want %d", got, 256-hi)
+	}
+}
+
+// TestRangeUniformity is a coarse frequency check that in-range sampling is
+// uniform over the free blocks of the range (the sharded allocator's
+// correctness rests on it; the statistical chi-squared test lives in
+// internal/alloc).
+func TestRangeUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	b := New(512)
+	for i := int64(0); i < 512; i += 2 {
+		_ = b.Set(i) // even blocks used, odd free
+	}
+	lo, hi := int64(128), int64(384)
+	free := b.CountFreeInRange(lo, hi)
+	const trials = 64000
+	counts := map[int64]int{}
+	for trial := 0; trial < trials; trial++ {
+		i, err := b.RandomFreeInRange(rng, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i]++
+	}
+	expected := float64(trials) / float64(free)
+	for blk, c := range counts {
+		if ratio := float64(c) / expected; ratio < 0.6 || ratio > 1.4 {
+			t.Errorf("block %d sampled %d times, expected ~%.0f", blk, c, expected)
+		}
+	}
+	if int64(len(counts)) != free {
+		t.Errorf("sampled %d distinct blocks, range has %d free", len(counts), free)
+	}
+}

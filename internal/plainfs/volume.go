@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"stegfs/internal/alloc"
 	"stegfs/internal/bitmapvec"
 	"stegfs/internal/fsapi"
 	"stegfs/internal/ptree"
@@ -49,6 +50,15 @@ type Config struct {
 	FragBlocks int   // fragment length for Fragmented (paper default: 8)
 	MaxFiles   int   // capacity of the central directory
 	Seed       int64 // seed for the allocation RNG (Random policy)
+
+	// Alloc, when non-nil, routes all Random-policy block allocation and
+	// every free through the shared sharded allocator instead of the raw
+	// bitmap. StegFS passes its volume allocator here, so plain-file
+	// mutators no longer need the outer file system's allocation lock —
+	// they contend with hidden-file writers only when their blocks land in
+	// the same allocation group. Requires Policy == Random (the contiguous
+	// baselines scan the raw bitmap).
+	Alloc *alloc.Allocator
 }
 
 // DefaultConfig returns a plain-volume configuration matching the paper's
@@ -113,6 +123,9 @@ func NewEmbedded(dev vdisk.Device, bm *bitmapvec.Bitmap, inodeStart, inodeBlocks
 	}
 	if cfg.Policy == Fragmented && cfg.FragBlocks <= 0 {
 		return nil, fmt.Errorf("plainfs: fragmented policy needs FragBlocks > 0")
+	}
+	if cfg.Alloc != nil && cfg.Policy != Random {
+		return nil, fmt.Errorf("plainfs: shared allocator requires the random policy, got %v", cfg.Policy)
 	}
 	if err := v.loadInodes(); err != nil {
 		return nil, err
@@ -220,7 +233,7 @@ func (v *Volume) allocData(n int64) ([]int64, error) {
 	case Random:
 		out := make([]int64, 0, n)
 		for i := int64(0); i < n; i++ {
-			b, err := v.bm.AllocRandomFree(v.rng)
+			b, err := v.allocRandom()
 			if err != nil {
 				v.freeBlocks(out)
 				return nil, fsapi.ErrNoSpace
@@ -233,14 +246,27 @@ func (v *Volume) allocData(n int64) ([]int64, error) {
 	}
 }
 
-// allocMeta allocates one block for indirect pointers.
-func (v *Volume) allocMeta() (int64, error) {
-	if v.cfg.Policy == Random {
-		b, err := v.bm.AllocRandomFree(v.rng)
+// allocRandom draws one uniformly random free block, through the shared
+// sharded allocator when the volume is embedded under one.
+func (v *Volume) allocRandom() (int64, error) {
+	if v.cfg.Alloc != nil {
+		b, err := v.cfg.Alloc.Alloc()
 		if err != nil {
 			return 0, fsapi.ErrNoSpace
 		}
 		return b, nil
+	}
+	b, err := v.bm.AllocRandomFree(v.rng)
+	if err != nil {
+		return 0, fsapi.ErrNoSpace
+	}
+	return b, nil
+}
+
+// allocMeta allocates one block for indirect pointers.
+func (v *Volume) allocMeta() (int64, error) {
+	if v.cfg.Policy == Random {
+		return v.allocRandom()
 	}
 	b, err := v.bm.AllocFirstFree(v.dataStart)
 	if err != nil {
@@ -249,11 +275,20 @@ func (v *Volume) allocMeta() (int64, error) {
 	return b, nil
 }
 
-// freeBlocks clears a set of blocks in the bitmap.
+// freeBlocks returns a set of blocks to the free space.
 func (v *Volume) freeBlocks(blocks []int64) {
 	for _, b := range blocks {
-		_ = v.bm.Clear(b)
+		v.freeBlock(b)
 	}
+}
+
+// freeBlock returns one block, through the shared allocator when embedded.
+func (v *Volume) freeBlock(b int64) {
+	if v.cfg.Alloc != nil {
+		v.cfg.Alloc.Free(b)
+		return
+	}
+	_ = v.bm.Clear(b)
 }
 
 // Create implements fsapi.FileSystem.
@@ -393,7 +428,7 @@ func (v *Volume) deleteLocked(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := ptree.Free(rawIO{v.dev}, in.root, in.nblocks, func(b int64) { _ = v.bm.Clear(b) }); err != nil {
+	if err := ptree.Free(rawIO{v.dev}, in.root, in.nblocks, v.freeBlock); err != nil {
 		return err
 	}
 	v.freeBlocks(blocks)

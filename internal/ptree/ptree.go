@@ -103,6 +103,9 @@ func Write(io BlockIO, alloc AllocFunc, nDirect int, blocks []int64) (Root, []in
 	}
 	sb, err := writePtrBlock(io, alloc, rest[:cnt])
 	if err != nil {
+		if sb != NilBlock {
+			meta = append(meta, sb)
+		}
 		return root, meta, err
 	}
 	root.Single = sb
@@ -121,6 +124,9 @@ func Write(io BlockIO, alloc AllocFunc, nDirect int, blocks []int64) (Root, []in
 		}
 		ib, err := writePtrBlock(io, alloc, rest[:cnt])
 		if err != nil {
+			if ib != NilBlock {
+				meta = append(meta, ib)
+			}
 			return root, meta, err
 		}
 		meta = append(meta, ib)
@@ -132,6 +138,9 @@ func Write(io BlockIO, alloc AllocFunc, nDirect int, blocks []int64) (Root, []in
 	}
 	db, err := writePtrBlock(io, alloc, l1)
 	if err != nil {
+		if db != NilBlock {
+			meta = append(meta, db)
+		}
 		return root, meta, err
 	}
 	root.Double = db
@@ -140,7 +149,10 @@ func Write(io BlockIO, alloc AllocFunc, nDirect int, blocks []int64) (Root, []in
 }
 
 // writePtrBlock allocates a block and writes the pointers into it (remaining
-// slots are NilBlock).
+// slots are NilBlock). On a write failure the already-allocated block is
+// returned alongside the error so the caller can report it in meta — error
+// paths free the meta list, and a block dropped here would leak for the
+// volume's lifetime.
 func writePtrBlock(io BlockIO, alloc AllocFunc, ptrs []int64) (int64, error) {
 	b, err := alloc()
 	if err != nil {
@@ -151,7 +163,7 @@ func writePtrBlock(io BlockIO, alloc AllocFunc, ptrs []int64) (int64, error) {
 		binary.BigEndian.PutUint64(buf[i*8:], uint64(p))
 	}
 	if err := io.WriteBlock(b, buf); err != nil {
-		return NilBlock, err
+		return b, err
 	}
 	return b, nil
 }

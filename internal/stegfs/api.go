@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"stegfs/internal/fsapi"
 	"stegfs/internal/sgcrypto"
@@ -142,6 +144,46 @@ func (fs *FS) resolve(uid string, uak []byte, objname string) (Entry, error) {
 	return cur, nil
 }
 
+// loadParentEntries returns (read-only) the entry list governing objname's
+// final component: the UAK directory for top-level names, the parent hidden
+// directory's entries otherwise. Shared by the advisory creatability check
+// and anything else that needs the parent view without rewriting it.
+func (fs *FS) loadParentEntries(uid string, uak []byte, objname string) ([]Entry, error) {
+	comps := strings.Split(objname, "/")
+	if len(comps) == 1 {
+		return fs.loadUAKDir(uid, uak)
+	}
+	parent, err := fs.resolve(uid, uak, strings.Join(comps[:len(comps)-1], "/"))
+	if err != nil {
+		return nil, err
+	}
+	if parent.Flags&FlagDir == 0 {
+		return nil, fmt.Errorf("%w: %q", fsapi.ErrNotDir, parent.Name)
+	}
+	payload, err := fs.readHiddenObject(parent.Phys, parent.FAK)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntries(payload)
+}
+
+// checkCreatable verifies — read-only, no nsMu needed — that objname can be
+// created: its parent chain resolves to a directory and the final component
+// is not taken. Advisory only: callers re-check authoritatively during the
+// nsMu-held registration, but this lets steg_create fail the common
+// duplicate/missing-parent cases before paying the payload write, without
+// holding the global namespace lock across directory device reads.
+func (fs *FS) checkCreatable(uid string, uak []byte, objname string) error {
+	entries, err := fs.loadParentEntries(uid, uak, objname)
+	if err != nil {
+		return err
+	}
+	if base := objname[strings.LastIndexByte(objname, '/')+1:]; findEntry(entries, base) >= 0 {
+		return fmt.Errorf("%w: %q", fsapi.ErrExists, objname)
+	}
+	return nil
+}
+
 // updateParent rewrites the entry list that contains the last component of
 // objname, applying fn to it. For top-level names that is the UAK directory;
 // for nested names it is the parent hidden directory. The caller holds
@@ -190,6 +232,15 @@ func (fs *FS) updateParent(uid string, uak []byte, objname string, fn func([]Ent
 // FlagFile) or hidden directory (FlagDir) named objname under the UAK, with
 // the given initial contents (directories must start empty). A fresh random
 // FAK is generated and recorded in the UAK's directory.
+//
+// The bulk object write runs BEFORE the namespace lock is taken — the
+// object is unreachable until its directory entry lands, so only the entry
+// registration needs nsMu. Concurrent steg_creates of distinct names
+// therefore overlap their payload writes across the sharded allocator and
+// meet only at the (short) directory update. A lock-free advisory directory
+// check fails the common error cases (duplicate name, missing parent)
+// before any payload is written; the registration's re-check under nsMu
+// stays authoritative for races in between.
 func (s *Session) CreateHidden(objname string, uak []byte, objtype byte, data []byte) error {
 	if objtype != FlagFile && objtype != FlagDir {
 		return fmt.Errorf("stegfs: invalid object type %#x", objtype)
@@ -210,11 +261,15 @@ func (s *Session) CreateHidden(objname string, uak []byte, objtype byte, data []
 	phys := s.physFor(objname)
 	base := objname[strings.LastIndexByte(objname, '/')+1:]
 
-	s.fs.nsMu.Lock()
-	defer s.fs.nsMu.Unlock()
-	if _, err := s.fs.createHidden(phys, fak, objtype, data); err != nil {
+	if err := s.fs.checkCreatable(s.uid, uak, objname); err != nil {
 		return err
 	}
+	r, err := s.fs.createHidden(phys, fak, objtype, data)
+	if err != nil {
+		return err
+	}
+	s.fs.nsMu.Lock()
+	defer s.fs.nsMu.Unlock()
 	err = s.fs.updateParent(s.uid, uak, objname, func(entries []Entry) ([]Entry, error) {
 		if findEntry(entries, base) >= 0 {
 			return nil, fmt.Errorf("%w: %q", fsapi.ErrExists, objname)
@@ -222,12 +277,205 @@ func (s *Session) CreateHidden(objname string, uak []byte, objtype byte, data []
 		return append(entries, Entry{Name: base, Phys: phys, FAK: fak, Flags: objtype}), nil
 	})
 	if err != nil {
-		// Roll back the orphaned object.
-		if r, perr := s.fs.openExclusive(phys, fak); perr == nil {
-			s.fs.destroyHidden(r)
-			s.fs.release(r)
+		// Roll back the orphaned object through its ref (no re-probe).
+		if derr := s.fs.destroyByRef(r); derr != nil {
+			return errors.Join(err, fmt.Errorf("stegfs: rollback of %q failed, blocks leaked: %w", objname, derr))
 		}
 		return err
+	}
+	return nil
+}
+
+// CreateHiddenBatch creates several hidden files in one call: the objects
+// themselves are written concurrently by up to `workers` goroutines — their
+// allocations spread across the sharded allocator's groups, so the device
+// waits overlap the way the parallel write path promises — and the
+// directory entries are then recorded under a single namespace-lock hold.
+// names[i] receives datas[i]; a fresh random FAK is generated per object.
+//
+// The batch is all-or-nothing: on any failure the objects are destroyed
+// and every entry this call already registered is removed again, so a
+// caller can retry the whole batch after a failure. The one exception
+// keeps the namespace consistent rather than clean: if unwinding an
+// already-registered parent directory itself fails (e.g. the volume filled
+// up mid-rollback), that parent's names are left fully created — entry and
+// object both — never as dangling entries pointing at destroyed objects.
+// Names must be distinct and, like CreateHidden, non-empty and NUL-free.
+func (s *Session) CreateHiddenBatch(names []string, uak []byte, datas [][]byte, workers int) error {
+	if len(names) != len(datas) {
+		return fmt.Errorf("stegfs: %d names but %d payloads", len(names), len(datas))
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" || strings.ContainsRune(n, 0) {
+			return fmt.Errorf("stegfs: invalid object name %q", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("%w: duplicate name %q in batch", fsapi.ErrExists, n)
+		}
+		seen[n] = true
+	}
+	if workers <= 0 || workers > len(names) {
+		workers = len(names)
+	}
+
+	// Group the names by parent directory up front: the advisory pre-check
+	// below reads each distinct parent once (not once per name), and the
+	// registration phase rewrites each parent once for the whole batch.
+	type parentGroup struct {
+		repr string // one member name; updateParent derives the parent from it
+		idxs []int
+	}
+	var order []string
+	byParent := make(map[string]*parentGroup)
+	for i, name := range names {
+		dir := ""
+		if j := strings.LastIndexByte(name, '/'); j >= 0 {
+			dir = name[:j]
+		}
+		pg, ok := byParent[dir]
+		if !ok {
+			pg = &parentGroup{repr: name}
+			byParent[dir] = pg
+			order = append(order, dir)
+		}
+		pg.idxs = append(pg.idxs, i)
+	}
+
+	// Advisory fast-fail (same as CreateHidden's checkCreatable): catch
+	// duplicate names and missing parents before paying any payload
+	// writes. Registration re-checks authoritatively.
+	for _, dir := range order {
+		pg := byParent[dir]
+		entries, err := s.fs.loadParentEntries(s.uid, uak, pg.repr)
+		if err != nil {
+			return err
+		}
+		for _, i := range pg.idxs {
+			if base := names[i][strings.LastIndexByte(names[i], '/')+1:]; findEntry(entries, base) >= 0 {
+				return fmt.Errorf("%w: %q", fsapi.ErrExists, names[i])
+			}
+		}
+	}
+
+	faks := make([][]byte, len(names))
+	for i := range faks {
+		fak, err := sgcrypto.NewFAK()
+		if err != nil {
+			return err
+		}
+		faks[i] = fak
+	}
+
+	// Phase 1 — create the objects in parallel (no namespace lock yet; the
+	// objects exist on the volume but are reachable only via their FAKs).
+	// The first failure aborts the remaining creates: the batch is doomed
+	// anyway, so the skipped objects' write I/O would only be torn down
+	// again.
+	refs := make([]*hiddenRef, len(names)) // phase-1 refs; rollback needs no re-probe
+	errs := make([]error, len(names))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue
+				}
+				refs[i], errs[i] = s.fs.createHidden(s.physFor(names[i]), faks[i], FlagFile, datas[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range names {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// destroy tears down batch member i through its phase-1 ref; destroy
+	// failures surface joined onto the primary error (a swallowed failure
+	// here would leak the object's blocks with the FAK discarded).
+	var destroyErrs []error
+	destroy := func(i int) {
+		if refs[i] == nil {
+			return
+		}
+		if err := s.fs.destroyByRef(refs[i]); err != nil {
+			destroyErrs = append(destroyErrs, fmt.Errorf("stegfs: rollback of %q failed, blocks leaked: %w", names[i], err))
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			for j := range refs {
+				destroy(j)
+			}
+			return errors.Join(append([]error{fmt.Errorf("stegfs: batch create %q: %w", names[i], err)}, destroyErrs...)...)
+		}
+	}
+
+	// Phase 2 — record the entries under one namespace-lock hold, using
+	// the parent grouping built above so each parent is read-modified-
+	// rewritten once for the whole batch (a flat batch touches the UAK
+	// directory exactly once) instead of once per name.
+	addEntries := func(pg *parentGroup) func([]Entry) ([]Entry, error) {
+		return func(entries []Entry) ([]Entry, error) {
+			for _, i := range pg.idxs {
+				base := names[i][strings.LastIndexByte(names[i], '/')+1:]
+				if findEntry(entries, base) >= 0 {
+					return nil, fmt.Errorf("%w: %q", fsapi.ErrExists, names[i])
+				}
+				entries = append(entries, Entry{Name: base, Phys: s.physFor(names[i]), FAK: faks[i], Flags: FlagFile})
+			}
+			return entries, nil
+		}
+	}
+	removeEntries := func(pg *parentGroup) func([]Entry) ([]Entry, error) {
+		return func(entries []Entry) ([]Entry, error) {
+			for _, i := range pg.idxs {
+				base := names[i][strings.LastIndexByte(names[i], '/')+1:]
+				if idx := findEntry(entries, base); idx >= 0 {
+					entries = append(entries[:idx], entries[idx+1:]...)
+				}
+			}
+			return entries, nil
+		}
+	}
+	s.fs.nsMu.Lock()
+	defer s.fs.nsMu.Unlock()
+	for reg, dir := range order {
+		pg := byParent[dir]
+		if err := s.fs.updateParent(s.uid, uak, pg.repr, addEntries(pg)); err != nil {
+			// All-or-nothing: un-register the parents recorded so far, and
+			// destroy a group's objects only once its entries are gone —
+			// if a rollback rewrite itself fails, that group's names stay
+			// fully created, never as entries pointing at destroyed
+			// objects. Groups never registered (this one included) just
+			// lose their objects.
+			var rollbackErrs []error
+			for _, prevDir := range order[:reg] {
+				prev := byParent[prevDir]
+				if rerr := s.fs.updateParent(s.uid, uak, prev.repr, removeEntries(prev)); rerr == nil {
+					for _, i := range prev.idxs {
+						destroy(i)
+					}
+				} else {
+					rollbackErrs = append(rollbackErrs, fmt.Errorf("stegfs: unwind of parent %q failed, its names remain created: %w", prevDir, rerr))
+				}
+			}
+			for _, laterDir := range order[reg:] {
+				for _, i := range byParent[laterDir].idxs {
+					destroy(i)
+				}
+			}
+			primary := fmt.Errorf("stegfs: batch register under %q: %w", dir, err)
+			return errors.Join(append(append([]error{primary}, rollbackErrs...), destroyErrs...)...)
+		}
 	}
 	return nil
 }
@@ -410,18 +658,10 @@ func (s *Session) DeleteHidden(objname string, uak []byte) error {
 	}); err != nil {
 		return err
 	}
-	// The entry is gone; destroy the object under its lock, refreshing the
-	// header first (the probe snapshot may be stale). A concurrent delete of
-	// the same object (not-found on reload) just means the work is done; any
-	// other reload failure is surfaced, but only after the read — destroying
-	// with a stale header could free blocks the object no longer owns.
-	s.fs.objs.Lock(r.headerBlk)
-	err = s.fs.reloadHeader(r)
-	if err == nil {
-		s.fs.destroyHidden(r)
-	}
-	s.fs.objs.Unlock(r.headerBlk)
-	if err != nil && !errors.Is(err, fsapi.ErrNotFound) {
+	// The entry is gone; destroy the object through the probe's ref
+	// (destroyByRef refreshes the header under the object lock first, and
+	// treats a concurrent delete's not-found as done).
+	if err := s.fs.destroyByRef(r); err != nil {
 		return err
 	}
 	delete(s.visible, objname)

@@ -5,9 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	mrand "math/rand"
 	"sort"
 
+	"stegfs/internal/alloc"
 	"stegfs/internal/bitmapvec"
 	"stegfs/internal/plainfs"
 	"stegfs/internal/vdisk"
@@ -24,15 +24,17 @@ const backupMagic = "SGBK0001"
 // free pools. Plain files are backed up by name and content, so they can be
 // reconstructed at new addresses.
 func (fs *FS) Backup(w io.Writer) error {
-	// Quiesce the volume: the freeze gate drains every in-flight hidden
-	// object operation and blocks new ones, and fs.mu (taken after the gate,
-	// per the lock hierarchy) excludes plain-file and allocation activity,
-	// so the imaged blocks, the bitmap and the plain files form one
-	// consistent snapshot.
+	// Quiesce the volume: the freeze gate drains every in-flight mutator —
+	// hidden-object operations hold it through their object locks, plain
+	// mutators around their calls — and blocks new ones, so the imaged
+	// blocks, the bitmap and the plain files form one consistent snapshot.
+	// fs.mu (taken after the gate, per the lock hierarchy) serializes the
+	// metadata read against Sync.
 	fs.objs.Freeze()
 	defer fs.objs.Unfreeze()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	bm := fs.alloc.Snapshot()
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(backupMagic); err != nil {
@@ -50,7 +52,7 @@ func (fs *FS) Backup(w io.Writer) error {
 	}
 
 	// Bitmap.
-	if err := writeBlob(bw, fs.bm.Marshal()); err != nil {
+	if err := writeBlob(bw, bm.Marshal()); err != nil {
 		return err
 	}
 
@@ -61,7 +63,7 @@ func (fs *FS) Backup(w io.Writer) error {
 	}
 	var imaged []int64
 	for b := int64(fs.sb.dataStart); b < fs.dev.NumBlocks(); b++ {
-		if fs.bm.Test(b) && !plainBlocks[b] {
+		if bm.Test(b) && !plainBlocks[b] {
 			imaged = append(imaged, b)
 		}
 	}
@@ -218,11 +220,16 @@ func Recover(dev vdisk.Device, rd io.Reader) (*FS, error) {
 		Seed:              sb.seed,
 		FillVolume:        true,
 	}
-	fs := &FS{dev: dev, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 3)), objs: newLockTable()}
+	al, err := alloc.New(bm, int64(sb.dataStart), 0, sb.seed+3)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{dev: dev, alloc: al, sb: sb, params: params, objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),
 		Seed:     sb.seed + 1,
+		Alloc:    al,
 	})
 	if err != nil {
 		return nil, err

@@ -25,11 +25,13 @@ func (fs *FS) dummyFAK(i int) []byte {
 func dummyPhys(i int) string { return fmt.Sprintf("%s%d", physDummy, i) }
 
 // dummyPayload builds random-looking content of the given size for a dummy.
+// The nonce comes from the allocator's lock-free auxiliary generator, so no
+// lock is needed.
 func (fs *FS) dummyPayload(i int, size int64) []byte {
 	var seed [48]byte
 	copy(seed[:32], fs.sb.volKey[:])
 	binary.BigEndian.PutUint64(seed[32:], uint64(i))
-	binary.BigEndian.PutUint64(seed[40:], uint64(fs.rng.Int63()))
+	binary.BigEndian.PutUint64(seed[40:], uint64(fs.alloc.Int63()))
 	out := make([]byte, size)
 	sgcrypto.NewRandomFiller(seed[:]).Fill(out)
 	return out
@@ -43,7 +45,7 @@ func (fs *FS) dummySize() int64 {
 		return int64(fs.dev.BlockSize())
 	}
 	lo := avg / 2
-	size := lo + fs.rng.Int63n(avg+1)
+	size := lo + fs.alloc.Int63n(avg+1)
 	if size < int64(fs.dev.BlockSize()) {
 		size = int64(fs.dev.BlockSize())
 	}
@@ -53,9 +55,7 @@ func (fs *FS) dummySize() int64 {
 // createDummies populates the NDummy dummy hidden files at format time.
 func (fs *FS) createDummies() error {
 	for i := 0; i < fs.params.NDummy; i++ {
-		fs.mu.Lock()
-		payload := fs.dummyPayload(i, fs.dummySize()) // fs.rng needs the allocation lock
-		fs.mu.Unlock()
+		payload := fs.dummyPayload(i, fs.dummySize())
 		if _, err := fs.createHidden(dummyPhys(i), fs.dummyFAK(i), FlagDummy, payload); err != nil {
 			return fmt.Errorf("dummy %d: %w", i, err)
 		}
@@ -84,24 +84,31 @@ func (fs *FS) tickDummy(i int) error {
 		return fmt.Errorf("dummy %d lost: %w", i, err)
 	}
 	defer fs.release(r)
-	fs.mu.Lock()
 	payload := fs.dummyPayload(i, fs.dummySize())
-	fs.mu.Unlock()
 	if err := fs.rewriteHidden(r, payload); err != nil {
 		return fmt.Errorf("dummy %d refresh: %w", i, err)
 	}
 	// Rotate the internal free pool so the tick is visible in the
 	// bitmap even when the resize was absorbed by the pool — the whole
-	// point of dummies is to churn allocations between snapshots.
-	fs.mu.Lock()
-	for _, b := range r.hdr.free {
-		_ = fs.bm.Clear(b)
-	}
-	r.hdr.free = r.hdr.free[:0]
+	// point of dummies is to churn allocations between snapshots. The old
+	// pool blocks are released only AFTER the header no longer references
+	// them on disk: freeing first would let a concurrent writer claim a
+	// block the still-persisted header lists, and the next tick's free loop
+	// would then liberate that other object's live data.
+	oldPool := r.hdr.free
+	r.hdr.free = nil
 	fs.poolTopUp(r)
-	fs.mu.Unlock()
 	if err := fs.flushHeader(r); err != nil {
+		// Disk still shows the old pool; release the fresh blocks and keep
+		// the old list in memory so ownership stays single either way.
+		for _, b := range r.hdr.free {
+			fs.alloc.Free(b)
+		}
+		r.hdr.free = oldPool
 		return fmt.Errorf("dummy %d pool rotate: %w", i, err)
+	}
+	for _, b := range oldPool {
+		fs.alloc.Free(b)
 	}
 	return nil
 }

@@ -4,9 +4,10 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
-	mrand "math/rand"
+	"hash/fnv"
 	"sync"
 
+	"stegfs/internal/alloc"
 	"stegfs/internal/bitmapvec"
 	"stegfs/internal/blockcache"
 	"stegfs/internal/fsapi"
@@ -15,27 +16,45 @@ import (
 	"stegfs/internal/vdisk"
 )
 
+// createStripes is the number of name-stripe mutexes serializing concurrent
+// creates of the same physical name (see FS.createMu).
+const createStripes = 64
+
 // FS is a mounted StegFS volume: an embedded plain file system reached
 // through the central directory, plus hidden objects reachable only with
 // the correct (name, key) pairs.
 //
-// Lock hierarchy (outermost first): nsMu → objs (freeze gate, then one
-// per-object lock) → mu → cache/device internals. mu guards only the shared
-// allocation state (superblock, bitmap, rng) plus the embedded plainfs
-// volume, and is held for short critical sections; bulk hidden-object I/O
-// runs under per-object locks only, so reads of distinct hidden objects —
-// and plain reads alongside hidden reads — proceed in parallel.
+// Lock hierarchy (outermost first):
+//
+//	nsMu → objs gate (then one per-object lock) → createMu stripe →
+//	mu → allocation-group locks → cache/device internals
+//
+// Block allocation lives in the sharded allocator (internal/alloc): the
+// data region is split into allocation groups, each with its own mutex, so
+// writers to distinct hidden objects — and plain-file mutators — contend
+// only when their blocks land in the same group. mu is demoted to guarding
+// the superblock fields and serializing the Sync/Backup metadata writes;
+// every mutator (hidden or plain) holds the freeze gate shared, which is
+// what lets Sync/Backup quiesce the whole volume, all allocation groups
+// included, before imaging or writing the bitmap.
 type FS struct {
-	nsMu   sync.Mutex   // serializes compound namespace ops (directory updates)
-	mu     sync.RWMutex // guards sb, bm, rng and the plainfs allocation state
-	objs   *lockTable   // per-hidden-object locks, keyed by header block
-	dev    vdisk.Device
-	cache  *blockcache.Cache // non-nil when mounted through WithCache
-	bm     *bitmapvec.Bitmap
-	sb     *superblock
-	params Params
-	plain  *plainfs.Volume
-	rng    *mrand.Rand
+	nsMu     sync.Mutex                // serializes compound namespace ops (directory updates)
+	mu       sync.RWMutex              // guards sb fields; serializes Sync/Backup metadata writes
+	objs     *lockTable                // per-hidden-object locks, keyed by header block
+	createMu [createStripes]sync.Mutex // name stripes: same-(name,key) creates serialize here
+	dev      vdisk.Device
+	cache    *blockcache.Cache // non-nil when mounted through WithCache
+	alloc    *alloc.Allocator  // sharded allocator over the volume bitmap
+	sb       *superblock
+	params   Params
+	plain    *plainfs.Volume
+}
+
+// createStripe returns the name-stripe mutex for a physical name.
+func (fs *FS) createStripe(physName string) *sync.Mutex {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(physName))
+	return &fs.createMu[h.Sum32()%createStripes]
 }
 
 // Option configures Format and Mount.
@@ -45,6 +64,7 @@ type mountConfig struct {
 	cacheBlocks int
 	cachePolicy string
 	writeBehind int
+	allocGroups int
 }
 
 // WithCache mounts the volume through a blockcache of the given capacity (in
@@ -78,8 +98,20 @@ func WithWriteBehind(highWater int) Option {
 	return func(c *mountConfig) { c.writeBehind = highWater }
 }
 
+// WithAllocGroups sets the number of allocation groups the sharded
+// allocator partitions the data region into (default alloc.DefaultGroups).
+// The grouping is runtime-only — the on-disk bitmap layout is identical for
+// every value, and two-level free-weighted sampling keeps allocation
+// uniform over the whole free space regardless of the group count — so the
+// knob trades allocator parallelism against per-group bookkeeping without
+// touching the format or the §3.1 adversary model. Values <= 0 select the
+// default.
+func WithAllocGroups(groups int) Option {
+	return func(c *mountConfig) { c.allocGroups = groups }
+}
+
 // applyOptions resolves opts and wraps dev in a cache when requested.
-func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Cache, error) {
+func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Cache, mountConfig, error) {
 	var cfg mountConfig
 	for _, o := range opts {
 		o(&cfg)
@@ -91,17 +123,17 @@ func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Ca
 			WriteBehind: cfg.writeBehind,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, cfg, err
 		}
-		return c, c, nil
+		return c, c, cfg, nil
 	}
 	if cfg.cachePolicy != "" {
 		// Catch a policy name typo even when the capacity is 0 (uncached).
 		if _, err := blockcache.NewPolicy(cfg.cachePolicy, 0); err != nil {
-			return nil, nil, err
+			return nil, nil, cfg, err
 		}
 	}
-	return dev, nil, nil
+	return dev, nil, cfg, nil
 }
 
 // layoutFor computes region boundaries for a volume on dev.
@@ -122,7 +154,7 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	dev, cache, err := applyOptions(dev, opts)
+	dev, cache, mcfg, err := applyOptions(dev, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -165,8 +197,6 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 		return nil, fmt.Errorf("stegfs: volume key: %w", err)
 	}
 
-	rng := mrand.New(mrand.NewSource(params.Seed))
-
 	// Step 1 — random patterns into all blocks so used blocks do not stand
 	// out from free blocks (§3.1).
 	if params.FillVolume {
@@ -182,21 +212,29 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 		}
 	}
 
-	// Step 2 — bitmap with metadata regions marked used.
+	// Step 2 — bitmap with metadata regions marked used, then the sharded
+	// allocator over the data region (the single-threaded setup above is the
+	// last direct bitmap access; everything after goes through the groups).
 	bm := bitmapvec.New(n)
 	for b := int64(0); b < dataStart; b++ {
 		if err := bm.Set(b); err != nil {
 			return nil, err
 		}
 	}
+	al, err := alloc.New(bm, dataStart, mcfg.allocGroups, params.Seed)
+	if err != nil {
+		return nil, err
+	}
 
 	// Step 3 — abandon a random selection of data-region blocks (§3.1:
 	// "some randomly selected blocks are abandoned by turning on their
-	// corresponding bits in the bitmap").
+	// corresponding bits in the bitmap"). Drawn through the allocator, so
+	// abandoned blocks follow the same whole-volume uniform distribution as
+	// hidden allocations.
 	dataBlocks := n - dataStart
 	nAband := int64(float64(dataBlocks) * params.PctAbandoned)
 	for i := int64(0); i < nAband; i++ {
-		b, err := bm.AllocRandomFree(rng)
+		b, err := al.Alloc()
 		if err != nil {
 			return nil, fmt.Errorf("stegfs: abandoning blocks: %w", err)
 		}
@@ -218,11 +256,12 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 		}
 	}
 
-	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: rng, objs: newLockTable()}
+	fs := &FS{dev: dev, cache: cache, alloc: al, sb: sb, params: params, objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: params.MaxPlainFiles,
 		Seed:     params.Seed + 1,
+		Alloc:    al,
 	})
 	if err != nil {
 		return nil, err
@@ -252,7 +291,7 @@ func writeRandomBlock(dev vdisk.Device, b int64) error {
 
 // Mount opens an already-formatted StegFS volume.
 func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
-	dev, cache, err := applyOptions(dev, opts)
+	dev, cache, mcfg, err := applyOptions(dev, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -292,11 +331,16 @@ func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
 		FillVolume:        true,
 		DeterministicKeys: sb.flags&flagDeterministicKeys != 0,
 	}
-	fs := &FS{dev: dev, cache: cache, bm: bm, sb: sb, params: params, rng: mrand.New(mrand.NewSource(sb.seed + 2)), objs: newLockTable()}
+	al, err := alloc.New(bm, int64(sb.dataStart), mcfg.allocGroups, sb.seed+2)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{dev: dev, cache: cache, alloc: al, sb: sb, params: params, objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),
 		Seed:     sb.seed + 1,
+		Alloc:    al,
 	})
 	if err != nil {
 		return nil, err
@@ -308,10 +352,14 @@ func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
 // mounted through a cache, dirty data blocks are flushed to the device first
 // (so no metadata ever references data that has not reached the device) and
 // the metadata writes are flushed after, leaving the on-device image fully
-// consistent at return. The freeze gate drains in-flight hidden-object
-// mutations first — otherwise the bitmap could be written while a rewrite
-// has allocated blocks whose data has not reached the cache yet, and the
-// flushed image would pair fresh metadata with stale data.
+// consistent at return. The freeze gate drains every in-flight mutator
+// first — hidden-object operations hold it through their object locks and
+// plain-file mutators hold it around their calls — otherwise the bitmap
+// could be written while a rewrite has allocated blocks whose data has not
+// reached the cache yet, and the flushed image would pair fresh metadata
+// with stale data. The bitmap serialization itself additionally quiesces
+// every allocation group (alloc.MarshalBitmap), so even a mutator slipping
+// past the gate could never yield a torn bitmap image.
 func (fs *FS) Sync() error {
 	fs.objs.Freeze()
 	defer fs.objs.Unfreeze()
@@ -334,7 +382,7 @@ func (fs *FS) syncLocked() error {
 	if err := fs.dev.WriteBlock(0, buf); err != nil {
 		return err
 	}
-	raw := fs.bm.Marshal()
+	raw := fs.alloc.MarshalBitmap()
 	bs := fs.dev.BlockSize()
 	for i := int64(0); i < int64(fs.sb.bmLen); i++ {
 		for j := range buf {
@@ -381,76 +429,67 @@ func (fs *FS) Params() Params { return fs.params }
 // Device returns the underlying block device.
 func (fs *FS) Device() vdisk.Device { return fs.dev }
 
-// Bitmap returns the live allocation bitmap. Adversary tooling snapshots it.
-func (fs *FS) Bitmap() *bitmapvec.Bitmap {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bm.Clone()
-}
+// Bitmap returns a consistent snapshot of the allocation bitmap, taken with
+// all allocation groups quiesced. Adversary tooling diffs these snapshots.
+func (fs *FS) Bitmap() *bitmapvec.Bitmap { return fs.alloc.Snapshot() }
+
+// Alloc exposes the sharded allocator (group count, free-weight inspection).
+func (fs *FS) Alloc() *alloc.Allocator { return fs.alloc }
 
 // DataStart returns the first allocatable data block.
 func (fs *FS) DataStart() int64 { return int64(fs.sb.dataStart) }
 
 // FreeBlocks returns the number of blocks currently free in the bitmap.
-func (fs *FS) FreeBlocks() int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.bm.CountFree()
-}
+func (fs *FS) FreeBlocks() int64 { return fs.alloc.FreeBlocks() }
 
 // --- Plain file operations (fsapi.FileSystem via the central directory) ----
 
 // SchemeName implements fsapi.FileSystem.
 func (fs *FS) SchemeName() string { return "StegFS" }
 
-// Plain mutators take fs.mu exclusively: the embedded plainfs volume shares
-// the volume-wide allocation bitmap with the hidden-file machinery, so plain
-// allocation must serialize against hidden allocation or concurrent sessions
-// race on the bitmap. Plain readers take fs.mu shared — they never touch the
-// bitmap, plainfs's own internal lock serializes its directory state, and
-// the shared mode means plain reads no longer block hidden reads (or each
+// Plain mutators hold the freeze gate shared (never fs.mu): their block
+// allocations go through the sharded allocator — which the embedded plainfs
+// volume shares with the hidden-file machinery — so they contend with hidden
+// writers only per allocation group, while the gate hold gives Sync and
+// Backup a point where no plain mutation is in flight either. Plain readers
+// need no FS-level lock at all: plainfs's own internal lock serializes its
+// directory state, so plain reads never block hidden operations (or each
 // other's probe phases).
 
 // Create stores a plain file through the central directory.
 func (fs *FS) Create(name string, data []byte) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.objs.EnterGate()
+	defer fs.objs.ExitGate()
 	return fs.plain.Create(name, data)
 }
 
 // Read returns a plain file's contents.
 func (fs *FS) Read(name string) ([]byte, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	return fs.plain.Read(name)
 }
 
 // Write replaces a plain file's contents.
 func (fs *FS) Write(name string, data []byte) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.objs.EnterGate()
+	defer fs.objs.ExitGate()
 	return fs.plain.Write(name, data)
 }
 
 // Delete removes a plain file.
 func (fs *FS) Delete(name string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.objs.EnterGate()
+	defer fs.objs.ExitGate()
 	return fs.plain.Delete(name)
 }
 
 // Stat describes a plain file.
 func (fs *FS) Stat(name string) (fsapi.FileInfo, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	return fs.plain.Stat(name)
 }
 
 // PlainNames lists the central directory (visible to everyone, including
 // adversaries).
 func (fs *FS) PlainNames() []string {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	return fs.plain.Names()
 }
 
@@ -458,8 +497,6 @@ func (fs *FS) PlainNames() []string {
 // directory. An adversary can compute this set too — it is exactly what the
 // brute-force examination of §3.1 subtracts from the bitmap.
 func (fs *FS) PlainReferencedBlocks() (map[int64]bool, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	return fs.plain.ReferencedBlocks()
 }
 

@@ -3,6 +3,7 @@ package stegfs
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -262,12 +263,17 @@ func (r *hiddenRef) io(dev vdisk.Device) *encIO { return &encIO{dev: dev, sealer
 
 // --- Locating, opening and creating headers ----------------------------------
 
-// probeHeaderLocked runs the pseudorandom block-number generator and returns
-// the first candidate holding a matching signature (retrieval mode),
-// mirroring §3.1: "looks for the first block number that is marked as
-// assigned in the bitmap and contains a matching file signature". The caller
-// holds fs.mu (shared or exclusive) for the bitmap probes.
-func (fs *FS) probeHeaderLocked(physName string, fak []byte) (*hiddenRef, error) {
+// probeHeader runs the pseudorandom block-number generator and returns the
+// first candidate holding a matching signature (retrieval mode), mirroring
+// §3.1: "looks for the first block number that is marked as assigned in the
+// bitmap and contains a matching file signature". The probe takes no FS-
+// level lock: each bitmap test locks only the candidate's allocation group
+// for an instant, so any number of probes — and writers to unrelated
+// objects — run in parallel. The returned ref carries a header snapshot
+// that is only trustworthy while no writer runs; callers that need a stable
+// view go through openShared/openExclusive, which re-read the header under
+// the object lock.
+func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
 	sealer, err := sgcrypto.NewSealer(physName, fak)
 	if err != nil {
 		return nil, err
@@ -278,11 +284,20 @@ func (fs *FS) probeHeaderLocked(physName string, fak []byte) (*hiddenRef, error)
 	freeSeen := 0
 	for i := 0; i < fs.params.MaxHeaderProbes; i++ {
 		cand := gen.Next()
-		if !fs.bm.Test(cand) {
+		if !fs.alloc.Test(cand) {
 			// Free block: cannot be the header. A header always lands on the
 			// first creation-time-free candidate, so after enough free
 			// candidates with no match the object does not exist (each one
 			// would have to have been allocated at creation and freed since).
+			// The probe is lock-free, so a block another object frees and
+			// re-allocates mid-churn can flicker free for an instant;
+			// re-testing keeps such transients from counting toward the stop
+			// (an existing object's header block itself is stably allocated
+			// for its whole lifetime, so a flickering candidate is never the
+			// header we seek and can be skipped without counting).
+			if fs.alloc.Test(cand) {
+				continue
+			}
 			freeSeen++
 			if freeSeen >= fs.params.FreeProbeStop {
 				break
@@ -304,16 +319,6 @@ func (fs *FS) probeHeaderLocked(physName string, fak []byte) (*hiddenRef, error)
 		}
 	}
 	return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, physName)
-}
-
-// probeHeader locates a hidden object, taking the allocation lock shared for
-// the duration of the probe. The returned ref carries a header snapshot that
-// is only trustworthy while no writer runs; callers that need a stable view
-// go through openShared/openExclusive instead.
-func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.probeHeaderLocked(physName, fak)
 }
 
 // reloadHeader re-reads and re-decodes the object's header block. Called
@@ -378,20 +383,16 @@ func (fs *FS) release(r *hiddenRef) {
 	}
 }
 
-// allocHeaderBlockLocked runs the generator in creation mode: the first
-// candidate that is free in the bitmap becomes the header block. The caller
-// holds fs.mu exclusively.
-func (fs *FS) allocHeaderBlockLocked(physName string, fak []byte) (int64, error) {
+// allocHeaderBlock runs the generator in creation mode: the first candidate
+// that is free in the bitmap becomes the header block. Each candidate is
+// claimed with an atomic per-group test-and-set, so two concurrent creates
+// of different names racing down overlapping chains can never both win one
+// block; same-name creates are serialized by the caller's name stripe.
+func (fs *FS) allocHeaderBlock(physName string, fak []byte) (int64, error) {
 	gen := sgcrypto.NewPRBG(sgcrypto.HeaderSeed(physName, fak), fs.dev.NumBlocks())
 	for i := 0; i < fs.params.MaxHeaderProbes; i++ {
 		cand := gen.Next()
-		if cand < int64(fs.sb.dataStart) {
-			continue // metadata region is never free, skip cheaply
-		}
-		if !fs.bm.Test(cand) {
-			if err := fs.bm.Set(cand); err != nil {
-				return 0, err
-			}
+		if fs.alloc.TryAlloc(cand) {
 			return cand, nil
 		}
 	}
@@ -400,20 +401,25 @@ func (fs *FS) allocHeaderBlockLocked(physName string, fak []byte) (int64, error)
 
 // --- Free-pool management (§3.1) --------------------------------------------
 
+// The pool operations below mutate r.hdr.free, which is guarded by the
+// object's exclusive lock (held by every caller); volume allocation goes
+// through the sharded allocator, which synchronizes internally per group.
+// No FS-level lock is involved, so writers to distinct hidden objects top
+// up, drain and return their pools fully in parallel.
+
 // poolTake removes and returns a random block from the object's internal
 // free pool, topping the pool up from the file system when it falls below
 // FreeMin. When the pool is empty it allocates directly from the volume.
-// The caller holds fs.mu exclusively.
 func (fs *FS) poolTake(r *hiddenRef) (int64, error) {
 	h := r.hdr
 	if len(h.free) == 0 {
-		b, err := fs.bm.AllocRandomFree(fs.rng)
+		b, err := fs.alloc.Alloc()
 		if err != nil {
 			return 0, fsapi.ErrNoSpace
 		}
 		return b, nil
 	}
-	i := fs.rng.Intn(len(h.free))
+	i := fs.alloc.Intn(len(h.free))
 	b := h.free[i]
 	h.free[i] = h.free[len(h.free)-1]
 	h.free = h.free[:len(h.free)-1]
@@ -424,8 +430,7 @@ func (fs *FS) poolTake(r *hiddenRef) (int64, error) {
 }
 
 // poolTopUp refills the pool to FreeMax with random free blocks. Shortfalls
-// are tolerated (the volume may simply be full). The caller holds fs.mu
-// exclusively.
+// are tolerated (the volume may simply be full).
 func (fs *FS) poolTopUp(r *hiddenRef) {
 	capHdr := freeCapacity(fs.dev.BlockSize())
 	target := fs.params.FreeMax
@@ -433,7 +438,7 @@ func (fs *FS) poolTopUp(r *hiddenRef) {
 		target = capHdr
 	}
 	for len(r.hdr.free) < target {
-		b, err := fs.bm.AllocRandomFree(fs.rng)
+		b, err := fs.alloc.Alloc()
 		if err != nil {
 			return
 		}
@@ -443,7 +448,6 @@ func (fs *FS) poolTopUp(r *hiddenRef) {
 
 // poolGive returns a freed block to the pool; once the pool exceeds FreeMax
 // the block goes back to the file system instead (§3.1 truncation rule).
-// The caller holds fs.mu exclusively.
 func (fs *FS) poolGive(r *hiddenRef, b int64) {
 	capHdr := freeCapacity(fs.dev.BlockSize())
 	limit := fs.params.FreeMax
@@ -454,45 +458,43 @@ func (fs *FS) poolGive(r *hiddenRef, b int64) {
 		r.hdr.free = append(r.hdr.free, b)
 		return
 	}
-	_ = fs.bm.Clear(b)
+	fs.alloc.Free(b)
 }
 
-// lockedAlloc adapts poolTake to a ptree.AllocFunc with its own fs.mu
-// critical section per call (pointer blocks are few).
-func (fs *FS) lockedAlloc(r *hiddenRef) ptree.AllocFunc {
-	return func() (int64, error) {
-		fs.mu.Lock()
-		defer fs.mu.Unlock()
-		return fs.poolTake(r)
-	}
+// poolAlloc adapts poolTake to a ptree.AllocFunc (pointer blocks are few).
+func (fs *FS) poolAlloc(r *hiddenRef) ptree.AllocFunc {
+	return func() (int64, error) { return fs.poolTake(r) }
 }
 
 // --- Hidden object CRUD ------------------------------------------------------
 
 // createHidden stores a new hidden object. It is self-locking: the existence
 // probe, the header-block allocation and the initial header flush happen
-// atomically under fs.mu, so two concurrent creates for the same (name, key)
-// cannot both miss the probe and mint duplicate headers; the bulk data write
-// then runs under the new object's exclusive lock only, with fs.mu taken
-// briefly for each pool interaction.
+// under the physical name's stripe mutex, so two concurrent creates for the
+// same (name, key) serialize there — the second one's probe finds the first
+// one's flushed header — while creates of different names proceed in
+// parallel (their candidate-block claims are already atomic per allocation
+// group). The bulk data write then runs under the new object's exclusive
+// lock only; pool interactions go straight to the sharded allocator.
 func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte) (*hiddenRef, error) {
 	sealer, err := sgcrypto.NewSealer(physName, fak)
 	if err != nil {
 		return nil, err
 	}
-	// Gate before fs.mu, matching Freeze's order: the gate hold taken here is
-	// what later lets the fresh object be locked while fs.mu is still held
-	// without ever waiting on the gate (see lockTable.EnterGate).
+	// Gate before the stripe, matching Freeze's order: the gate hold taken
+	// here is what later lets the fresh object be locked while the stripe is
+	// still held without ever waiting on the gate (see lockTable.EnterGate).
 	fs.objs.EnterGate()
-	fs.mu.Lock()
-	if _, err := fs.probeHeaderLocked(physName, fak); err == nil {
-		fs.mu.Unlock()
+	stripe := fs.createStripe(physName)
+	stripe.Lock()
+	if _, err := fs.probeHeader(physName, fak); err == nil {
+		stripe.Unlock()
 		fs.objs.ExitGate()
 		return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrExists, physName)
 	}
-	hb, err := fs.allocHeaderBlockLocked(physName, fak)
+	hb, err := fs.allocHeaderBlock(physName, fak)
 	if err != nil {
-		fs.mu.Unlock()
+		stripe.Unlock()
 		fs.objs.ExitGate()
 		return nil, err
 	}
@@ -505,23 +507,30 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 	// "When a hidden file is created, StegFS straightaway allocates several
 	// blocks to the file" — seed the internal free pool.
 	fs.poolTopUp(r)
-	// Flush the (still empty) header before fs.mu drops: from this instant a
-	// concurrent probe for the same (name, key) finds the object instead of
-	// minting a second header.
+	// Lock the fresh object BEFORE the header becomes findable: probes are
+	// lock-free, so flushing first would open a window where another party
+	// holding the FAK probes the empty header, takes the object lock ahead
+	// of the creator and reads zero-length content that never logically
+	// existed. The gate is already held (EnterGate above, Freeze's order),
+	// and the acquisition cannot deadlock: the only possible holder of this
+	// block's lock is a deleter still tearing down a previous object that
+	// used the same block, and its progress needs none of the locks held
+	// here (deleters take neither name stripes nor the gate exclusively).
+	fs.objs.LockGateHeld(hb)
+	// Flush the (still empty) header before the stripe drops: from this
+	// instant a probe for the same (name, key) finds the object instead of
+	// minting a second header — and then blocks on the object lock taken
+	// above until the content is in place.
 	if err := fs.flushHeader(r); err != nil {
 		for _, b := range r.hdr.free {
-			_ = fs.bm.Clear(b)
+			fs.alloc.Free(b)
 		}
-		_ = fs.bm.Clear(hb)
-		fs.mu.Unlock()
-		fs.objs.ExitGate()
+		fs.alloc.Free(hb)
+		stripe.Unlock()
+		fs.objs.Unlock(hb) // also returns the gate hold from EnterGate
 		return nil, err
 	}
-	// The gate is already held (EnterGate above) and the header block was
-	// free until a moment ago, so this acquisition cannot block on anything
-	// while fs.mu is held.
-	fs.objs.LockGateHeld(hb)
-	fs.mu.Unlock()
+	stripe.Unlock()
 	defer fs.objs.Unlock(hb)
 
 	if err := fs.writeHiddenData(r, data); err != nil {
@@ -532,9 +541,7 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 	// up holding its free blocks (Figure 2: the header carries a persistent
 	// free-blocks list), or bitmap-snapshot deltas would expose exactly the
 	// data blocks.
-	fs.mu.Lock()
 	fs.poolTopUp(r)
-	fs.mu.Unlock()
 	if err := fs.flushHeader(r); err != nil {
 		fs.destroyHidden(r)
 		return nil, err
@@ -542,40 +549,53 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 	return r, nil
 }
 
-// writeHiddenData allocates blocks (via the pool, in one fs.mu critical
-// section) and writes the payload and its pointer tree with vectored sealed
-// I/O. It fills in r.hdr.{size,nblocks,root}. The caller holds the object's
+// releaseFailedWrite returns blocks claimed for a failed write. Some of
+// them were drawn from the object's internal pool, which the last
+// flushHeader persisted as owned — volume-freeing those directly would
+// double-own them (free in the bitmap AND listed in the on-disk free list;
+// a stale-header destroy would later liberate whoever re-allocated them).
+// So the drained header is flushed first, and the blocks go back to the
+// volume only once no on-disk state references them. If that flush itself
+// fails the blocks stay allocated — a bounded leak, never double ownership.
+// The caller holds the object's exclusive lock.
+func (fs *FS) releaseFailedWrite(r *hiddenRef, blocks []int64) {
+	if err := fs.flushHeader(r); err != nil {
+		return
+	}
+	for _, b := range blocks {
+		fs.alloc.Free(b)
+	}
+}
+
+// writeHiddenData allocates blocks (via the pool and the sharded allocator)
+// and writes the payload and its pointer tree with vectored sealed I/O. It
+// fills in r.hdr.{size,nblocks,root}. The caller holds the object's
 // exclusive lock.
 func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
 	bs := fs.dev.BlockSize()
 	n := (int64(len(data)) + int64(bs) - 1) / int64(bs)
-	fs.mu.Lock()
 	blocks := make([]int64, 0, n)
 	for i := int64(0); i < n; i++ {
 		b, err := fs.poolTake(r)
 		if err != nil {
-			for _, blk := range blocks {
-				_ = fs.bm.Clear(blk)
-			}
-			fs.mu.Unlock()
+			fs.releaseFailedWrite(r, blocks)
 			return err
 		}
 		blocks = append(blocks, b)
 	}
-	fs.mu.Unlock()
 
 	io := r.io(fs.dev)
 	bufs := payloadBufs(data, len(blocks), bs)
 	if err := io.WriteBlocks(blocks, bufs); err != nil {
-		fs.mu.Lock()
-		for _, blk := range blocks {
-			_ = fs.bm.Clear(blk)
-		}
-		fs.mu.Unlock()
+		fs.releaseFailedWrite(r, blocks)
 		return err
 	}
-	root, _, err := ptree.Write(io, fs.lockedAlloc(r), hdrNumDirect, blocks)
+	root, meta, err := ptree.Write(io, fs.poolAlloc(r), hdrNumDirect, blocks)
 	if err != nil {
+		// ptree.Write reports the pointer blocks it had already claimed;
+		// release them along with the data blocks or a failed large write
+		// leaks every indirect block it managed to allocate.
+		fs.releaseFailedWrite(r, append(blocks, meta...))
 		return err
 	}
 	r.hdr.root = root
@@ -652,27 +672,75 @@ func (fs *FS) rewriteHidden(r *hiddenRef, data []byte) error {
 		r.hdr.size = int64(len(data))
 		return fs.flushHeader(r)
 	}
-	// Release old data and pointer blocks through the pool (collected first,
-	// then returned under one allocation-lock acquisition).
-	freed := blocks
-	if err := ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { freed = append(freed, b) }); err != nil {
+	// Stage the release of the old data and pointer blocks: they go back to
+	// the pool only after the replacement payload AND the header referencing
+	// it are durably in place (the same ordering fix as tickDummy's pool
+	// rotation). Freeing first would let a concurrent writer claim a block
+	// the still-persisted old header tree references, and a later
+	// stale-header destroy would liberate that writer's live data. The
+	// trade-off is that a reshaping rewrite transiently holds both the old
+	// and the new blocks — and, on failure, leaves the old payload intact
+	// and readable instead of half-released.
+	staged := blocks
+	if err := ptree.Free(io, r.hdr.root, r.hdr.nblocks, func(b int64) { staged = append(staged, b) }); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	for _, b := range freed {
-		fs.poolGive(r, b)
+	err = fs.writeHiddenData(r, data)
+	recycled := false
+	if errors.Is(err, fsapi.ErrNoSpace) {
+		// The volume cannot hold old and new payload simultaneously. Fall
+		// back to the recycle-first ordering: release the old blocks into
+		// the pool and retry, letting the write reuse them. This narrows
+		// the staged path's failure-isolation (a retry that ALSO fails
+		// mid-write leaves the on-disk header referencing recycled blocks,
+		// the pre-sharding behavior) but a nearly-full volume must be able
+		// to rewrite — deleting a directory entry goes through this very
+		// path, and refusing would wedge the volume with no way to free
+		// space.
+		recycled = true
+		for _, b := range staged {
+			fs.poolGive(r, b)
+		}
+		err = fs.writeHiddenData(r, data)
 	}
-	fs.mu.Unlock()
-	if err := fs.writeHiddenData(r, data); err != nil {
+	if err != nil {
 		return err
 	}
-	return fs.flushHeader(r)
+	if err := fs.flushHeader(r); err != nil {
+		return err
+	}
+	if !recycled {
+		prevPool := len(r.hdr.free)
+		for _, b := range staged {
+			fs.poolGive(r, b)
+		}
+		// Persist the refilled pool (Figure 2: the header carries the free
+		// list) — best effort: the rewrite itself is already durable
+		// (payload and the header referencing it flushed above), so a
+		// failure here must not fail the operation, or callers like
+		// CreateHidden's rollback would destroy an object whose directory
+		// entry is live on disk.
+		if ferr := fs.flushHeader(r); ferr != nil {
+			// The refilled pool lives only in this transient ref — a
+			// reopen re-reads the header from disk — so an unpersisted
+			// pool would leak the staged blocks outright once the ref is
+			// dropped. The successful flush above left them unreferenced
+			// on disk, so reverting the in-memory pool and returning them
+			// to the volume is safe: no on-disk state lists them, and
+			// Free is a no-op for the overflow blocks poolGive already
+			// released.
+			r.hdr.free = r.hdr.free[:prevPool]
+			for _, b := range staged {
+				fs.alloc.Free(b)
+			}
+		}
+	}
+	return nil
 }
 
 // destroyHidden frees everything the object holds: data blocks, pointer
 // blocks, pooled free blocks and the header itself. The caller holds the
-// object's exclusive lock; the bitmap is cleared in one allocation-lock
-// critical section.
+// object's exclusive lock; the blocks return to their allocation groups.
 func (fs *FS) destroyHidden(r *hiddenRef) {
 	io := r.io(fs.dev)
 	var victims []int64
@@ -687,12 +755,39 @@ func (fs *FS) destroyHidden(r *hiddenRef) {
 	if r.hdr != nil {
 		victims = append(victims, r.hdr.free...)
 	}
+	// Scrub the header ciphertext BEFORE the block is freed: probes are
+	// lock-free, so a freed-then-reallocated-but-not-yet-written header
+	// block would otherwise keep presenting the deleted object's intact
+	// header — a second deleter could "find" the object and liberate
+	// blocks their new owner already claimed. After the scrub a stale
+	// probe reads random bytes and fails the signature check. Best
+	// effort: on a scrub write error the block is freed anyway (the
+	// window then matches the pre-scrub behavior).
+	_ = writeRandomBlock(fs.dev, r.headerBlk)
 	victims = append(victims, r.headerBlk)
-	fs.mu.Lock()
 	for _, b := range victims {
-		_ = fs.bm.Clear(b)
+		fs.alloc.Free(b)
 	}
-	fs.mu.Unlock()
+}
+
+// destroyByRef tears down the object behind a ref whose lock is NOT held:
+// it takes the exclusive object lock, refreshes the header (the ref's
+// snapshot may be stale — destroying with a stale header could free blocks
+// the object no longer owns) and destroys the object. An object that is
+// already gone (not-found on reload) counts as success: the work is done.
+// This is the one shared teardown path for rollbacks and deletes — it
+// needs no probe, so it cannot spuriously miss under concurrent churn.
+func (fs *FS) destroyByRef(r *hiddenRef) error {
+	fs.objs.Lock(r.headerBlk)
+	err := fs.reloadHeader(r)
+	if err == nil {
+		fs.destroyHidden(r)
+	}
+	fs.objs.Unlock(r.headerBlk)
+	if err != nil && !errors.Is(err, fsapi.ErrNotFound) {
+		return err
+	}
+	return nil
 }
 
 // hiddenBlocks returns every block an open hidden object occupies: header,

@@ -184,8 +184,6 @@ func TestFreePoolSeededAtCreate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	// "StegFS straightaway allocates several blocks to the file": after a
 	// 1-block write from a 10-block pool, the pool holds FreeMax-1...FreeMax
 	// blocks (top-ups only below FreeMin=0).
@@ -194,7 +192,7 @@ func TestFreePoolSeededAtCreate(t *testing.T) {
 	}
 	// Pool blocks are marked used in the bitmap but hold no data.
 	for _, b := range r.hdr.free {
-		if !fs.bm.Test(b) {
+		if !fs.alloc.Test(b) {
 			t.Fatalf("pool block %d not marked in bitmap", b)
 		}
 	}
@@ -206,8 +204,6 @@ func TestFreePoolTopUpAtFreeMin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	// Take blocks until the pool would dip below FreeMin; it must top up.
 	for i := 0; i < 40; i++ {
 		if _, err := fs.poolTake(r); err != nil {
@@ -225,14 +221,12 @@ func TestFreePoolCapAtFreeMax(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	free0 := fs.bm.CountFree()
+	free0 := fs.alloc.FreeBlocks()
 	// Give back many blocks: the pool absorbs up to FreeMax, the rest go to
 	// the volume.
 	given := make([]int64, 0, 20)
 	for i := 0; i < 20; i++ {
-		b, err := fs.bm.AllocRandomFree(fs.rng)
+		b, err := fs.alloc.Alloc()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +242,7 @@ func TestFreePoolCapAtFreeMax(t *testing.T) {
 	// freed back, so the free count dropped by exactly the pool growth.
 	expectedDrop := int64(fs.params.FreeMax - len(given)) // negative: freed back
 	_ = expectedDrop
-	if fs.bm.CountFree() < free0-int64(fs.params.FreeMax) {
+	if fs.alloc.FreeBlocks() < free0-int64(fs.params.FreeMax) {
 		t.Fatal("poolGive leaked allocations")
 	}
 }
@@ -263,8 +257,6 @@ func TestHiddenBlocksAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	// 30 data + 1 header + 1 single-indirect (30 > 24 direct) + pool.
 	want := 30 + 1 + 1 + len(r.hdr.free)
 	if len(blocks) != want {
@@ -276,7 +268,7 @@ func TestHiddenBlocksAccounting(t *testing.T) {
 			t.Fatalf("block %d listed twice", b)
 		}
 		seen[b] = true
-		if !fs.bm.Test(b) {
+		if !fs.alloc.Test(b) {
 			t.Fatalf("block %d not marked used", b)
 		}
 	}

@@ -10,20 +10,28 @@ import "sync"
 // objects on the volume.
 //
 // The table also carries the volume's freeze gate: every per-object
-// acquisition holds the gate shared, and Freeze takes it exclusively, giving
-// whole-volume operations (Backup) a point where no hidden object is mid-
-// mutation.
+// acquisition holds the gate shared, plain-file mutators hold it shared
+// around their calls (EnterGate/ExitGate), and Freeze takes it exclusively,
+// giving whole-volume operations (Backup, Sync) a point where no hidden
+// object — and no plain file — is mid-mutation.
 //
 // Lock hierarchy (outermost first):
 //
-//	FS.nsMu  →  lockTable (gate, then one object lock)  →  FS.mu  →  cache/device locks
+//	FS.nsMu  →  lockTable (gate, then one object lock)  →  FS.createMu
+//	stripe  →  FS.mu  →  allocation-group locks (internal/alloc)  →
+//	cache/device locks
 //
-// Never acquire a per-object lock while holding FS.mu, with one audited
-// exception: createHidden locks the object it just allocated before
-// releasing FS.mu. It pre-takes the gate with EnterGate (before FS.mu, in
-// hierarchy order) and then uses LockGateHeld, so neither the gate nor the
-// object mutex — the block was free until this moment, nobody else can have
-// discovered it — can block while FS.mu is held.
+// Allocation-group mutexes are leaves: the sharded allocator never takes
+// another lock while holding one, and callers hold at most one group lock
+// at a time (inside the allocator). Never acquire a per-object lock while
+// holding a later-level lock, with one audited exception: createHidden
+// locks the object it just allocated while still holding its name-stripe
+// mutex. It pre-takes the gate with EnterGate (before the stripe, in
+// hierarchy order) and then uses LockGateHeld, so the gate can never block
+// while the stripe is held; the object mutex can at worst wait briefly for
+// a deleter still tearing down a previous object that recycled the same
+// header block — never a deadlock, since deleters take neither stripes nor
+// the gate exclusively.
 type lockTable struct {
 	gate sync.RWMutex // freeze gate; object holders share it, Freeze excludes them
 	mu   sync.Mutex   // guards m
@@ -102,11 +110,13 @@ func (t *lockTable) RUnlock(b int64) {
 }
 
 // EnterGate takes the freeze gate shared without locking any object.
-// createHidden uses it to establish the gate → fs.mu order up front, so it
-// can later lock its freshly allocated object with LockGateHeld while
-// holding fs.mu without ever waiting on the gate there (waiting on the gate
-// while holding fs.mu would deadlock against Freeze, which takes the gate
-// before fs.mu).
+// Plain-file mutators hold it around their calls, and createHidden uses it
+// to establish the gate → name-stripe order up front, so it can later lock
+// its freshly allocated object with LockGateHeld while holding the stripe
+// without ever waiting on the gate there (waiting on the gate while holding
+// the stripe would stall a same-name create behind a pending Freeze, and
+// the gate must always be taken before any later-level lock, in Freeze's
+// order).
 func (t *lockTable) EnterGate() { t.gate.RLock() }
 
 // ExitGate releases a shared gate hold taken with EnterGate and not yet

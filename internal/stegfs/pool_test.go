@@ -16,8 +16,6 @@ func TestPoolTakeEmptyPoolFallsBackToVolume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if len(r.hdr.free) != 0 {
 		t.Fatalf("FreeMax=0 volume seeded a pool of %d blocks", len(r.hdr.free))
 	}
@@ -25,7 +23,7 @@ func TestPoolTakeEmptyPoolFallsBackToVolume(t *testing.T) {
 	if err != nil {
 		t.Fatalf("poolTake with empty pool: %v", err)
 	}
-	if !fs.bm.Test(b) {
+	if !fs.alloc.Test(b) {
 		t.Fatalf("block %d from empty-pool take not marked used in bitmap", b)
 	}
 	if len(r.hdr.free) != 0 {
@@ -44,9 +42,7 @@ func TestPoolTopUpClampedToHeaderCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
 	fs.poolTopUp(r)
-	fs.mu.Unlock()
 	if len(r.hdr.free) > capHdr {
 		t.Fatalf("pool %d exceeds header capacity %d", len(r.hdr.free), capHdr)
 	}
@@ -70,13 +66,11 @@ func TestPoolGiveBeyondClampReturnsToVolume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	fs.poolTopUp(r)
 	if len(r.hdr.free) != capHdr {
 		t.Fatalf("pool %d after top-up, want %d", len(r.hdr.free), capHdr)
 	}
-	b, err := fs.bm.AllocRandomFree(fs.rng)
+	b, err := fs.alloc.Alloc()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +78,7 @@ func TestPoolGiveBeyondClampReturnsToVolume(t *testing.T) {
 	if len(r.hdr.free) != capHdr {
 		t.Fatalf("poolGive overflowed the clamped pool to %d", len(r.hdr.free))
 	}
-	if fs.bm.Test(b) {
+	if fs.alloc.Test(b) {
 		t.Fatalf("block %d given to a full pool was not freed back to the volume", b)
 	}
 }
@@ -98,11 +92,9 @@ func TestPoolTakeFullVolumeReportsNoSpace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	// Exhaust the volume.
 	for {
-		if _, err := fs.bm.AllocRandomFree(fs.rng); err != nil {
+		if _, err := fs.alloc.Alloc(); err != nil {
 			break
 		}
 	}
