@@ -34,6 +34,7 @@ func main() {
 		cache     = flag.Int("cache", 4096, "format through a block cache of this many blocks (0 = uncached)")
 		policy    = flag.String("cache-policy", "", "cache replacement policy: lru|arc|2q (default lru)")
 		wbehind   = flag.Int("write-behind", 0, "start early write-back once this many dirty blocks accumulate (0 = only at sync)")
+		flushers  = flag.Int("flush-workers", 0, "background flusher goroutines servicing write-behind runs (0 = default 1, negative = synchronous)")
 	)
 	flag.Parse()
 	if *vol == "" {
@@ -67,7 +68,7 @@ func main() {
 	// those writes into sequential flush passes. Write-behind keeps the dirty
 	// backlog bounded when the cache is large.
 	fs, err := stegfs.Format(store, p, stegfs.WithCache(*cache),
-		stegfs.WithCachePolicy(*policy), stegfs.WithWriteBehind(*wbehind))
+		stegfs.WithCachePolicy(*policy), stegfs.WithWriteBehind(*wbehind, *flushers))
 	if err != nil {
 		fatal(err)
 	}

@@ -10,7 +10,7 @@
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
-// ablate-concurrency, ablate-write-concurrency, all.
+// ablate-concurrency, ablate-write-concurrency, ablate-cached-write, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ida|all")
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ida|all")
 		scale  = flag.String("scale", "small", "workload scale: paper|small")
 		volume = flag.Int64("volume", 0, "override volume size in bytes")
 		bs     = flag.Int("bs", 0, "override block size in bytes")
@@ -84,6 +84,7 @@ func main() {
 	run("ablate-policy", runAblatePolicy)
 	run("ablate-concurrency", runAblateConcurrency)
 	run("ablate-write-concurrency", runAblateWriteConcurrency)
+	run("ablate-cached-write", runAblateCachedWrite)
 	run("ida", runIDA)
 }
 
@@ -118,7 +119,7 @@ func runAblateConcurrency(cfg bench.Config) error {
 }
 
 func runAblateWriteConcurrency(cfg bench.Config) error {
-	rows, err := bench.WriteConcurrencySweep(cfg, nil, 0, 0)
+	rows, report, err := bench.WriteConcurrencySweep(cfg, nil, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -129,7 +130,38 @@ func runAblateWriteConcurrency(cfg bench.Config) error {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds)
 	}
+	printAllocReport(report)
 	return nil
+}
+
+func runAblateCachedWrite(cfg bench.Config) error {
+	rows, report, err := bench.CachedWriteConcurrencySweep(cfg, nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A7 — cached parallel write path (goroutines over one shared volume")
+	fmt.Println("mounted through the write-back cache with the async flush pipeline; cold reads +")
+	fmt.Println("mixed create/rewrite/delete; window ends at the Sync barrier; latency-emulated disk):")
+	fmt.Println("  goroutines  wall-sec     ops/s   speedup  disk-sec  hit-rate  writebacks  batches  wbehind  stalls")
+	for _, r := range rows {
+		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%  %10d  %7d  %7d  %6d\n",
+			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds,
+			r.HitRate*100, r.WriteBacks, r.FlushBatches, r.WriteBehinds, r.FlushStalls)
+	}
+	printAllocReport(report)
+	return nil
+}
+
+// printAllocReport prints the sharded allocator's group-skew summary under a
+// concurrency sweep's table.
+func printAllocReport(rep bench.AllocReport) {
+	contPct := 0.0
+	if rep.Locks > 0 {
+		contPct = 100 * float64(rep.Contended) / float64(rep.Locks)
+	}
+	fmt.Printf("  alloc groups=%d allocs=%d frees=%d lock-contention=%d/%d (%.2f%%) per-group allocs min/mean/max=%d/%.1f/%d\n",
+		rep.Groups, rep.Allocs, rep.Frees, rep.Contended, rep.Locks, contPct,
+		rep.MinAllocs, rep.MeanAllocs, rep.MaxAllocs)
 }
 
 func runAblateCache(cfg bench.Config) error {

@@ -57,6 +57,7 @@ func run(args []string) error {
 	cache := global.Int("cache", 0, "mount through a block cache of this many blocks (0 = uncached)")
 	cachePolicy := global.String("cache-policy", "", "cache replacement policy: lru|arc|2q (default lru)")
 	writeBehind := global.Int("write-behind", 0, "start early write-back once this many dirty blocks accumulate (0 = only at sync)")
+	flushWorkers := global.Int("flush-workers", 0, "background flusher goroutines servicing write-behind runs (0 = default 1, negative = synchronous)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -83,7 +84,7 @@ func run(args []string) error {
 		return cmdRecover(store, cmdArgs)
 	}
 	fs, err := stegfs.Mount(store, stegfs.WithCache(*cache),
-		stegfs.WithCachePolicy(*cachePolicy), stegfs.WithWriteBehind(*writeBehind))
+		stegfs.WithCachePolicy(*cachePolicy), stegfs.WithWriteBehind(*writeBehind, *flushWorkers))
 	if err != nil {
 		return err
 	}

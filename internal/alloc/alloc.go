@@ -29,6 +29,7 @@ package alloc
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -69,6 +70,26 @@ type group struct {
 	free   atomic.Int64 // live free count, readable without the lock
 	mu     sync.Mutex   // guards the bitmap words of [lo, hi) and rng
 	rng    *rand.Rand
+
+	// Contention/throughput counters, exported via Allocator.Stats so the
+	// bench harness can report group skew. Updated atomically; never reset.
+	allocs    atomic.Int64 // blocks claimed in this group (Alloc + TryAlloc)
+	frees     atomic.Int64 // blocks returned to this group
+	locks     atomic.Int64 // counted lock acquisitions (alloc/free/probe)
+	contended atomic.Int64 // of those, how many found the mutex held
+}
+
+// lock takes the group mutex, counting the acquisition — and whether it was
+// contended — so Contended/Locks is a well-formed ratio over the same event
+// set. TryLock+Lock costs one extra atomic on the uncontended fast path —
+// noise next to the bitmap scan under the lock.
+func (g *group) lock() {
+	g.locks.Add(1)
+	if g.mu.TryLock() {
+		return
+	}
+	g.contended.Add(1)
+	g.mu.Lock()
 }
 
 // New builds an allocator with up to numGroups groups over [dataStart,
@@ -231,13 +252,14 @@ func (a *Allocator) Alloc() (int64, error) {
 
 // allocIn takes one uniform free block of g under its lock.
 func (a *Allocator) allocIn(g *group) (int64, error) {
-	g.mu.Lock()
+	g.lock()
 	defer g.mu.Unlock()
 	b, err := a.bm.AllocRandomFreeInRange(g.rng, g.lo, g.hi)
 	if err != nil {
 		return 0, err
 	}
 	g.free.Add(-1)
+	g.allocs.Add(1)
 	return b, nil
 }
 
@@ -250,11 +272,52 @@ func (a *Allocator) Free(b int64) {
 		return
 	}
 	g := &a.groups[i]
-	g.mu.Lock()
+	g.lock()
 	defer g.mu.Unlock()
 	if a.bm.Test(b) {
 		_ = a.bm.Clear(b)
 		g.free.Add(1)
+		g.frees.Add(1)
+	}
+}
+
+// FreeBatch returns a set of blocks to the free space: victims are sorted by
+// block number — which groups them by allocation group, since groups are
+// contiguous ranges — and each group's blocks are cleared under ONE lock
+// hold, so a large delete pays one acquisition per touched group instead of
+// one per block. Metadata blocks and already-free blocks are skipped with
+// the same tolerance as Free; duplicates collapse to one clear.
+func (a *Allocator) FreeBatch(blocks []int64) {
+	switch len(blocks) {
+	case 0:
+		return
+	case 1:
+		a.Free(blocks[0])
+		return
+	}
+	sorted := append(make([]int64, 0, len(blocks)), blocks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 0; i < len(sorted); {
+		gi := a.GroupOf(sorted[i])
+		if gi < 0 {
+			i++
+			continue
+		}
+		g := &a.groups[gi]
+		j := i
+		var freed int64
+		g.lock()
+		for ; j < len(sorted) && sorted[j] < g.hi; j++ {
+			b := sorted[j]
+			if b >= g.lo && a.bm.Test(b) {
+				_ = a.bm.Clear(b)
+				freed++
+			}
+		}
+		g.free.Add(freed)
+		g.frees.Add(freed)
+		g.mu.Unlock()
+		i = j
 	}
 }
 
@@ -269,7 +332,7 @@ func (a *Allocator) Test(b int64) bool {
 		return b >= 0 && b < a.n
 	}
 	g := &a.groups[i]
-	g.mu.Lock()
+	g.lock()
 	defer g.mu.Unlock()
 	return a.bm.Test(b)
 }
@@ -284,7 +347,7 @@ func (a *Allocator) TryAlloc(b int64) bool {
 		return false
 	}
 	g := &a.groups[i]
-	g.mu.Lock()
+	g.lock()
 	defer g.mu.Unlock()
 	if a.bm.Test(b) {
 		return false
@@ -293,6 +356,7 @@ func (a *Allocator) TryAlloc(b int64) bool {
 		return false
 	}
 	g.free.Add(-1)
+	g.allocs.Add(1)
 	return true
 }
 
@@ -326,4 +390,69 @@ func (a *Allocator) MarshalBitmap() []byte {
 	a.lockAll()
 	defer a.unlockAll()
 	return a.bm.Marshal()
+}
+
+// GroupStats are one group's accumulated counters (see Stats).
+type GroupStats struct {
+	Allocs    int64 // blocks claimed in this group (Alloc + TryAlloc)
+	Frees     int64 // blocks returned to this group (Free + FreeBatch)
+	Locks     int64 // counted lock acquisitions (alloc, free, bit probes)
+	Contended int64 // of Locks, how many found the group mutex held
+}
+
+// Stats is a point-in-time snapshot of every group's counters. The bench
+// harness prints it so the A6/A7 concurrency sweeps can report allocation
+// skew and lock contention across groups.
+type Stats struct {
+	Groups []GroupStats
+}
+
+// Totals sums the per-group counters.
+func (s Stats) Totals() GroupStats {
+	var t GroupStats
+	for _, g := range s.Groups {
+		t.Allocs += g.Allocs
+		t.Frees += g.Frees
+		t.Locks += g.Locks
+		t.Contended += g.Contended
+	}
+	return t
+}
+
+// AllocSkew returns the min and max per-group allocation counts and their
+// mean — a quick read on whether the free-weighted group draw spread load
+// evenly.
+func (s Stats) AllocSkew() (min, max int64, mean float64) {
+	if len(s.Groups) == 0 {
+		return 0, 0, 0
+	}
+	min = s.Groups[0].Allocs
+	var sum int64
+	for _, g := range s.Groups {
+		if g.Allocs < min {
+			min = g.Allocs
+		}
+		if g.Allocs > max {
+			max = g.Allocs
+		}
+		sum += g.Allocs
+	}
+	return min, max, float64(sum) / float64(len(s.Groups))
+}
+
+// Stats snapshots the per-group contention and throughput counters. The
+// counters are atomics, so the snapshot needs no locks and never perturbs
+// running allocators.
+func (a *Allocator) Stats() Stats {
+	out := Stats{Groups: make([]GroupStats, len(a.groups))}
+	for i := range a.groups {
+		g := &a.groups[i]
+		out.Groups[i] = GroupStats{
+			Allocs:    g.allocs.Load(),
+			Frees:     g.frees.Load(),
+			Locks:     g.locks.Load(),
+			Contended: g.contended.Load(),
+		}
+	}
+	return out
 }

@@ -248,3 +248,118 @@ func TestInt63nUniformBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestFreeBatch: batch frees must be exactly equivalent to per-block frees —
+// tolerant of metadata blocks, already-free blocks and duplicates — while
+// grouping victims so each touched group is locked once.
+func TestFreeBatch(t *testing.T) {
+	const n, start = 1 << 14, 517
+	bm := mkBitmap(t, n, start, 0, 3)
+	a, err := New(bm, start, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victims []int64
+	for i := 0; i < 900; i++ {
+		b, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims = append(victims, b)
+	}
+	extra := a.FreeBlocks()
+	// Salt the batch with junk: metadata blocks, never-allocated blocks and
+	// duplicates of real victims.
+	batch := append([]int64(nil), victims...)
+	batch = append(batch, 0, 5, start-1, victims[0], victims[13], n-1)
+	a.FreeBatch(batch)
+	if got := a.FreeBlocks(); got != extra+900 {
+		t.Fatalf("free count after batch = %d, want %d", got, extra+900)
+	}
+	for _, b := range victims {
+		if a.Test(b) {
+			t.Fatalf("block %d still allocated after FreeBatch", b)
+		}
+	}
+	// Per-group counters balance: every alloc was undone by exactly one free.
+	tot := a.Stats().Totals()
+	if tot.Allocs != 900 || tot.Frees != 900 {
+		t.Fatalf("stats allocs/frees = %d/%d, want 900/900", tot.Allocs, tot.Frees)
+	}
+	// Idempotent: a second identical batch is a no-op.
+	a.FreeBatch(batch)
+	if got := a.FreeBlocks(); got != extra+900 {
+		t.Fatalf("double FreeBatch changed free count to %d", got)
+	}
+}
+
+// TestFreeBatchConcurrent: concurrent batch frees and allocations must never
+// corrupt the free counts; run with -race.
+func TestFreeBatchConcurrent(t *testing.T) {
+	const n, start = 1 << 14, 512
+	bm := mkBitmap(t, n, start, 0, 7)
+	a, err := New(bm, start, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := a.FreeBlocks()
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				var mine []int64
+				for i := 0; i < 40; i++ {
+					b, err := a.Alloc()
+					if err != nil {
+						break
+					}
+					mine = append(mine, b)
+				}
+				a.FreeBatch(mine)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.FreeBlocks(); got != free0 {
+		t.Fatalf("free count drifted: %d -> %d", free0, got)
+	}
+	if got := bm.CountFree(); got != free0 {
+		t.Fatalf("bitmap free count drifted: %d -> %d", free0, got)
+	}
+	tot := a.Stats().Totals()
+	if tot.Allocs != tot.Frees {
+		t.Fatalf("stats allocs %d != frees %d after balanced churn", tot.Allocs, tot.Frees)
+	}
+}
+
+// TestStatsSkew: the free-weighted draw spreads allocations across groups;
+// the skew report must reflect a roughly even spread on a uniform volume.
+func TestStatsSkew(t *testing.T) {
+	const n, start = 1 << 15, 512
+	bm := mkBitmap(t, n, start, 0, 11)
+	a, err := New(bm, start, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3200; i++ {
+		if _, err := a.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if len(st.Groups) != a.Groups() {
+		t.Fatalf("stats groups = %d, want %d", len(st.Groups), a.Groups())
+	}
+	min, max, mean := st.AllocSkew()
+	if mean == 0 {
+		t.Fatal("no allocations recorded")
+	}
+	// 3200 draws over 16 groups: expectation 200/group; a 3x min/max band is
+	// far looser than the binomial spread ever gets.
+	if min < 100 || max > 400 {
+		t.Fatalf("allocation skew out of band: min=%d mean=%.1f max=%d", min, mean, max)
+	}
+}

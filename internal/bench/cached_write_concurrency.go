@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"stegfs/internal/alloc"
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+	"stegfs/internal/workload"
+)
+
+// CachedWriteConcurrencyRow is one level of the cached parallel-write-path
+// ablation (A7): the A6 mutation cycle plus a cold-read stream fanned across
+// Goroutines workers on one shared CACHED StegFS instance with the
+// asynchronous write-behind pipeline active.
+type CachedWriteConcurrencyRow struct {
+	Goroutines  int
+	WallSeconds float64 // wall-clock time for the whole op set + in-window Sync
+	OpsPerSec   float64 // totalOps / WallSeconds
+	Speedup     float64 // OpsPerSec relative to the first (1-goroutine) row
+	DiskSeconds float64 // simulated-disk time consumed inside the window
+	HitRate     float64 // cache hit rate inside the window
+
+	// Flush-pipeline evidence: deferred writes must reach the device as
+	// batched sorted runs, not per-block synchronous writes.
+	WriteBacks   int64 // blocks written back inside the window
+	FlushBatches int64 // batched flush submissions those blocks rode in
+	WriteBehinds int64 // background write-behind runs
+	FlushStalls  int64 // writer stalls at the hard dirty cap
+}
+
+// AllocReport summarizes the sharded allocator's per-group counters for a
+// sweep, so the harness can print allocation skew and lock contention next
+// to the scaling numbers.
+type AllocReport struct {
+	Groups     int
+	Allocs     int64
+	Frees      int64
+	Locks      int64 // counted group-lock acquisitions (alloc, free, bit probes)
+	Contended  int64 // of Locks, how many found the group mutex held
+	MinAllocs  int64
+	MaxAllocs  int64
+	MeanAllocs float64
+}
+
+// NewAllocReport snapshots an allocator into an AllocReport.
+func NewAllocReport(a *alloc.Allocator) AllocReport {
+	st := a.Stats()
+	tot := st.Totals()
+	min, max, mean := st.AllocSkew()
+	return AllocReport{
+		Groups:     a.Groups(),
+		Allocs:     tot.Allocs,
+		Frees:      tot.Frees,
+		Locks:      tot.Locks,
+		Contended:  tot.Contended,
+		MinAllocs:  min,
+		MaxAllocs:  max,
+		MeanAllocs: mean,
+	}
+}
+
+// Workload shape for the cached write sweep. Ops come in 8-op stripes, each
+// pinned to one goroutine: four cold hidden reads (every read file is
+// touched exactly once per level, so the window's miss set is identical at
+// every concurrency level) interleaved with the A6 four-op mutation cycle on
+// the stripe's own write object. Reads model the multi-user cover traffic
+// the paper assumes runs at full speed; the mutation cycle is the write path
+// under test.
+const (
+	cwcStripes      = 32 // 8 ops each -> 256 ops per level
+	cwcOpsPerStripe = 8
+	cwcReadFiles    = cwcStripes * 4 // touched once per level each
+	cwcReadBlocks   = 8              // blocks per read file
+	cwcWriteBlocks  = 2              // payload blocks per write object
+
+	cwcCacheBlocks  = 4096 // covers the level working set; Invalidate re-colds it
+	cwcWriteBehind  = 128  // high-water: background flushing runs inside the window
+	cwcFlushWorkers = 4
+)
+
+// CachedWriteConcurrencySweep runs ablation A7: goroutines x {1,2,4,8,16}
+// over one shared StegFS volume mounted THROUGH the write-back cache with
+// write-behind and the background flush pipeline enabled, on a
+// latency-emulating disk. This is the regime where the pre-pipeline cache
+// collapsed the A6 curve back toward 1x: every dirty write-back went out
+// one synchronous WriteBlock at a time while holding the cache mutex, so a
+// cached writer — and every concurrent reader hitting the cache — stalled
+// behind the device. With the asynchronous pipeline, foreground writes are
+// absorbed by the cache, dirty runs stream out in sorted batches on
+// background flusher goroutines, and the only foreground device waits left
+// are the cold-read misses, which overlap across goroutines exactly like
+// the uncached A5/A6 paths.
+//
+// Each level's window starts from an identical cold-cache, fully-synced
+// state (Sync + Invalidate between levels, outside the window) and ENDS
+// with FS.Sync inside the window, so the window prices the full write-back
+// cost of the level's mutations — wall-clock speedup cannot come from
+// deferring device work past the measurement.
+func CachedWriteConcurrencySweep(cfg Config, levels []int, emuScale float64) ([]CachedWriteConcurrencyRow, AllocReport, error) {
+	if levels == nil {
+		levels = []int{1, 2, 4, 8, 16}
+	}
+	if emuScale <= 0 {
+		emuScale = 0.5
+	}
+	totalOps := cwcStripes * cwcOpsPerStripe
+	for _, g := range levels {
+		if g <= 0 {
+			return nil, AllocReport{}, fmt.Errorf("bench: invalid concurrency level %d", g)
+		}
+		if totalOps%g != 0 || (totalOps/g)%cwcOpsPerStripe != 0 {
+			return nil, AllocReport{}, fmt.Errorf("bench: level %d does not tile %d ops in whole %d-op stripes", g, totalOps, cwcOpsPerStripe)
+		}
+	}
+	store, err := vdisk.NewMemStore(cfg.NumBlocks(), cfg.BlockSize)
+	if err != nil {
+		return nil, AllocReport{}, err
+	}
+	disk := vdisk.NewDisk(store, cfg.Geometry)
+	p := cfg.Steg
+	p.Seed = cfg.Seed
+	fs, err := stegfs.Format(disk, p,
+		stegfs.WithCache(cwcCacheBlocks),
+		stegfs.WithCachePolicy(cfg.CachePolicy),
+		stegfs.WithWriteBehind(cwcWriteBehind, cwcFlushWorkers))
+	if err != nil {
+		return nil, AllocReport{}, err
+	}
+	defer fs.Close() // stop the background flusher pool when the sweep ends
+	view := fs.NewHiddenView("cwc")
+
+	bs := int64(cfg.BlockSize)
+	readSpecs := make([]workload.FileSpec, cwcReadFiles)
+	for i := range readSpecs {
+		readSpecs[i] = workload.FileSpec{Name: fmt.Sprintf("r%03d", i), Size: cwcReadBlocks * bs}
+		if err := view.Create(readSpecs[i].Name, workload.Payload(readSpecs[i], cfg.Seed)); err != nil {
+			return nil, AllocReport{}, fmt.Errorf("populate %s: %w", readSpecs[i].Name, err)
+		}
+	}
+	writeSpecs := make([]workload.FileSpec, cwcStripes)
+	payloads := make([][]byte, cwcStripes)
+	alt := make([][]byte, cwcStripes)
+	for i := range writeSpecs {
+		writeSpecs[i] = workload.FileSpec{Name: fmt.Sprintf("w%03d", i), Size: cwcWriteBlocks * bs}
+		payloads[i] = workload.Payload(writeSpecs[i], cfg.Seed)
+		alt[i] = workload.Payload(writeSpecs[i], cfg.Seed+7)
+		if err := view.Create(writeSpecs[i].Name, payloads[i]); err != nil {
+			return nil, AllocReport{}, fmt.Errorf("populate %s: %w", writeSpecs[i].Name, err)
+		}
+	}
+
+	// One op of the deterministic mix. Stripe s owns write object s and the
+	// four read files 4s..4s+3; even positions are cold reads, odd positions
+	// walk the A6 cycle in order: in-place rewrite, delete, re-create
+	// (fresh uniform allocation), rewrite back to the canonical content.
+	doOp := func(i int) error {
+		stripe, pos := i/cwcOpsPerStripe, i%cwcOpsPerStripe
+		if pos%2 == 0 {
+			_, err := view.Read(readSpecs[stripe*4+pos/2].Name)
+			return err
+		}
+		name := writeSpecs[stripe].Name
+		switch pos / 2 {
+		case 0:
+			return view.Write(name, alt[stripe])
+		case 1:
+			return view.Delete(name)
+		case 2:
+			return view.Create(name, alt[stripe])
+		default:
+			return view.Write(name, payloads[stripe])
+		}
+	}
+
+	cache := fs.Cache()
+	var rows []CachedWriteConcurrencyRow
+	for _, g := range levels {
+		// Reset to an identical cold-cache, clean state between levels —
+		// outside the window and without latency emulation.
+		if err := fs.Sync(); err != nil {
+			return nil, AllocReport{}, err
+		}
+		if err := cache.Invalidate(); err != nil {
+			return nil, AllocReport{}, err
+		}
+
+		disk.EmulateLatency(emuScale)
+		preDisk := disk.Elapsed()
+		preStats := cache.Stats()
+		errs := make(chan error, g)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			lo, hi := w*totalOps/g, (w+1)*totalOps/g
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := doOp(i); err != nil {
+						errs <- fmt.Errorf("op %d: %w", i, err)
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		// The window ends at the Sync barrier: the level's full write-back
+		// cost is inside the measurement.
+		syncErr := fs.Sync()
+		wall := time.Since(start)
+		disk.EmulateLatency(0)
+		close(errs)
+		for err := range errs {
+			return nil, AllocReport{}, fmt.Errorf("g=%d: %w", g, err)
+		}
+		if syncErr != nil {
+			return nil, AllocReport{}, fmt.Errorf("g=%d: sync: %w", g, syncErr)
+		}
+
+		d := cache.Stats().Sub(preStats)
+		row := CachedWriteConcurrencyRow{
+			Goroutines:   g,
+			WallSeconds:  wall.Seconds(),
+			DiskSeconds:  (disk.Elapsed() - preDisk).Seconds(),
+			HitRate:      d.HitRate(),
+			WriteBacks:   d.WriteBacks,
+			FlushBatches: d.FlushBatches,
+			WriteBehinds: d.WriteBehinds,
+			FlushStalls:  d.FlushStalls,
+		}
+		if wall > 0 {
+			row.OpsPerSec = float64(totalOps) / wall.Seconds()
+		}
+		rows = append(rows, row)
+
+		// Verify outside the measured window.
+		for i, s := range writeSpecs {
+			got, err := view.Read(s.Name)
+			if err != nil {
+				return nil, AllocReport{}, fmt.Errorf("g=%d verify %s: %w", g, s.Name, err)
+			}
+			if !bytes.Equal(got, payloads[i]) {
+				return nil, AllocReport{}, fmt.Errorf("g=%d: %s corrupted after cached write window", g, s.Name)
+			}
+		}
+	}
+	if len(rows) > 0 && rows[0].OpsPerSec > 0 {
+		for i := range rows {
+			rows[i].Speedup = rows[i].OpsPerSec / rows[0].OpsPerSec
+		}
+	}
+	return rows, NewAllocReport(fs.Alloc()), nil
+}

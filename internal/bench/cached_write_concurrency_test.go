@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestCachedWriteConcurrencySweepScalesAndKeepsDiskCost asserts the
+// acceptance shape of ablation A7 at a reduced size: with the asynchronous
+// flush pipeline, the cached mixed read/mutate workload must scale with
+// goroutines, the simulated-disk cost of the window must stay flat, and the
+// deferred writes must reach the device as batched flush submissions rather
+// than per-block writes.
+func TestCachedWriteConcurrencySweepScalesAndKeepsDiskCost(t *testing.T) {
+	cfg := SmallConfig()
+	rows, report, err := CachedWriteConcurrencySweep(cfg, []int{1, 4}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.DiskSeconds <= 0 {
+			t.Fatalf("window consumed no simulated disk time: %+v", r)
+		}
+		if r.WriteBacks == 0 || r.FlushBatches == 0 {
+			t.Fatalf("window recorded no batched write-backs: %+v", r)
+		}
+		if r.FlushBatches >= r.WriteBacks {
+			t.Fatalf("flushes not batched: %d submissions for %d blocks", r.FlushBatches, r.WriteBacks)
+		}
+	}
+	if rows[1].Speedup < 1.5 {
+		t.Errorf("4 goroutines speedup %.2fx, want >= 1.5x (cached writers must not stall behind the flush pipeline)", rows[1].Speedup)
+	}
+	ratio := rows[1].DiskSeconds / rows[0].DiskSeconds
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("simulated-disk cost moved %.2fx across levels; concurrency must not re-price the device", ratio)
+	}
+	if report.Groups == 0 || report.Allocs == 0 {
+		t.Fatalf("empty allocator report: %+v", report)
+	}
+}

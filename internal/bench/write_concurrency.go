@@ -51,7 +51,7 @@ const (
 // the window therefore stays flat (block placement is uniformly random at
 // every level, so expected seek costs match): concurrency must buy
 // wall-clock time, not re-price the device.
-func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float64) ([]WriteConcurrencyRow, error) {
+func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float64) ([]WriteConcurrencyRow, AllocReport, error) {
 	if levels == nil {
 		levels = []int{1, 2, 4, 8, 16}
 	}
@@ -63,7 +63,7 @@ func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float6
 	}
 	for _, g := range levels {
 		if g <= 0 {
-			return nil, fmt.Errorf("bench: invalid concurrency level %d", g)
+			return nil, AllocReport{}, fmt.Errorf("bench: invalid concurrency level %d", g)
 		}
 		// Every goroutine boundary w*perObjOps/g must land on an object
 		// boundary, or one object's 4-op block would split across two
@@ -71,22 +71,22 @@ func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float6
 		// count into equal chunks of whole objects.
 		perObjOps := wcObjects * wcOpsPerObject
 		if perObjOps%g != 0 || (perObjOps/g)%wcOpsPerObject != 0 {
-			return nil, fmt.Errorf("bench: level %d does not tile %d ops in whole %d-op object blocks", g, perObjOps, wcOpsPerObject)
+			return nil, AllocReport{}, fmt.Errorf("bench: level %d does not tile %d ops in whole %d-op object blocks", g, perObjOps, wcOpsPerObject)
 		}
 	}
 	store, err := vdisk.NewMemStore(cfg.NumBlocks(), cfg.BlockSize)
 	if err != nil {
-		return nil, err
+		return nil, AllocReport{}, err
 	}
 	disk := vdisk.NewDisk(store, cfg.Geometry)
 	p := cfg.Steg
 	p.Seed = cfg.Seed
-	// Uncached: the sweep prices the write path itself. (A write-back cache
-	// would absorb the mutations and defer the device cost to Sync, which is
-	// serial by design — the cache ablations own that regime.)
+	// Uncached: the sweep prices the write path itself. (The cached regime —
+	// write-back absorption plus the asynchronous flush pipeline — is
+	// ablation A7, CachedWriteConcurrencySweep.)
 	fs, err := stegfs.Format(disk, p)
 	if err != nil {
-		return nil, err
+		return nil, AllocReport{}, err
 	}
 	view := fs.NewHiddenView("wconc")
 
@@ -99,7 +99,7 @@ func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float6
 		payloads[i] = workload.Payload(specs[i], cfg.Seed)
 		alt[i] = workload.Payload(specs[i], cfg.Seed+7)
 		if err := view.Create(specs[i].Name, payloads[i]); err != nil {
-			return nil, fmt.Errorf("populate %s: %w", specs[i].Name, err)
+			return nil, AllocReport{}, fmt.Errorf("populate %s: %w", specs[i].Name, err)
 		}
 	}
 
@@ -151,7 +151,7 @@ func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float6
 		wall := time.Since(start)
 		close(errs)
 		for err := range errs {
-			return nil, fmt.Errorf("g=%d: %w", g, err)
+			return nil, AllocReport{}, fmt.Errorf("g=%d: %w", g, err)
 		}
 
 		row := WriteConcurrencyRow{
@@ -170,10 +170,10 @@ func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float6
 		for i, s := range specs {
 			got, err := view.Read(s.Name)
 			if err != nil {
-				return nil, fmt.Errorf("g=%d verify %s: %w", g, s.Name, err)
+				return nil, AllocReport{}, fmt.Errorf("g=%d verify %s: %w", g, s.Name, err)
 			}
 			if !bytes.Equal(got, payloads[i]) {
-				return nil, fmt.Errorf("g=%d: %s corrupted after write window", g, s.Name)
+				return nil, AllocReport{}, fmt.Errorf("g=%d: %s corrupted after write window", g, s.Name)
 			}
 		}
 		disk.EmulateLatency(emuScale)
@@ -183,5 +183,5 @@ func WriteConcurrencySweep(cfg Config, levels []int, rounds int, emuScale float6
 			rows[i].Speedup = rows[i].OpsPerSec / rows[0].OpsPerSec
 		}
 	}
-	return rows, nil
+	return rows, NewAllocReport(fs.Alloc()), nil
 }

@@ -11,9 +11,12 @@ import "testing"
 // does not re-price the device.
 func TestWriteConcurrencySweepScalesAndKeepsDiskCost(t *testing.T) {
 	cfg := SmallConfig()
-	rows, err := WriteConcurrencySweep(cfg, []int{1, 4}, 1, 0.25)
+	rows, report, err := WriteConcurrencySweep(cfg, []int{1, 4}, 1, 0.25)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if report.Groups == 0 || report.Allocs == 0 {
+		t.Fatalf("empty allocator report: %+v", report)
 	}
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))

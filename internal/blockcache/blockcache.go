@@ -28,17 +28,29 @@
 // at capacities far below the total working set, where LRU caches nothing;
 // see the A4 ablation in ROADMAP.md. LRU remains the default.
 //
+// # The flush pipeline
+//
+// All deferred device writes run through one pipeline: dirty entries are
+// collected into runs sorted by block number, marked flush-in-flight, and
+// submitted via vdisk.WriteBlocks OUTSIDE the cache mutex, so a writer
+// hitting the cache never waits behind the device. Write-behind
+// (Options.WriteBehind) hands those runs to a bounded pool of background
+// flusher goroutines (Options.FlushWorkers); barriers (Flush/Sync/Close/
+// Invalidate) drain the in-flight runs and then batch the remainder
+// themselves. A block re-dirtied while its flush is in flight stays dirty —
+// the write wins and the next run picks up the fresh data — so read-your-
+// writes and barrier completeness hold across the unlocked window.
+//
 // The cache is a write-back cache, so crash consistency is the caller's
 // responsibility: callers must Flush (or Sync) before any point where the
 // on-device image has to be self-consistent. stegfs.FS does this around its
 // superblock/bitmap writes so that data blocks always reach the device
-// before the metadata that references them. Optional write-behind
-// (Options.WriteBehind) bounds how much dirty data those barriers can
-// accumulate without weakening them: the cache cannot tell data from
-// metadata and flushes whatever is dirty, but issuing any deferred write
-// earlier than its barrier is harmless — stegfs's consistency rests solely
-// on the superblock/bitmap being written inside Sync after a full Flush,
-// and that ordering is untouched.
+// before the metadata that references them. Write-behind bounds how much
+// dirty data those barriers can accumulate without weakening them: the cache
+// cannot tell data from metadata and flushes whatever is dirty, but issuing
+// any deferred write earlier than its barrier is harmless — stegfs's
+// consistency rests solely on the superblock/bitmap being written inside
+// Sync after a full Flush, and that ordering is untouched.
 package blockcache
 
 import (
@@ -59,7 +71,9 @@ type Stats struct {
 	Evictions    int64 // entries displaced by capacity pressure
 	WriteBacks   int64 // dirty (or pass-through/write-through) blocks written to the device
 	Flushes      int64 // explicit Flush/Sync barriers
-	WriteBehinds int64 // background write-behind runs triggered by the high-water mark
+	WriteBehinds int64 // write-behind runs triggered by the high-water mark
+	FlushBatches int64 // batched (sorted, multi-block) flush submissions to the device
+	FlushStalls  int64 // writers stalled at the hard dirty cap waiting for the flusher
 }
 
 // Sub returns s - o counter-wise. Benchmarks snapshot the counters before a
@@ -72,6 +86,8 @@ func (s Stats) Sub(o Stats) Stats {
 		WriteBacks:   s.WriteBacks - o.WriteBacks,
 		Flushes:      s.Flushes - o.Flushes,
 		WriteBehinds: s.WriteBehinds - o.WriteBehinds,
+		FlushBatches: s.FlushBatches - o.FlushBatches,
+		FlushStalls:  s.FlushStalls - o.FlushStalls,
 	}
 }
 
@@ -86,10 +102,20 @@ func (s Stats) HitRate() float64 {
 
 // entry is one cached block. data always holds exactly one device block.
 type entry struct {
-	block int64
-	data  []byte
-	dirty bool
+	block    int64
+	data     []byte
+	dirty    bool
+	flushing bool   // a staged copy is being written by the flush pipeline
+	gen      uint64 // bumped on every write; detects re-dirty during a flight
 }
+
+// maxFlushRun caps how many blocks one pipeline submission stages (and
+// copies) at a time; barriers loop until clean, so the cap bounds staging
+// memory without bounding a drain.
+const maxFlushRun = 4096
+
+// maxFlushWorkers bounds the background flusher pool.
+const maxFlushWorkers = 16
 
 // Options configures a Cache built with NewWithOptions.
 type Options struct {
@@ -102,12 +128,22 @@ type Options struct {
 	// NewWriteThrough.
 	WriteThrough bool
 	// WriteBehind is the dirty-block high-water mark. When more than this
-	// many dirty blocks accumulate, the cache immediately writes dirty
-	// blocks back in ascending block order — lowest block numbers first, so
-	// the run streams across the platter — until half the mark remains,
-	// without waiting for the next Flush. 0 disables write-behind. Ignored
-	// in write-through mode (nothing is ever deferred there).
+	// many dirty blocks accumulate, the flush pipeline writes dirty blocks
+	// back in ascending block order — lowest block numbers first, so the run
+	// streams across the platter — until half the mark remains, without
+	// waiting for the next Flush. With FlushWorkers > 0 the runs are issued
+	// by background goroutines and the writer returns immediately; writers
+	// only stall once twice the mark is dirty (hard cap back-pressure).
+	// 0 disables write-behind. Ignored in write-through mode (nothing is
+	// ever deferred there).
 	WriteBehind int
+	// FlushWorkers sets the number of background flusher goroutines that
+	// service write-behind runs. 0 selects the default of 1; negative
+	// disables the background pool, making write-behind synchronous in the
+	// writing goroutine (still batched and outside the mutex). Without
+	// WriteBehind no background flusher is started — barriers then own all
+	// deferred writes.
+	FlushWorkers int
 }
 
 // Cache is a block cache over a vdisk.Device with a pluggable replacement
@@ -119,15 +155,22 @@ type Options struct {
 // Cache is safe for concurrent use.
 type Cache struct {
 	mu           sync.Mutex
+	bgWake       *sync.Cond // wakes the background flushers (work or shutdown)
+	flushDone    *sync.Cond // signaled when a flush run completes (barriers, back-pressure)
 	dev          vdisk.Device
 	cap          int
 	writeThrough bool
 	highWater    int // write-behind high-water mark; 0 = disabled
+	workers      int // background flusher goroutines (0 = synchronous write-behind)
 	policy       Policy
 	entries      map[int64]*entry
 	inflight     map[int64]*fetch // miss fetches in progress (see ReadBlock)
-	dirty        int              // resident dirty blocks
-	wbErr        error            // sticky deferred write-back failure; surfaced at the next barrier
+	dirty        int              // resident dirty blocks (staged ones included)
+	staged       int              // dirty blocks currently flush-in-flight
+	draining     bool             // write-behind hysteresis: past high water, not yet at low
+	closed       bool
+	wg           sync.WaitGroup
+	wbErr        error // sticky deferred write-back failure; surfaced at the next barrier
 	stats        Stats
 }
 
@@ -177,15 +220,38 @@ func NewWithOptions(dev vdisk.Device, o Options) (*Cache, error) {
 	if o.WriteBehind < 0 || o.WriteThrough {
 		o.WriteBehind = 0
 	}
-	return &Cache{
+	workers := o.FlushWorkers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	if workers > maxFlushWorkers {
+		workers = maxFlushWorkers
+	}
+	if o.Capacity == 0 || o.WriteThrough || o.WriteBehind == 0 {
+		// Nothing is ever deferred ahead of a barrier without write-behind;
+		// keep the pool empty instead of idling goroutines.
+		workers = 0
+	}
+	c := &Cache{
 		dev:          dev,
 		cap:          o.Capacity,
 		writeThrough: o.WriteThrough,
 		highWater:    o.WriteBehind,
+		workers:      workers,
 		policy:       pol,
 		entries:      make(map[int64]*entry, o.Capacity),
 		inflight:     make(map[int64]*fetch),
-	}, nil
+	}
+	c.bgWake = sync.NewCond(&c.mu)
+	c.flushDone = sync.NewCond(&c.mu)
+	for i := 0; i < workers; i++ {
+		c.wg.Add(1)
+		go c.flusher()
+	}
+	return c, nil
 }
 
 // Device returns the wrapped device.
@@ -196,6 +262,14 @@ func (c *Cache) Capacity() int { return c.cap }
 
 // PolicyName returns the replacement policy in use ("lru", "arc", "2q").
 func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+// FlushWorkers returns the number of background flusher goroutines (0 after
+// StopFlushers/Close).
+func (c *Cache) FlushWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers
+}
 
 // NumBlocks returns the number of blocks on the underlying device.
 func (c *Cache) NumBlocks() int64 { return c.dev.NumBlocks() }
@@ -210,11 +284,20 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
-// Dirty returns the number of dirty blocks currently held.
+// Dirty returns the number of dirty blocks currently held (blocks whose
+// flush is in flight included — they are not durable until it completes).
 func (c *Cache) Dirty() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dirty
+}
+
+// FlushInFlight returns the number of blocks currently staged in the flush
+// pipeline. Tests and monitoring use this.
+func (c *Cache) FlushInFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.staged
 }
 
 // ReadBlock reads block n into buf, serving from the cache when possible.
@@ -291,8 +374,8 @@ func (c *Cache) ReadBlock(n int64, buf []byte) error {
 }
 
 // WriteBlock stores buf for block n in the cache, deferring the device write
-// until eviction, write-behind or the next Flush (pass-through and
-// write-through modes write to the device immediately instead).
+// to the flush pipeline (pass-through and write-through modes write to the
+// device immediately instead).
 func (c *Cache) WriteBlock(n int64, buf []byte) error {
 	if len(buf) != c.dev.BlockSize() {
 		return fmt.Errorf("%w: %d != %d", vdisk.ErrBadBuffer, len(buf), c.dev.BlockSize())
@@ -316,9 +399,7 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 		c.stats.WriteBacks++
 	}
 	c.writeLocked(n, buf)
-	if c.highWater > 0 && c.dirty > c.highWater {
-		c.writeBehindLocked()
-	}
+	c.afterWriteLocked()
 	return nil
 }
 
@@ -332,6 +413,7 @@ func (c *Cache) writeLocked(n int64, buf []byte) {
 	}
 	if e, ok := c.entries[n]; ok {
 		copy(e.data, buf)
+		e.gen++
 		if !c.writeThrough && !e.dirty {
 			e.dirty = true
 			c.dirty++
@@ -339,6 +421,33 @@ func (c *Cache) writeLocked(n int64, buf []byte) {
 		c.policy.Touch(n)
 	} else {
 		c.insertLocked(n, buf, !c.writeThrough)
+	}
+}
+
+// afterWriteLocked applies the write-behind policy after new dirty data
+// landed: with a background pool it wakes a flusher past the high-water mark
+// and stalls the writer only at the hard cap (2x the mark); without a pool
+// it runs one synchronous (but batched, outside-the-mutex) write-behind run.
+// Caller holds c.mu.
+func (c *Cache) afterWriteLocked() {
+	if c.highWater <= 0 || c.dirty <= c.highWater {
+		return
+	}
+	if c.workers == 0 {
+		c.stats.WriteBehinds++
+		_ = c.flushRunLocked(c.highWater/2, 0, true)
+		return
+	}
+	c.bgWake.Signal()
+	if c.dirty < 2*c.highWater {
+		return
+	}
+	// Hard cap: the pipeline is more than a full mark behind. Wait for it
+	// rather than growing the backlog without bound. A sticky error pauses
+	// the pipeline until the next barrier, so don't wait on it then.
+	c.stats.FlushStalls++
+	for c.dirty >= 2*c.highWater && c.wbErr == nil && !c.closed {
+		c.flushDone.Wait()
 	}
 }
 
@@ -452,7 +561,7 @@ func (c *Cache) ReadBlocks(ns []int64, bufs [][]byte) error {
 // WriteBlocks implements vdisk.BatchDevice: the whole batch is absorbed
 // under one lock acquisition (pass-through and write-through modes issue a
 // single batched, sorted device submission first) and the write-behind
-// high-water mark is checked once at the end.
+// policy is applied once at the end.
 func (c *Cache) WriteBlocks(ns []int64, bufs [][]byte) error {
 	if len(ns) != len(bufs) {
 		return fmt.Errorf("%w: %d block numbers, %d buffers", vdisk.ErrBadBuffer, len(ns), len(bufs))
@@ -481,9 +590,7 @@ func (c *Cache) WriteBlocks(ns []int64, bufs [][]byte) error {
 	for i, n := range ns {
 		c.writeLocked(n, bufs[i])
 	}
-	if c.highWater > 0 && c.dirty > c.highWater {
-		c.writeBehindLocked()
-	}
+	c.afterWriteLocked()
 	return nil
 }
 
@@ -498,13 +605,15 @@ func (c *Cache) insertLocked(n int64, buf []byte, dirty bool) {
 	c.policy.Insert(n)
 	for len(c.entries) > c.cap {
 		if !c.evictLocked() {
-			break // over capacity until the device recovers
+			break // over capacity until the device (or the pipeline) recovers
 		}
 	}
 }
 
 // evictLocked removes the policy's victim, writing it back first when dirty.
-// A write-back failure records a sticky error (surfaced by the next
+// A victim whose flush is in flight cannot be dropped (the pipeline still
+// addresses its entry); it is rotated and eviction reports no progress. A
+// write-back failure records a sticky error (surfaced by the next
 // Flush/Sync/Close), keeps the victim resident so the data is not lost, and
 // returns false.
 func (c *Cache) evictLocked() bool {
@@ -519,10 +628,19 @@ func (c *Cache) evictLocked() bool {
 		c.policy.Remove(n)
 		return true
 	}
+	if victim.flushing {
+		c.policy.Touch(n)
+		return false
+	}
 	if victim.dirty {
 		if err := c.dev.WriteBlock(n, victim.data); err != nil {
 			if c.wbErr == nil {
 				c.wbErr = fmt.Errorf("blockcache: eviction write-back block %d: %w", n, err)
+				// A sticky error pauses the pipeline; wake anyone parked on
+				// it — the back-pressure wait in afterWriteLocked checks
+				// wbErr, and without this broadcast a stalled writer would
+				// sleep until some OTHER goroutine reached a barrier.
+				c.flushDone.Broadcast()
 			}
 			c.policy.Touch(n)
 			return false
@@ -537,80 +655,245 @@ func (c *Cache) evictLocked() bool {
 	return true
 }
 
-// dirtyAscendingLocked returns the dirty entries sorted by block number.
-func (c *Cache) dirtyAscendingLocked() []*entry {
-	dirty := make([]*entry, 0, c.dirty)
+// dirtyRunLocked returns up to limit unstaged dirty entries in ascending
+// block order (limit <= 0 means all).
+func (c *Cache) dirtyRunLocked(limit int) []*entry {
+	run := make([]*entry, 0, c.dirty-c.staged)
 	for _, e := range c.entries {
-		if e.dirty {
-			dirty = append(dirty, e)
+		if e.dirty && !e.flushing {
+			run = append(run, e)
 		}
 	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].block < dirty[j].block })
-	return dirty
+	sort.Slice(run, func(i, j int) bool { return run[i].block < run[j].block })
+	if limit > 0 && len(run) > limit {
+		run = run[:limit]
+	}
+	return run
 }
 
-// writeBehindLocked issues deferred writes early: dirty blocks are written
-// back in ascending block order (lowest block numbers first, regardless of
-// when they were dirtied) until only half the high-water mark remains
-// dirty. Blocks stay resident (clean), so reads keep hitting; only
-// the deferred device writes are issued. Errors become the sticky write-back
-// error surfaced at the next barrier — the data itself stays dirty and
-// resident, so nothing is lost.
-func (c *Cache) writeBehindLocked() {
-	c.stats.WriteBehinds++
-	low := c.highWater / 2
-	for _, e := range c.dirtyAscendingLocked() {
-		if c.dirty <= low {
+// minWorkerRun is the smallest backlog share worth waking another flusher
+// for — below this, one worker's sorted run beats the extra submissions.
+const minWorkerRun = 16
+
+// flushRunLocked picks one write-behind run — unstaged dirty blocks in
+// ascending order, sized to bring the dirty count down to lowTarget (0 =
+// everything unstaged), bounded by runCap (<= 0 = maxFlushRun) — and pushes
+// it through the pipeline via flushEntriesLocked. Caller holds c.mu; the
+// lock is held on return.
+func (c *Cache) flushRunLocked(lowTarget, runCap int, background bool) error {
+	limit := maxFlushRun
+	if runCap > 0 && runCap < limit {
+		limit = runCap
+	}
+	if lowTarget > 0 {
+		want := c.dirty - lowTarget
+		if want <= 0 {
+			return nil
+		}
+		if want < limit {
+			limit = want
+		}
+	}
+	run := c.dirtyRunLocked(limit)
+	if len(run) == 0 {
+		return nil
+	}
+	return c.flushEntriesLocked(run, background)
+}
+
+// flushEntriesLocked is the heart of the flush pipeline: it stages the given
+// run of dirty entries — sorted ascending by the caller, marked
+// flush-in-flight, data copied — releases c.mu, submits the run to the
+// device as one batched write, and completes it under the lock again. A
+// block re-dirtied while the run was in flight stays dirty (write-wins: its
+// entry's generation moved, so the next run writes the fresh data).
+//
+// When background is true a device failure becomes the sticky write-back
+// error surfaced at the next barrier; the error is also returned either way
+// (barrier callers report it directly). The staged blocks stay dirty and
+// resident on failure, so nothing is lost. Caller holds c.mu and guarantees
+// every entry is dirty and not already flushing; the lock is held on return.
+func (c *Cache) flushEntriesLocked(run []*entry, background bool) error {
+	bs := c.dev.BlockSize()
+	ns := make([]int64, len(run))
+	gens := make([]uint64, len(run))
+	slab := make([]byte, len(run)*bs)
+	bufs := make([][]byte, len(run))
+	for i, e := range run {
+		ns[i] = e.block
+		gens[i] = e.gen
+		bufs[i] = slab[i*bs : (i+1)*bs]
+		copy(bufs[i], e.data)
+		e.flushing = true
+	}
+	c.staged += len(run)
+	c.mu.Unlock()
+
+	err := vdisk.WriteBlocks(c.dev, ns, bufs)
+
+	c.mu.Lock()
+	for i, n := range ns {
+		// The entry cannot have been evicted or invalidated mid-flight:
+		// eviction skips flushing entries and Invalidate drains first.
+		e := c.entries[n]
+		e.flushing = false
+		if err == nil && e.dirty && e.gen == gens[i] {
+			e.dirty = false
+			c.dirty--
+		}
+	}
+	c.staged -= len(run)
+	if err == nil {
+		c.stats.WriteBacks += int64(len(run))
+		c.stats.FlushBatches++
+	} else {
+		err = fmt.Errorf("blockcache: write-back run [%d..%d]: %w", ns[0], ns[len(ns)-1], err)
+		if background && c.wbErr == nil {
+			c.wbErr = err
+		}
+	}
+	c.flushDone.Broadcast()
+	return err
+}
+
+// flushNeededLocked reports whether the background pool has write-behind
+// work, with hysteresis: a drain STARTS when the high-water mark is crossed
+// and keeps going until the backlog reaches half the mark (without the
+// hysteresis, capped per-worker runs would park the pool the moment dirty
+// dipped just below the mark, leaving the backlog hovering at the mark and
+// handing the next barrier a fat serial drain). Unstaged dirty blocks must
+// exist, and a sticky error pauses the pipeline (retrying a failing device
+// in a tight loop helps nobody; the next barrier clears the error and
+// re-arms).
+func (c *Cache) flushNeededLocked() bool {
+	if c.wbErr != nil || c.highWater <= 0 || c.dirty-c.staged <= 0 {
+		return false
+	}
+	if c.dirty > c.highWater {
+		c.draining = true
+	} else if c.dirty <= c.highWater/2 {
+		c.draining = false
+	}
+	return c.draining
+}
+
+// flusher is one background flush worker. It parks until write-behind work
+// appears (or the cache closes) and services one run at a time; multiple
+// workers naturally split a backlog because staged entries are excluded from
+// each other's runs.
+func (c *Cache) flusher() {
+	defer c.wg.Done()
+	c.mu.Lock()
+	for {
+		for !c.closed && !c.flushNeededLocked() {
+			c.bgWake.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
 			return
 		}
-		if err := c.dev.WriteBlock(e.block, e.data); err != nil {
-			if c.wbErr == nil {
-				c.wbErr = fmt.Errorf("blockcache: write-behind block %d: %w", e.block, err)
+		c.stats.WriteBehinds++
+		// Split a large backlog across the pool: cap this run at this
+		// worker's share and wake a peer for the remainder, so one oversized
+		// write batch drains with pool-wide device overlap instead of one
+		// serialized mega-run.
+		low := c.highWater / 2
+		runCap := 0
+		if want := c.dirty - low; c.workers > 1 && want > minWorkerRun {
+			runCap = (want + c.workers - 1) / c.workers
+			if runCap < minWorkerRun {
+				runCap = minWorkerRun
 			}
-			return
+			if want > runCap {
+				c.bgWake.Signal()
+			}
 		}
-		c.stats.WriteBacks++
-		e.dirty = false
-		c.dirty--
+		_ = c.flushRunLocked(low, runCap, true) // errors go sticky
 	}
 }
 
-// Flush writes every dirty block to the device in ascending block order, so
-// the write-back pass streams sequentially instead of random-seeking. Cached
-// data stays resident (clean) for future reads. If an earlier eviction or
-// write-behind write-back failed, that sticky error is returned here (once)
-// even when the retry succeeds, so barrier callers learn a deferred write
-// ever failed.
+// drainLocked runs the barrier flush. Its obligation is every block dirty
+// when the barrier begins: in-flight background runs are drained first
+// (write-wins may hand their blocks back still dirty, in which case they are
+// the barrier's to write), then the obligation goes out in batched ascending
+// runs. A block that is dirtied by a write racing one of the unlocked
+// submission windows — including a re-dirty of a block this barrier already
+// wrote — belongs to the NEXT barrier, exactly like a write that blocked on
+// the mutex behind the old single-hold flush pass; that keeps the barrier
+// terminating under sustained concurrent writers instead of chasing them
+// forever. Caller holds c.mu.
+func (c *Cache) drainLocked() error {
+	c.stats.Flushes++
+	for c.staged > 0 {
+		c.flushDone.Wait()
+	}
+	// staged == 0, so this is ALL currently dirty blocks, sorted ascending.
+	obligation := c.dirtyRunLocked(0)
+	for len(obligation) > 0 {
+		var run []*entry
+		rest := make([]*entry, 0, len(obligation))
+		waiting := false
+		for _, e := range obligation {
+			switch {
+			case !e.dirty:
+				// Already durable (a background run or eviction got there).
+			case e.flushing:
+				// A background flusher staged it during one of our unlocked
+				// windows; wait for that flight and re-examine.
+				waiting = true
+				rest = append(rest, e)
+			case len(run) < maxFlushRun:
+				run = append(run, e)
+			default:
+				rest = append(rest, e)
+			}
+		}
+		obligation = rest
+		if len(run) == 0 {
+			if !waiting {
+				break
+			}
+			c.flushDone.Wait()
+			continue
+		}
+		if err := c.flushEntriesLocked(run, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes every block that is dirty when the barrier begins to the
+// device in ascending block order, so the write-back pass streams
+// sequentially instead of random-seeking: any background runs still in
+// flight are drained first, then the remainder goes out in batched sorted
+// runs. Writes racing the flush land in the cache and are covered by the
+// NEXT barrier, just as they would have queued behind the flush pass's
+// mutex before the pipeline. Cached data stays resident (clean) for future
+// reads. If an earlier eviction or write-behind write-back failed, that
+// sticky error is returned here (once) even when the retry succeeds, so
+// barrier callers learn a deferred write ever failed.
 func (c *Cache) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.flushLocked(); err != nil {
+	if err := c.drainLocked(); err != nil {
 		return err
 	}
 	return c.takeStickyLocked()
-}
-
-func (c *Cache) flushLocked() error {
-	c.stats.Flushes++
-	for _, e := range c.dirtyAscendingLocked() {
-		if err := c.dev.WriteBlock(e.block, e.data); err != nil {
-			return fmt.Errorf("blockcache: write-back block %d: %w", e.block, err)
-		}
-		e.dirty = false
-		c.dirty--
-		c.stats.WriteBacks++
-	}
-	return nil
 }
 
 // takeStickyLocked returns the recorded deferred write-back failure (if any)
 // and clears it, so each incident is reported exactly once. Barrier methods
 // call this only after completing their real work — a successful flush must
 // still sync the device / drop entries before the historical error is
-// surfaced.
+// surfaced. Clearing the error re-arms the background pipeline.
 func (c *Cache) takeStickyLocked() error {
 	err := c.wbErr
 	c.wbErr = nil
+	if err != nil {
+		c.bgWake.Broadcast()
+		c.flushDone.Broadcast()
+	}
 	return err
 }
 
@@ -621,7 +904,7 @@ func (c *Cache) takeStickyLocked() error {
 func (c *Cache) Sync() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.flushLocked(); err != nil {
+	if err := c.drainLocked(); err != nil {
 		return err
 	}
 	if s, ok := c.dev.(interface{ Sync() error }); ok {
@@ -633,31 +916,68 @@ func (c *Cache) Sync() error {
 }
 
 // Invalidate drops every cached block and all policy state (resident and
-// ghost). Dirty data is flushed first; the error from that flush is
-// returned. Tests use this to force cold reads.
+// ghost). Dirty data is flushed first (draining the pipeline), repeating
+// until the cache is fully clean so no write racing a drain window is ever
+// discarded and no flush flight is in the air when the resident set is
+// replaced; the error from that flush is returned. Tests use this to force
+// cold reads — under sustained concurrent writers it may keep draining, so
+// quiesce first.
 func (c *Cache) Invalidate() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.flushLocked(); err != nil {
-		return err
+	for {
+		if err := c.drainLocked(); err != nil {
+			return err
+		}
+		if c.dirty == 0 {
+			break
+		}
 	}
 	c.entries = make(map[int64]*entry, c.cap)
-	c.dirty = 0
 	c.policy.Reset()
 	return c.takeStickyLocked()
 }
 
 var _ vdisk.BatchDevice = (*Cache)(nil)
 
-// Close flushes dirty blocks and closes the underlying device if it is
-// closable. The cache must not be used afterwards.
-func (c *Cache) Close() error {
+// StopFlushers drains the flush pipeline and terminates the background
+// flusher pool WITHOUT closing the underlying device. Owners that wrap a
+// device they do not own (stegfs.FS mounts a caller-provided store) use this
+// on teardown so the worker goroutines never outlive the mount. The cache
+// stays usable afterwards — write-behind simply runs synchronously.
+func (c *Cache) StopFlushers() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	flushErr := c.flushLocked()
+	flushErr := c.drainLocked()
 	if flushErr == nil {
 		flushErr = c.takeStickyLocked()
 	}
+	c.stopPoolLocked()
+	c.mu.Unlock()
+	c.wg.Wait()
+	return flushErr
+}
+
+// stopPoolLocked signals every background flusher to exit and converts the
+// cache to synchronous write-behind. Caller holds c.mu.
+func (c *Cache) stopPoolLocked() {
+	c.closed = true
+	c.workers = 0
+	c.bgWake.Broadcast()
+	c.flushDone.Broadcast()
+}
+
+// Close flushes dirty blocks, stops the background flusher pool and closes
+// the underlying device if it is closable. The cache must not be used
+// afterwards.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	flushErr := c.drainLocked()
+	if flushErr == nil {
+		flushErr = c.takeStickyLocked()
+	}
+	c.stopPoolLocked()
+	c.mu.Unlock()
+	c.wg.Wait()
 	if cl, ok := c.dev.(interface{ Close() error }); ok {
 		if err := cl.Close(); err != nil && flushErr == nil {
 			flushErr = err

@@ -164,6 +164,9 @@ func TestWriteBehindBoundsDirtyBacklog(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The background flusher drains asynchronously; once it idles the
+	// backlog must sit at (or below) the high-water mark.
+	waitUntil(t, func() bool { return c.FlushInFlight() == 0 && c.Dirty() <= 16 })
 	if d := c.Dirty(); d > 16 {
 		t.Fatalf("dirty backlog %d exceeds high-water mark 16", d)
 	}
@@ -209,7 +212,9 @@ func TestWriteBehindBoundsDirtyBacklog(t *testing.T) {
 
 func TestWriteBehindRunsAscending(t *testing.T) {
 	dev := newTraceDev(t, 512, 32)
-	c := newCache(t, dev, Options{Capacity: 256, WriteBehind: 8})
+	// FlushWorkers < 0: the synchronous fallback runs the write-behind run
+	// in the writing goroutine, so exactly one deterministic run is observed.
+	c := newCache(t, dev, Options{Capacity: 256, WriteBehind: 8, FlushWorkers: -1})
 	// Scattered dirty blocks, written in a shuffled order.
 	blocks := []int64{300, 7, 150, 42, 9, 260, 81, 13, 199, 2}
 	for _, n := range blocks {
@@ -268,7 +273,9 @@ func TestStickyWriteBackError(t *testing.T) {
 func TestStickyWriteBehindError(t *testing.T) {
 	injected := errors.New("injected write error")
 	dev := newTraceDev(t, 64, 32)
-	c := newCache(t, dev, Options{Capacity: 32, WriteBehind: 4})
+	// Synchronous write-behind: the failing run records its sticky error
+	// before WriteBlock returns (the async variant lives in pipeline_test).
+	c := newCache(t, dev, Options{Capacity: 32, WriteBehind: 4, FlushWorkers: -1})
 	dev.writeErr = injected
 	for n := int64(0); n < 8; n++ {
 		if err := c.WriteBlock(n, blockPayload(32, byte(n))); err != nil {

@@ -275,8 +275,14 @@ func (v *Volume) allocMeta() (int64, error) {
 	return b, nil
 }
 
-// freeBlocks returns a set of blocks to the free space.
+// freeBlocks returns a set of blocks to the free space — through the shared
+// allocator's group-aware batch free when embedded, so a large plain delete
+// locks each allocation group once instead of once per block.
 func (v *Volume) freeBlocks(blocks []int64) {
+	if v.cfg.Alloc != nil {
+		v.cfg.Alloc.FreeBatch(blocks)
+		return
+	}
 	for _, b := range blocks {
 		v.freeBlock(b)
 	}

@@ -101,15 +101,11 @@ func (fs *FS) tickDummy(i int) error {
 	if err := fs.flushHeader(r); err != nil {
 		// Disk still shows the old pool; release the fresh blocks and keep
 		// the old list in memory so ownership stays single either way.
-		for _, b := range r.hdr.free {
-			fs.alloc.Free(b)
-		}
+		fs.alloc.FreeBatch(r.hdr.free)
 		r.hdr.free = oldPool
 		return fmt.Errorf("dummy %d pool rotate: %w", i, err)
 	}
-	for _, b := range oldPool {
-		fs.alloc.Free(b)
-	}
+	fs.alloc.FreeBatch(oldPool)
 	return nil
 }
 

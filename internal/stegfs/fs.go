@@ -61,10 +61,11 @@ func (fs *FS) createStripe(physName string) *sync.Mutex {
 type Option func(*mountConfig)
 
 type mountConfig struct {
-	cacheBlocks int
-	cachePolicy string
-	writeBehind int
-	allocGroups int
+	cacheBlocks  int
+	cachePolicy  string
+	writeBehind  int
+	flushWorkers int
+	allocGroups  int
 }
 
 // WithCache mounts the volume through a blockcache of the given capacity (in
@@ -86,16 +87,25 @@ func WithCachePolicy(name string) Option {
 }
 
 // WithWriteBehind bounds deferred dirty data: once more than highWater dirty
-// blocks accumulate in the cache, dirty blocks are written back in
-// ascending block order without waiting for the next Sync. The
-// data-before-metadata barrier in FS.Sync is unaffected: write-behind may
-// flush any dirty block early (headers and p-tree blocks included — the
+// blocks accumulate in the cache, the flush pipeline writes dirty blocks
+// back in ascending, batched runs without waiting for the next Sync. The
+// optional second argument sets the number of background flusher goroutines
+// servicing those runs (default 1): the runs are issued outside the cache
+// mutex, so a cached writer never stalls behind the device; pass a negative
+// worker count to keep write-behind synchronous in the writing goroutine.
+// The data-before-metadata barrier in FS.Sync is unaffected: write-behind
+// may flush any dirty block early (headers and p-tree blocks included — the
 // cache cannot tell them apart), but the on-device image's consistency
 // rests on the superblock/bitmap being written only inside Sync after a
-// full flush, and that ordering is untouched. Composes with WithCache;
-// 0 disables.
-func WithWriteBehind(highWater int) Option {
-	return func(c *mountConfig) { c.writeBehind = highWater }
+// full flush — which drains the pipeline first — and that ordering is
+// untouched. Composes with WithCache; highWater 0 disables.
+func WithWriteBehind(highWater int, flushWorkers ...int) Option {
+	return func(c *mountConfig) {
+		c.writeBehind = highWater
+		if len(flushWorkers) > 0 {
+			c.flushWorkers = flushWorkers[0]
+		}
+	}
 }
 
 // WithAllocGroups sets the number of allocation groups the sharded
@@ -118,9 +128,10 @@ func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Ca
 	}
 	if cfg.cacheBlocks > 0 {
 		c, err := blockcache.NewWithOptions(dev, blockcache.Options{
-			Capacity:    cfg.cacheBlocks,
-			Policy:      cfg.cachePolicy,
-			WriteBehind: cfg.writeBehind,
+			Capacity:     cfg.cacheBlocks,
+			Policy:       cfg.cachePolicy,
+			WriteBehind:  cfg.writeBehind,
+			FlushWorkers: cfg.flushWorkers,
 		})
 		if err != nil {
 			return nil, nil, cfg, err
@@ -150,7 +161,7 @@ func layoutFor(dev vdisk.Device, maxPlain int) (bmStart, bmLen, inoStart, inoLen
 // Format initializes dev as a StegFS volume: writes random patterns into all
 // blocks, reserves metadata regions, abandons a random fraction of blocks,
 // creates the dummy hidden files, and mounts the result.
-func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
+func Format(dev vdisk.Device, params Params, opts ...Option) (_ *FS, retErr error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,6 +169,13 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The cache may have spawned background flusher goroutines; a failed
+	// format must not leak them.
+	defer func() {
+		if retErr != nil && cache != nil {
+			_ = cache.StopFlushers()
+		}
+	}()
 	bmStart, bmLen, inoStart, inoLen, dataStart := layoutFor(dev, params.MaxPlainFiles)
 	n := dev.NumBlocks()
 	if dataStart+16 >= n {
@@ -290,11 +308,18 @@ func writeRandomBlock(dev vdisk.Device, b int64) error {
 }
 
 // Mount opens an already-formatted StegFS volume.
-func Mount(dev vdisk.Device, opts ...Option) (*FS, error) {
+func Mount(dev vdisk.Device, opts ...Option) (_ *FS, retErr error) {
 	dev, cache, mcfg, err := applyOptions(dev, opts)
 	if err != nil {
 		return nil, err
 	}
+	// As in Format: a failed mount must stop any flusher goroutines the
+	// cache already spawned.
+	defer func() {
+		if retErr != nil && cache != nil {
+			_ = cache.StopFlushers()
+		}
+	}()
 	buf := make([]byte, dev.BlockSize())
 	if err := dev.ReadBlock(0, buf); err != nil {
 		return nil, err
@@ -405,10 +430,18 @@ func (fs *FS) syncLocked() error {
 	return nil
 }
 
-// Close syncs the volume and flushes any cache, leaving the device image
-// complete. The FS must not be used afterwards.
+// Close syncs the volume, flushes any cache and stops the cache's
+// background flusher goroutines, leaving the device image complete and no
+// worker outliving the mount. The underlying store is NOT closed — the
+// caller provided it and still owns it. The FS must not be used afterwards.
 func (fs *FS) Close() error {
-	return fs.Sync()
+	err := fs.Sync()
+	if fs.cache != nil {
+		if serr := fs.cache.StopFlushers(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // Cache returns the block cache the volume is mounted through, or nil when

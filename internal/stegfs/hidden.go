@@ -522,10 +522,7 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 	// minting a second header — and then blocks on the object lock taken
 	// above until the content is in place.
 	if err := fs.flushHeader(r); err != nil {
-		for _, b := range r.hdr.free {
-			fs.alloc.Free(b)
-		}
-		fs.alloc.Free(hb)
+		fs.alloc.FreeBatch(append(append([]int64(nil), r.hdr.free...), hb))
 		stripe.Unlock()
 		fs.objs.Unlock(hb) // also returns the gate hold from EnterGate
 		return nil, err
@@ -562,9 +559,7 @@ func (fs *FS) releaseFailedWrite(r *hiddenRef, blocks []int64) {
 	if err := fs.flushHeader(r); err != nil {
 		return
 	}
-	for _, b := range blocks {
-		fs.alloc.Free(b)
-	}
+	fs.alloc.FreeBatch(blocks)
 }
 
 // writeHiddenData allocates blocks (via the pool and the sharded allocator)
@@ -726,13 +721,11 @@ func (fs *FS) rewriteHidden(r *hiddenRef, data []byte) error {
 			// pool would leak the staged blocks outright once the ref is
 			// dropped. The successful flush above left them unreferenced
 			// on disk, so reverting the in-memory pool and returning them
-			// to the volume is safe: no on-disk state lists them, and
-			// Free is a no-op for the overflow blocks poolGive already
+			// to the volume is safe: no on-disk state lists them, and the
+			// batch free is a no-op for the overflow blocks poolGive already
 			// released.
 			r.hdr.free = r.hdr.free[:prevPool]
-			for _, b := range staged {
-				fs.alloc.Free(b)
-			}
+			fs.alloc.FreeBatch(staged)
 		}
 	}
 	return nil
@@ -765,9 +758,10 @@ func (fs *FS) destroyHidden(r *hiddenRef) {
 	// window then matches the pre-scrub behavior).
 	_ = writeRandomBlock(fs.dev, r.headerBlk)
 	victims = append(victims, r.headerBlk)
-	for _, b := range victims {
-		fs.alloc.Free(b)
-	}
+	// One group-aware batch free: victims are sorted by allocation group and
+	// each touched group is cleared under a single lock hold, so a large
+	// delete stops hammering the group mutexes block by block.
+	fs.alloc.FreeBatch(victims)
 }
 
 // destroyByRef tears down the object behind a ref whose lock is NOT held:

@@ -1,0 +1,86 @@
+package vdisk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCutStoreDropsWritesAfterCut(t *testing.T) {
+	mem, err := NewMemStore(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCutStore(mem)
+	pay := func(tag byte) []byte { return bytes.Repeat([]byte{tag}, 32) }
+
+	cs.StartTrace()
+	cs.CutAfter(2)
+	for i := int64(0); i < 4; i++ {
+		if err := cs.WriteBlock(i, pay(byte(1+i))); err != nil {
+			t.Fatalf("write %d: %v (dropped writes must still acknowledge)", i, err)
+		}
+	}
+	if got := cs.Writes(); got != 2 {
+		t.Fatalf("accepted writes = %d, want 2", got)
+	}
+	if got := cs.Dropped(); got != 2 {
+		t.Fatalf("dropped writes = %d, want 2", got)
+	}
+	trace := cs.StopTrace()
+	if len(trace) != 2 || trace[0] != 0 || trace[1] != 1 {
+		t.Fatalf("trace = %v, want [0 1]", trace)
+	}
+	// Blocks 0-1 persisted; blocks 2-3 never reached the store.
+	buf := make([]byte, 32)
+	for i := int64(0); i < 4; i++ {
+		if err := cs.ReadBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		want := pay(byte(1 + i))
+		if i >= 2 {
+			want = make([]byte, 32)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("block %d content wrong after cut", i)
+		}
+	}
+	// Disarm lifts the cut.
+	cs.Disarm()
+	if err := cs.WriteBlock(5, pay(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.ReadBlock(5, buf); err != nil || !bytes.Equal(buf, pay(9)) {
+		t.Fatalf("write after Disarm lost (err=%v)", err)
+	}
+}
+
+// TestBatchAccounting: every batch submission bumps the Batch counters once,
+// regardless of its length; failed batches charge nothing.
+func TestBatchAccounting(t *testing.T) {
+	mem, err := NewMemStore(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDisk(mem, DefaultGeometry())
+	bufs := [][]byte{make([]byte, 32), make([]byte, 32), make([]byte, 32)}
+	if err := d.WriteBlocks([]int64{3, 9, 1}, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlocks([]int64{1, 3}, bufs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.BatchWrites != 1 || st.BatchReads != 1 {
+		t.Fatalf("batch counters = %d writes / %d reads, want 1/1", st.BatchWrites, st.BatchReads)
+	}
+	if st.Writes != 3 || st.Reads != 2 {
+		t.Fatalf("block counters = %d writes / %d reads, want 3/2", st.Writes, st.Reads)
+	}
+	// A rejected batch (out of range) leaves every counter untouched.
+	if err := d.ReadBlocks([]int64{99}, bufs[:1]); err == nil {
+		t.Fatal("out-of-range batch accepted")
+	}
+	if got := d.Stats(); got != st {
+		t.Fatalf("failed batch mutated stats: %+v -> %+v", st, got)
+	}
+}

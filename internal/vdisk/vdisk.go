@@ -190,6 +190,8 @@ type Stats struct {
 	Seeks        int64         // requests that paid a mechanical seek
 	BytesRead    int64         // total bytes read
 	BytesWritten int64         // total bytes written
+	BatchReads   int64         // ReadBlocks submissions (each covers >= 1 blocks)
+	BatchWrites  int64         // WriteBlocks submissions (each covers >= 1 blocks)
 	Busy         time.Duration // accumulated service time
 }
 
@@ -357,6 +359,11 @@ func (d *Disk) batch(ns []int64, bufs [][]byte, read bool) error {
 	}
 	var total time.Duration
 	d.mu.Lock()
+	if read {
+		d.stats.BatchReads++
+	} else {
+		d.stats.BatchWrites++
+	}
 	for _, i := range order {
 		cost := d.chargeLocked(ns[i], read)
 		if read {
