@@ -10,7 +10,8 @@
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
-// ablate-concurrency, ablate-write-concurrency, ablate-cached-write, all.
+// ablate-concurrency, ablate-write-concurrency, ablate-cached-write,
+// ablate-stegdb, all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ida|all")
+		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ida|all")
 		scale  = flag.String("scale", "small", "workload scale: paper|small")
 		volume = flag.Int64("volume", 0, "override volume size in bytes")
 		bs     = flag.Int("bs", 0, "override block size in bytes")
@@ -85,6 +86,7 @@ func main() {
 	run("ablate-concurrency", runAblateConcurrency)
 	run("ablate-write-concurrency", runAblateWriteConcurrency)
 	run("ablate-cached-write", runAblateCachedWrite)
+	run("ablate-stegdb", runAblateStegDB)
 	run("ida", runIDA)
 }
 
@@ -149,6 +151,22 @@ func runAblateCachedWrite(cfg bench.Config) error {
 			r.HitRate*100, r.WriteBacks, r.FlushBatches, r.WriteBehinds, r.FlushStalls)
 	}
 	printAllocReport(report)
+	return nil
+}
+
+func runAblateStegDB(cfg bench.Config) error {
+	rows, err := bench.StegDBConcurrencySweep(cfg, nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A8 — concurrent hidden database (goroutines of mixed Get/Put/Delete/")
+	fmt.Println("Scan over ONE shared stegdb table on a cached, latency-emulated volume; scans")
+	fmt.Println("read pager snapshots; write-back Sync runs between levels, unmeasured):")
+	fmt.Println("  goroutines  wall-sec     ops/s   speedup  disk-sec  hit-rate")
+	for _, r := range rows {
+		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
+			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
+	}
 	return nil
 }
 

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stegfs/internal/stegdb"
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+)
+
+// StegDBConcurrencyRow is one level of the stegdb ablation (A8): the same
+// mixed Get/Put/Delete/Scan workload fanned across Goroutines workers on
+// one shared hidden table.
+type StegDBConcurrencyRow struct {
+	Goroutines  int
+	WallSeconds float64 // wall-clock time for the whole op set
+	OpsPerSec   float64 // totalOps / WallSeconds
+	Speedup     float64 // OpsPerSec relative to the first (1-goroutine) row
+	DiskSeconds float64 // simulated-disk time consumed inside the window
+	HitRate     float64 // block-cache hit rate inside the window
+}
+
+// Shared-table shape for the sweep. The whole database file fits both the
+// block cache and the pager page cache, so nothing is evicted mid-window —
+// the window's miss set is exactly the deliberately-cold bucket pages.
+const (
+	sdbCacheBlocks = 8192 // block cache: comfortably above the file's blocks
+	sdbPageCache   = 1024 // pager page cache frames
+	sdbBuckets     = 256  // hash index buckets
+	sdbHotKeys     = 64   // "a-ro-*": read-only, warmed, hash-path hits
+	sdbRWKeys      = 32   // "b-rw-*": replace targets + snapshot Range window
+	sdbColdKeys    = 4096 // "e-cold-*": each Get pays a bucket-page miss
+)
+
+// StegDBConcurrencySweep runs ablation A8: goroutines x {1,2,4,8,16} of a
+// mixed point/range workload over ONE shared hidden table on a cached,
+// latency-emulated volume. Per 8 ops: 3 hot Gets (hash path, pager-cache
+// hits), 2 cold Gets (each touches a never-warmed bucket page — emulated
+// device latency), 1 replace Put (B-tree + hash, in-cache), 1 transient
+// Put+Delete (exercises both indexes and the rollback-consistent pair), and
+// 1 snapshot Range over the replace window (verifying a consistent view
+// while writers run). The op set is deterministic and identical at every
+// level — only the partition across goroutines changes — and each level
+// restores the same warm state first, so the simulated-disk cost must stay
+// flat while wall-clock time shrinks: scaling has to come from stegdb's
+// latching (pager page latches, hash stripes, snapshot reads), not from
+// charging the disk differently. The measured window covers the concurrent
+// ops; the write-back Sync runs between levels, unmeasured, like A5 — the
+// flush pipeline's cost is ablation A7's subject, and folding its serial
+// drain into this window would measure the block cache, not stegdb's
+// locking.
+func StegDBConcurrencySweep(cfg Config, levels []int, totalOps int, emuScale float64) ([]StegDBConcurrencyRow, error) {
+	if levels == nil {
+		levels = []int{1, 2, 4, 8, 16}
+	}
+	if totalOps <= 0 {
+		totalOps = 256
+	}
+	if emuScale <= 0 {
+		emuScale = 0.5
+	}
+	store, err := vdisk.NewMemStore(cfg.NumBlocks(), cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	disk := vdisk.NewDisk(store, cfg.Geometry)
+	p := cfg.Steg
+	p.Seed = cfg.Seed
+	policy := cfg.CachePolicy
+	if policy == "" {
+		policy = "2q"
+	}
+	fs, err := stegfs.Format(disk, p, stegfs.WithCache(sdbCacheBlocks), stegfs.WithCachePolicy(policy))
+	if err != nil {
+		return nil, err
+	}
+	view := fs.NewHiddenView("dbc")
+	tab, err := stegdb.CreateTable(view, "a8.db", true, sdbBuckets)
+	if err != nil {
+		return nil, err
+	}
+	pg := tab.Pager()
+	pg.SetPageCacheSize(sdbPageCache)
+
+	// Populate. Values are fixed-width so replaces never change page
+	// layout, and every value embeds its key so torn rows are detectable.
+	hotKey := func(i int) string { return fmt.Sprintf("a-ro-%04d", i%sdbHotKeys) }
+	rwKey := func(i int) string { return fmt.Sprintf("b-rw-%04d", i%sdbRWKeys) }
+	coldKey := func(c int) string { return fmt.Sprintf("e-cold-%05d", c%sdbColdKeys) }
+	for i := 0; i < sdbHotKeys; i++ {
+		k := hotKey(i)
+		if err := tab.Put([]byte(k), []byte(k+"=hotrow")); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < sdbRWKeys; i++ {
+		k := rwKey(i)
+		if err := tab.Put([]byte(k), []byte(fmt.Sprintf("%s:%06d", k, 0))); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < sdbColdKeys; c++ {
+		k := coldKey(c)
+		if err := tab.Put([]byte(k), []byte(k+"=coldrow")); err != nil {
+			return nil, err
+		}
+	}
+	if err := tab.Sync(); err != nil {
+		return nil, err
+	}
+
+	// One op of the deterministic mix; the index fixes the op, the level
+	// only decides which goroutine runs it.
+	doOp := func(i int) error {
+		switch i % 8 {
+		case 1: // replace Put on the rw window (tree + hash, in-cache)
+			k := rwKey(i / 8)
+			if err := tab.Put([]byte(k), []byte(fmt.Sprintf("%s:%06d", k, i))); err != nil {
+				return fmt.Errorf("op %d rw put: %w", i, err)
+			}
+		case 3, 7: // cold Get: a never-warmed bucket page pays device latency
+			c := (i/8)*2 + i%8/7
+			k := coldKey(c)
+			v, ok, err := tab.Get([]byte(k))
+			if err != nil || !ok || string(v) != k+"=coldrow" {
+				return fmt.Errorf("op %d cold get %s = %q %v %v", i, k, v, ok, err)
+			}
+		case 4: // transient row: Put then Delete through both structures
+			k := []byte(fmt.Sprintf("d-tmp-%06d", i))
+			if err := tab.Put(k, []byte("transient-row!")); err != nil {
+				return fmt.Errorf("op %d tmp put: %w", i, err)
+			}
+			found, err := tab.Delete(k)
+			if err != nil || !found {
+				return fmt.Errorf("op %d tmp delete = %v %v", i, found, err)
+			}
+		case 6: // snapshot Range over the rw window, concurrent with writers
+			var n int
+			err := tab.Range([]byte("b-"), []byte("b-~"), func(k, v []byte) bool {
+				ks, vs := string(k), string(v)
+				if !strings.HasPrefix(vs, ks+":") || len(vs) != len(ks)+1+6 {
+					n = -1 << 20 // torn row; force the count check to fail
+					return false
+				}
+				n++
+				return true
+			})
+			if err != nil {
+				return fmt.Errorf("op %d range: %w", i, err)
+			}
+			if n != sdbRWKeys {
+				return fmt.Errorf("op %d range saw %d rw rows, want %d", i, n, sdbRWKeys)
+			}
+		default: // 0, 2, 5: hot Get through the hash path (pager-cache hit)
+			k := hotKey(i)
+			v, ok, err := tab.Get([]byte(k))
+			if err != nil || !ok || string(v) != k+"=hotrow" {
+				return fmt.Errorf("op %d hot get %s = %q %v %v", i, k, v, ok, err)
+			}
+		}
+		return nil
+	}
+
+	// warm re-establishes the canonical caches: the tree (one full snapshot
+	// scan) plus the directory and hot/rw bucket pages. Cold bucket pages
+	// are deliberately left out — they are the window's fixed miss set.
+	warm := func() error {
+		var n int
+		if err := tab.Scan(func(k, v []byte) bool { n++; return true }); err != nil {
+			return err
+		}
+		for i := 0; i < sdbHotKeys; i++ {
+			if _, _, err := tab.Get([]byte(hotKey(i))); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < sdbRWKeys; i++ {
+			if _, _, err := tab.Get([]byte(rwKey(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Settle pass: run the whole op set once (unmeasured, no emulation) so
+	// one-time page splits, allocations and file growth happen before any
+	// level is timed.
+	for i := 0; i < totalOps; i++ {
+		if err := doOp(i); err != nil {
+			return nil, fmt.Errorf("settle: %w", err)
+		}
+	}
+	if err := tab.Sync(); err != nil {
+		return nil, err
+	}
+
+	var rows []StegDBConcurrencyRow
+	for _, g := range levels {
+		if g <= 0 {
+			return nil, fmt.Errorf("bench: invalid concurrency level %d", g)
+		}
+		// Same cold start every level: drop the pager page cache, drop the
+		// block cache, re-warm the hot structures with emulation off.
+		if err := pg.InvalidatePageCache(); err != nil {
+			return nil, err
+		}
+		if err := fs.Cache().Invalidate(); err != nil {
+			return nil, err
+		}
+		if err := warm(); err != nil {
+			return nil, fmt.Errorf("g=%d warm-up: %w", g, err)
+		}
+		disk.EmulateLatency(emuScale)
+		preDisk := disk.Elapsed()
+		preStats, _ := fs.CacheStats()
+
+		errs := make(chan error, g)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			// Contiguous chunks: a strided split would alias the op mix's
+			// period-8 structure and hand every cold op to one goroutine.
+			lo, hi := w*totalOps/g, (w+1)*totalOps/g
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := doOp(i); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		disk.EmulateLatency(0)
+		close(errs)
+		for err := range errs {
+			return nil, fmt.Errorf("g=%d: %w", g, err)
+		}
+		// Unmeasured Sync barrier: each level's dirty pages reach the
+		// device before the next level resets the caches.
+		if err := tab.Sync(); err != nil {
+			return nil, fmt.Errorf("g=%d sync: %w", g, err)
+		}
+
+		row := StegDBConcurrencyRow{
+			Goroutines:  g,
+			WallSeconds: wall.Seconds(),
+			DiskSeconds: (disk.Elapsed() - preDisk).Seconds(),
+		}
+		if wall > 0 {
+			row.OpsPerSec = float64(totalOps) / wall.Seconds()
+		}
+		if stats, ok := fs.CacheStats(); ok {
+			row.HitRate = stats.Sub(preStats).HitRate()
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) > 0 && rows[0].OpsPerSec > 0 {
+		for i := range rows {
+			rows[i].Speedup = rows[i].OpsPerSec / rows[0].OpsPerSec
+		}
+	}
+
+	// Post-flight: the table must come out of the sweep fully consistent.
+	wantRows := int64(sdbHotKeys + sdbRWKeys + sdbColdKeys)
+	gotRows, err := tab.Rows()
+	if err != nil {
+		return nil, err
+	}
+	if gotRows != wantRows {
+		return nil, fmt.Errorf("bench: table ended with %d rows, want %d", gotRows, wantRows)
+	}
+	if err := tab.Check(); err != nil {
+		return nil, fmt.Errorf("bench: post-sweep check: %w", err)
+	}
+	// Keys must still scan in order (snapshot reads share this path).
+	var keys []string
+	if err := tab.Scan(func(k, v []byte) bool { keys = append(keys, string(k)); return true }); err != nil {
+		return nil, err
+	}
+	if !sort.StringsAreSorted(keys) {
+		return nil, fmt.Errorf("bench: post-sweep scan out of order")
+	}
+	return rows, nil
+}

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestStegDBConcurrencySweepScalesAndKeepsDiskCost asserts the acceptance
+// shape of ablation A8 at a reduced size: mixed point/range throughput over
+// one shared hidden table must rise with goroutines (cold bucket-page waits
+// overlap under the pager's latches instead of serializing), while the
+// simulated-disk cost of the window stays essentially unchanged.
+func TestStegDBConcurrencySweepScalesAndKeepsDiskCost(t *testing.T) {
+	cfg := SmallConfig()
+	rows, err := StegDBConcurrencySweep(cfg, []int{1, 4}, 64, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.DiskSeconds <= 0 {
+			t.Fatalf("window consumed no simulated disk time: %+v", r)
+		}
+	}
+	if rows[1].Speedup < 1.5 {
+		t.Errorf("4 goroutines speedup %.2fx, want >= 1.5x (emulated waits should overlap)", rows[1].Speedup)
+	}
+	ratio := rows[1].DiskSeconds / rows[0].DiskSeconds
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("simulated-disk cost moved %.2fx across levels; concurrency must not re-price the device", ratio)
+	}
+}

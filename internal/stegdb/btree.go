@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // BTree is a B-tree over a Pager with variable-length byte-string keys and
@@ -11,8 +12,15 @@ import (
 // (no eager rebalancing): pages may run underfull, which costs space, not
 // correctness — the trade the original paper's DBMS direction also faces,
 // since merging pages changes the allocation picture an intruder sees.
+//
+// Concurrency: mu serializes structural writers (Put/Delete). Readers do
+// not hold mu during their descent — Get/Scan pin a pager snapshot (taken
+// under mu shared for the instant of the begin, so it can't straddle a
+// multi-page split) and read copy-on-write page versions, never blocking
+// behind writers.
 type BTree struct {
 	pg *Pager
+	mu sync.RWMutex
 }
 
 // MaxEntry bounds key+value length so any two entries fit in a page after a
@@ -42,12 +50,9 @@ type node struct {
 // tree if none exists).
 func NewBTree(pg *Pager) *BTree { return &BTree{pg: pg} }
 
-func (t *BTree) root() int64 { return t.pg.getMeta(metaBTreeRoot) }
+func (t *BTree) root() int64 { return t.pg.metaField(metaBTreeRoot) }
 
-func (t *BTree) setRoot(id int64) error {
-	t.pg.setMeta(metaBTreeRoot, id)
-	return t.pg.flushMeta()
-}
+func (t *BTree) setRoot(id int64) { t.pg.setMetaField(metaBTreeRoot, id) }
 
 // --- node codec --------------------------------------------------------------
 
@@ -157,13 +162,21 @@ func (n *node) encodedSize() int {
 	return size
 }
 
-func (t *BTree) load(id int64) (*node, error) {
+// pageReader is the read side shared by the live pager and snapshots, so
+// one descent/scan implementation serves both.
+type pageReader interface {
+	ReadPage(id int64, buf []byte) error
+}
+
+func loadNode(r pageReader, id int64) (*node, error) {
 	buf := make([]byte, PageSize)
-	if err := t.pg.ReadPage(id, buf); err != nil {
+	if err := r.ReadPage(id, buf); err != nil {
 		return nil, err
 	}
 	return decodeNode(buf)
 }
+
+func (t *BTree) load(id int64) (*node, error) { return loadNode(t.pg, id) }
 
 func (t *BTree) store(id int64, n *node) error {
 	buf := make([]byte, PageSize)
@@ -173,13 +186,46 @@ func (t *BTree) store(id int64, n *node) error {
 	return t.pg.WritePage(id, buf)
 }
 
-// --- operations ----------------------------------------------------------------
+// --- snapshot reads ----------------------------------------------------------
 
-// Get returns the value stored under key, or (nil, false).
-func (t *BTree) Get(key []byte) ([]byte, bool, error) {
-	id := t.root()
+// TreeSnapshot is a point-in-time read-only view of the tree: the root and
+// every page are frozen at the snapshot's epoch. Close it when done.
+type TreeSnapshot struct {
+	s    *Snapshot
+	root int64
+}
+
+// Snapshot pins the tree at the current instant. The tree lock is held
+// shared only for the begin itself — it waits out any in-flight writer so
+// the snapshot can't straddle a multi-page split, then releases before any
+// page is read. Reads through the snapshot never block writers.
+func (t *BTree) Snapshot() *TreeSnapshot {
+	t.mu.RLock()
+	s := t.pg.BeginSnapshot()
+	t.mu.RUnlock()
+	return &TreeSnapshot{s: s, root: s.BTreeRoot()}
+}
+
+// Close releases the snapshot's pinned page versions.
+func (ts *TreeSnapshot) Close() { ts.s.Close() }
+
+// Rows returns the table row counter as of the snapshot.
+func (ts *TreeSnapshot) Rows() int64 { return ts.s.RowsAtSnapshot() }
+
+// Get returns the value stored under key as of the snapshot.
+func (ts *TreeSnapshot) Get(key []byte) ([]byte, bool, error) {
+	return getFrom(ts.s, ts.root, key)
+}
+
+// Scan visits every key/value pair in key order as of the snapshot.
+func (ts *TreeSnapshot) Scan(fn func(key, val []byte) bool) error {
+	_, err := scanFrom(ts.s, ts.root, fn)
+	return err
+}
+
+func getFrom(r pageReader, id int64, key []byte) ([]byte, bool, error) {
 	for id != nilPage {
-		n, err := t.load(id)
+		n, err := loadNode(r, id)
 		if err != nil {
 			return nil, false, err
 		}
@@ -196,6 +242,41 @@ func (t *BTree) Get(key []byte) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
+func scanFrom(r pageReader, id int64, fn func(k, v []byte) bool) (bool, error) {
+	if id == nilPage {
+		return true, nil
+	}
+	n, err := loadNode(r, id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if !fn(e.key, e.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, c := range n.children {
+		cont, err := scanFrom(r, c, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// --- operations ----------------------------------------------------------------
+
+// Get returns the value stored under key, or (nil, false). The read runs
+// against a snapshot, so it never blocks behind a writer's descent.
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	s := t.Snapshot()
+	defer s.Close()
+	return s.Get(key)
+}
+
 // childIndex returns the child slot for key: the number of separators <= key.
 func childIndex(keys [][]byte, key []byte) int {
 	i := 0
@@ -207,44 +288,62 @@ func childIndex(keys [][]byte, key []byte) int {
 
 // Put inserts or replaces key -> val.
 func (t *BTree) Put(key, val []byte) error {
+	_, _, err := t.PutEx(key, val)
+	return err
+}
+
+// PutEx inserts or replaces key -> val and reports the previous value (and
+// whether one existed) so callers can undo the operation exactly.
+func (t *BTree) PutEx(key, val []byte) (prev []byte, existed bool, err error) {
 	if len(key) == 0 {
-		return fmt.Errorf("stegdb: empty key")
+		return nil, false, fmt.Errorf("stegdb: empty key")
 	}
 	if len(key)+len(val) > MaxEntry {
-		return fmt.Errorf("stegdb: entry %d bytes exceeds max %d", len(key)+len(val), MaxEntry)
+		return nil, false, fmt.Errorf("stegdb: entry %d bytes exceeds max %d", len(key)+len(val), MaxEntry)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.root() == nilPage {
 		id, err := t.pg.AllocPage()
 		if err != nil {
-			return err
+			return nil, false, err
 		}
 		if err := t.store(id, &node{leaf: true, entries: []kv{{key: key, val: val}}}); err != nil {
-			return err
+			return nil, false, err
 		}
-		return t.setRoot(id)
+		t.setRoot(id)
+		return nil, false, nil
 	}
-	splitKey, rightID, err := t.insert(t.root(), key, val)
+	var res putResult
+	splitKey, rightID, err := t.insert(t.root(), key, val, &res)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	if rightID == nilPage {
-		return nil
+		return res.prev, res.existed, nil
 	}
 	// Root split: grow the tree by one level.
 	newRoot, err := t.pg.AllocPage()
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	rn := &node{keys: [][]byte{splitKey}, children: []int64{t.root(), rightID}}
 	if err := t.store(newRoot, rn); err != nil {
-		return err
+		return nil, false, err
 	}
-	return t.setRoot(newRoot)
+	t.setRoot(newRoot)
+	return res.prev, res.existed, nil
+}
+
+// putResult carries the replaced value out of the recursive insert.
+type putResult struct {
+	prev    []byte
+	existed bool
 }
 
 // insert descends into page id; on split it returns the promoted key and the
 // new right sibling's page id.
-func (t *BTree) insert(id int64, key, val []byte) ([]byte, int64, error) {
+func (t *BTree) insert(id int64, key, val []byte, res *putResult) ([]byte, int64, error) {
 	n, err := t.load(id)
 	if err != nil {
 		return nil, nilPage, err
@@ -255,6 +354,8 @@ func (t *BTree) insert(id int64, key, val []byte) ([]byte, int64, error) {
 			pos++
 		}
 		if pos < len(n.entries) && bytes.Equal(n.entries[pos].key, key) {
+			res.prev = append([]byte(nil), n.entries[pos].val...)
+			res.existed = true
 			n.entries[pos].val = val
 		} else {
 			n.entries = append(n.entries, kv{})
@@ -263,7 +364,7 @@ func (t *BTree) insert(id int64, key, val []byte) ([]byte, int64, error) {
 		}
 	} else {
 		ci := childIndex(n.keys, key)
-		splitKey, rightID, err := t.insert(n.children[ci], key, val)
+		splitKey, rightID, err := t.insert(n.children[ci], key, val, res)
 		if err != nil {
 			return nil, nilPage, err
 		}
@@ -343,78 +444,67 @@ func splitPointLeaf(entries []kv) int {
 // Delete removes key if present, reporting whether it was found. Pages are
 // not rebalanced; an emptied root leaf resets the tree.
 func (t *BTree) Delete(key []byte) (bool, error) {
+	_, found, err := t.DeleteEx(key)
+	return found, err
+}
+
+// DeleteEx removes key and reports the removed value, so callers can undo
+// the deletion exactly.
+func (t *BTree) DeleteEx(key []byte) (prev []byte, found bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	id := t.root()
 	if id == nilPage {
-		return false, nil
+		return nil, false, nil
 	}
-	path := []int64{}
+	depth := 0
 	for {
 		n, err := t.load(id)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
 		if n.leaf {
 			for i, e := range n.entries {
 				if bytes.Equal(e.key, key) {
+					prev = append([]byte(nil), e.val...)
 					n.entries = append(n.entries[:i], n.entries[i+1:]...)
 					if err := t.store(id, n); err != nil {
-						return false, err
+						return nil, false, err
 					}
-					if len(n.entries) == 0 && len(path) == 0 {
+					if len(n.entries) == 0 && depth == 0 {
 						if err := t.pg.FreePage(id); err != nil {
-							return false, err
+							return nil, false, err
 						}
-						return true, t.setRoot(nilPage)
+						t.setRoot(nilPage)
 					}
-					return true, nil
+					return prev, true, nil
 				}
 			}
-			return false, nil
+			return nil, false, nil
 		}
-		path = append(path, id)
+		depth++
 		id = n.children[childIndex(n.keys, key)]
 	}
 }
 
-// Scan visits every key/value pair in key order. fn returning false stops
-// the scan early.
+// Scan visits every key/value pair in key order, reading from a snapshot so
+// concurrent writers are neither blocked nor observed mid-operation. fn
+// returning false stops the scan early.
 func (t *BTree) Scan(fn func(key, val []byte) bool) error {
-	_, err := t.scan(t.root(), fn)
-	return err
-}
-
-func (t *BTree) scan(id int64, fn func(k, v []byte) bool) (bool, error) {
-	if id == nilPage {
-		return true, nil
-	}
-	n, err := t.load(id)
-	if err != nil {
-		return false, err
-	}
-	if n.leaf {
-		for _, e := range n.entries {
-			if !fn(e.key, e.val) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	for _, c := range n.children {
-		cont, err := t.scan(c, fn)
-		if err != nil || !cont {
-			return cont, err
-		}
-	}
-	return true, nil
+	s := t.Snapshot()
+	defer s.Close()
+	return s.Scan(fn)
 }
 
 // Height returns the tree height (0 = empty).
 func (t *BTree) Height() (int, error) {
+	s := t.Snapshot()
+	defer s.Close()
 	h := 0
-	id := t.root()
+	id := s.root
 	for id != nilPage {
 		h++
-		n, err := t.load(id)
+		n, err := loadNode(s.s, id)
 		if err != nil {
 			return 0, err
 		}

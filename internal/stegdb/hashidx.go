@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // HashIndex is a bucket-chain hash index over the pager: a directory page
@@ -12,10 +13,22 @@ import (
 // Lookups cost one directory read plus the chain walk — O(1) expected —
 // which is the access pattern the paper's future work wants to preserve
 // while keeping every page hidden.
+//
+// Concurrency: buckets are striped over nStripes RWMutexes keyed by
+// bucketOf, so point ops on distinct buckets run fully in parallel; Get
+// takes its stripe shared. The directory page holds every bucket head, and
+// WritePage replaces whole pages — so head updates (chain prepend/unlink)
+// re-read and rewrite the directory under dirMu to avoid losing a
+// concurrent bucket's update. Lock order: stripe → dirMu → pager.
 type HashIndex struct {
 	pg       *Pager
 	nBuckets int
+	stripes  [nStripes]sync.RWMutex
+	dirMu    sync.Mutex
 }
+
+// nStripes is the bucket lock striping factor.
+const nStripes = 64
 
 // hash bucket page layout: next(8) nentries(2) then entries
 // [klen u16][vlen u16][key][val]...
@@ -27,7 +40,7 @@ const dirCapacity = (PageSize - 8) / 8 // count(8) + heads
 // NewHashIndex opens (or initializes) the index stored under the pager's
 // hash root. nBuckets is fixed at creation; reopening ignores the argument.
 func NewHashIndex(pg *Pager, nBuckets int) (*HashIndex, error) {
-	if root := pg.getMeta(metaHashRoot); root != nilPage {
+	if root := pg.metaField(metaHashRoot); root != nilPage {
 		buf := make([]byte, PageSize)
 		if err := pg.ReadPage(root, buf); err != nil {
 			return nil, err
@@ -46,10 +59,7 @@ func NewHashIndex(pg *Pager, nBuckets int) (*HashIndex, error) {
 	if err := pg.WritePage(root, buf); err != nil {
 		return nil, err
 	}
-	pg.setMeta(metaHashRoot, root)
-	if err := pg.flushMeta(); err != nil {
-		return nil, err
-	}
+	pg.setMetaField(metaHashRoot, root)
 	return &HashIndex{pg: pg, nBuckets: nBuckets}, nil
 }
 
@@ -59,14 +69,32 @@ func (h *HashIndex) bucketOf(key []byte) int {
 	return int(binary.BigEndian.Uint64(s[:8]) % uint64(h.nBuckets))
 }
 
-// dir reads the directory page and returns (rootID, heads slice view, buf).
+func (h *HashIndex) stripeFor(bucket int) *sync.RWMutex {
+	return &h.stripes[bucket%nStripes]
+}
+
+// dir reads the directory page and returns (rootID, buf).
 func (h *HashIndex) dir() (int64, []byte, error) {
-	root := h.pg.getMeta(metaHashRoot)
+	root := h.pg.metaField(metaHashRoot)
 	buf := make([]byte, PageSize)
 	if err := h.pg.ReadPage(root, buf); err != nil {
 		return 0, nil, err
 	}
 	return root, buf, nil
+}
+
+// updateHead rewrites one bucket's head pointer with a fresh read-modify-
+// write of the directory page under dirMu, so concurrent head updates on
+// other buckets are never lost.
+func (h *HashIndex) updateHead(bucket int, id int64) error {
+	h.dirMu.Lock()
+	defer h.dirMu.Unlock()
+	root, dirBuf, err := h.dir()
+	if err != nil {
+		return err
+	}
+	setHead(dirBuf, bucket, id)
+	return h.pg.WritePage(root, dirBuf)
 }
 
 func headOf(dirBuf []byte, bucket int) int64 {
@@ -83,18 +111,23 @@ type bucketPage struct {
 	entries []kv
 }
 
+// decodeBucket parses a chain page, tolerating corrupt or truncated input
+// (bounds are taken from len(buf), never assumed).
 func decodeBucket(buf []byte) (*bucketPage, error) {
+	if len(buf) < bucketHdr {
+		return nil, fmt.Errorf("stegdb: bucket page too short (%d bytes)", len(buf))
+	}
 	bp := &bucketPage{next: int64(binary.BigEndian.Uint64(buf))}
 	n := int(binary.BigEndian.Uint16(buf[8:]))
 	off := bucketHdr
 	for i := 0; i < n; i++ {
-		if off+4 > PageSize {
+		if off+4 > len(buf) {
 			return nil, fmt.Errorf("stegdb: corrupt bucket page")
 		}
 		kl := int(binary.BigEndian.Uint16(buf[off:]))
 		vl := int(binary.BigEndian.Uint16(buf[off+2:]))
 		off += 4
-		if off+kl+vl > PageSize {
+		if off+kl+vl > len(buf) {
 			return nil, fmt.Errorf("stegdb: corrupt bucket entry")
 		}
 		bp.entries = append(bp.entries, kv{
@@ -146,83 +179,103 @@ func (h *HashIndex) Put(key, val []byte) error {
 		return fmt.Errorf("stegdb: entry exceeds max %d", MaxEntry)
 	}
 	bucket := h.bucketOf(key)
-	root, dirBuf, err := h.dir()
-	if err != nil {
-		return err
-	}
-	id := headOf(dirBuf, bucket)
-	buf := make([]byte, PageSize)
-	// Replace in place anywhere in the chain.
-	for cur := id; cur != nilPage; {
-		if err := h.pg.ReadPage(cur, buf); err != nil {
+	st := h.stripeFor(bucket)
+	st.Lock()
+	defer st.Unlock()
+	for {
+		again, err := h.putLocked(bucket, key, val)
+		if err != nil || !again {
 			return err
+		}
+		// A replacement grew past its page and was removed; re-run the
+		// insert against the updated chain (the stripe lock is still held,
+		// so at most one retry happens).
+	}
+}
+
+// putLocked performs one insert/replace attempt; the caller holds the
+// bucket's stripe exclusively. It returns again=true when a grown
+// replacement was removed and the insert must be retried.
+func (h *HashIndex) putLocked(bucket int, key, val []byte) (again bool, err error) {
+	_, dirBuf, err := h.dir()
+	if err != nil {
+		return false, err
+	}
+	head := headOf(dirBuf, bucket)
+	buf := make([]byte, PageSize)
+	// Walk the chain once: replace in place if the key exists, and keep the
+	// head page's decoded form so a fresh insert needn't re-read it.
+	var headBP *bucketPage
+	for cur := head; cur != nilPage; {
+		if err := h.pg.ReadPage(cur, buf); err != nil {
+			return false, err
 		}
 		bp, err := decodeBucket(buf)
 		if err != nil {
-			return err
+			return false, err
+		}
+		if cur == head {
+			headBP = bp
 		}
 		for i := range bp.entries {
 			if bytes.Equal(bp.entries[i].key, key) {
 				bp.entries[i].val = val
 				if bp.size() <= PageSize {
 					if err := encodeBucket(bp, buf); err != nil {
-						return err
+						return false, err
 					}
-					return h.pg.WritePage(cur, buf)
+					return false, h.pg.WritePage(cur, buf)
 				}
 				// Replacement grew past the page: remove here, reinsert.
 				bp.entries = append(bp.entries[:i], bp.entries[i+1:]...)
 				if err := encodeBucket(bp, buf); err != nil {
-					return err
+					return false, err
 				}
 				if err := h.pg.WritePage(cur, buf); err != nil {
-					return err
+					return false, err
 				}
-				return h.Put(key, val)
+				return true, nil
 			}
 		}
 		cur = bp.next
 	}
-	// Insert into the head page if it fits; otherwise prepend a new page.
-	if id != nilPage {
-		if err := h.pg.ReadPage(id, buf); err != nil {
-			return err
-		}
-		bp, err := decodeBucket(buf)
-		if err != nil {
-			return err
-		}
-		bp.entries = append(bp.entries, kv{key: key, val: val})
-		if bp.size() <= PageSize {
-			if err := encodeBucket(bp, buf); err != nil {
-				return err
+	// Fresh insert: reuse the head page decoded during the walk.
+	if headBP != nil {
+		headBP.entries = append(headBP.entries, kv{key: key, val: val})
+		if headBP.size() <= PageSize {
+			if err := encodeBucket(headBP, buf); err != nil {
+				return false, err
 			}
-			return h.pg.WritePage(id, buf)
+			return false, h.pg.WritePage(head, buf)
 		}
 	}
+	// Head missing or full: prepend a new chain page.
 	fresh, err := h.pg.AllocPage()
 	if err != nil {
-		return err
+		return false, err
 	}
-	bp := &bucketPage{next: id, entries: []kv{{key: key, val: val}}}
+	bp := &bucketPage{next: head, entries: []kv{{key: key, val: val}}}
 	if err := encodeBucket(bp, buf); err != nil {
-		return err
+		return false, err
 	}
 	if err := h.pg.WritePage(fresh, buf); err != nil {
-		return err
+		return false, err
 	}
-	setHead(dirBuf, bucket, fresh)
-	return h.pg.WritePage(root, dirBuf)
+	return false, h.updateHead(bucket, fresh)
 }
 
 // Get returns the value stored under key, or (nil, false).
 func (h *HashIndex) Get(key []byte) ([]byte, bool, error) {
+	bucket := h.bucketOf(key)
+	st := h.stripeFor(bucket)
+	st.RLock()
+	defer st.RUnlock()
 	_, dirBuf, err := h.dir()
 	if err != nil {
 		return nil, false, err
 	}
 	buf := make([]byte, PageSize)
-	for cur := headOf(dirBuf, h.bucketOf(key)); cur != nilPage; {
+	for cur := headOf(dirBuf, bucket); cur != nilPage; {
 		if err := h.pg.ReadPage(cur, buf); err != nil {
 			return nil, false, err
 		}
@@ -244,7 +297,10 @@ func (h *HashIndex) Get(key []byte) ([]byte, bool, error) {
 // are returned to the pager.
 func (h *HashIndex) Delete(key []byte) (bool, error) {
 	bucket := h.bucketOf(key)
-	root, dirBuf, err := h.dir()
+	st := h.stripeFor(bucket)
+	st.Lock()
+	defer st.Unlock()
+	_, dirBuf, err := h.dir()
 	if err != nil {
 		return false, err
 	}
@@ -271,8 +327,7 @@ func (h *HashIndex) Delete(key []byte) (bool, error) {
 			}
 			// Unlink the empty page from the chain.
 			if prev == nilPage {
-				setHead(dirBuf, bucket, bp.next)
-				if err := h.pg.WritePage(root, dirBuf); err != nil {
+				if err := h.updateHead(bucket, bp.next); err != nil {
 					return false, err
 				}
 			} else {
@@ -298,4 +353,35 @@ func (h *HashIndex) Delete(key []byte) (bool, error) {
 		cur = bp.next
 	}
 	return false, nil
+}
+
+// Count returns the number of entries in the index by walking every bucket
+// chain (Check cross-validation; O(pages)).
+func (h *HashIndex) Count() (int64, error) {
+	var total int64
+	buf := make([]byte, PageSize)
+	for b := 0; b < h.nBuckets; b++ {
+		st := h.stripeFor(b)
+		st.RLock()
+		_, dirBuf, err := h.dir()
+		if err != nil {
+			st.RUnlock()
+			return 0, err
+		}
+		for cur := headOf(dirBuf, b); cur != nilPage; {
+			if err := h.pg.ReadPage(cur, buf); err != nil {
+				st.RUnlock()
+				return 0, err
+			}
+			bp, err := decodeBucket(buf)
+			if err != nil {
+				st.RUnlock()
+				return 0, err
+			}
+			total += int64(len(bp.entries))
+			cur = bp.next
+		}
+		st.RUnlock()
+	}
+	return total, nil
 }

@@ -1,0 +1,188 @@
+package stegdb
+
+import (
+	"container/list"
+	"sync"
+)
+
+// pageEntry is one frame of the in-pager page cache. The latch guards the
+// frame contents (buf, valid): shared for readers copying out, exclusive
+// for writers and for load/flush. The bookkeeping fields (refs, dirty, gen,
+// elem) belong to the cache mutex, so eviction and flush can inspect them
+// without taking the latch.
+type pageEntry struct {
+	id    int64
+	latch sync.RWMutex
+	valid bool // buf holds the page's current content
+	buf   [PageSize]byte
+
+	refs  int           // pins; >0 keeps the frame out of eviction
+	dirty bool          // content newer than the hidden file
+	gen   uint64        // bumped on every markDirty; write-wins on flush
+	elem  *list.Element // position in the LRU list
+}
+
+// pageCache is a small LRU of page frames with per-page latches. The cache
+// mutex covers only the map/LRU bookkeeping — never page I/O — so pins are
+// cheap and page loads/flushes proceed in parallel on distinct pages.
+type pageCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int64]*pageEntry
+	lru     *list.List // front = most recently used; holds *pageEntry
+}
+
+func newPageCache(capacity int) *pageCache {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &pageCache{
+		cap:     capacity,
+		entries: make(map[int64]*pageEntry),
+		lru:     list.New(),
+	}
+}
+
+func (c *pageCache) setCap(n int) {
+	if n < 16 {
+		n = 16
+	}
+	c.mu.Lock()
+	c.cap = n
+	c.mu.Unlock()
+}
+
+// pin returns the frame for page id with its reference count raised,
+// creating (empty, invalid) frames on miss and evicting over-capacity
+// victims. flush is called — with the victim's exclusive latch held — to
+// write back a dirty victim before it is dropped; a flush error keeps the
+// victim cached (the error resurfaces at the next Sync/FlushPages).
+// Callers must unpin the returned entry.
+func (c *pageCache) pin(id int64, flush func(*pageEntry) error) *pageEntry {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if ok {
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e
+	}
+	e = &pageEntry{id: id, refs: 1}
+	e.elem = c.lru.PushFront(e)
+	c.entries[id] = e
+
+	// Evict while over capacity, scanning from the LRU tail. Pinned frames
+	// are skipped; clean frames drop inline; dirty frames are pinned,
+	// flushed outside the cache mutex, and re-examined.
+	for c.lru.Len() > c.cap {
+		var victim *pageEntry
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			cand := el.Value.(*pageEntry)
+			if cand.refs == 0 {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			break // everything pinned; stay over capacity
+		}
+		if !victim.dirty {
+			c.removeLocked(victim)
+			continue
+		}
+		victim.refs++
+		c.mu.Unlock()
+		victim.latch.Lock()
+		err := flush(victim)
+		victim.latch.Unlock()
+		c.mu.Lock()
+		victim.refs--
+		if err == nil && !victim.dirty && victim.refs == 0 {
+			c.removeLocked(victim)
+		} else if err != nil {
+			break // leave the dirty victim; don't spin on a failing device
+		}
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// removeLocked drops a frame from the map and LRU; caller holds c.mu.
+func (c *pageCache) removeLocked(e *pageEntry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.id)
+}
+
+func (c *pageCache) unpin(e *pageEntry) {
+	c.mu.Lock()
+	e.refs--
+	c.mu.Unlock()
+}
+
+// markDirty records that the frame content is newer than the hidden file.
+// Caller holds the frame's exclusive latch.
+func (c *pageCache) markDirty(e *pageEntry) {
+	c.mu.Lock()
+	e.dirty = true
+	e.gen++
+	c.mu.Unlock()
+}
+
+// gen reads the frame's dirty generation.
+func (c *pageCache) gen(e *pageEntry) uint64 {
+	c.mu.Lock()
+	g := e.gen
+	c.mu.Unlock()
+	return g
+}
+
+// clearDirty marks the frame clean if no write landed since generation g
+// was observed (write-wins: a concurrent re-dirty keeps the flag).
+func (c *pageCache) clearDirty(e *pageEntry, g uint64) {
+	c.mu.Lock()
+	if e.gen == g {
+		e.dirty = false
+	}
+	c.mu.Unlock()
+}
+
+// dirtyEntries returns every dirty frame, pinned and sorted by page id.
+// The caller flushes them and unpins.
+func (c *pageCache) dirtyEntries() []*pageEntry {
+	c.mu.Lock()
+	var out []*pageEntry
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*pageEntry)
+		if e.dirty {
+			e.refs++
+			out = append(out, e)
+		}
+	}
+	c.mu.Unlock()
+	sortEntriesByID(out)
+	return out
+}
+
+func sortEntriesByID(es []*pageEntry) {
+	// Insertion sort: dirty sets are small and usually nearly ordered.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].id > es[j].id; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}
+
+// dropClean removes every clean, unpinned frame (cache invalidation for
+// benchmarks; dirty or pinned frames survive).
+func (c *pageCache) dropClean() {
+	c.mu.Lock()
+	var el, next *list.Element
+	for el = c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*pageEntry)
+		if !e.dirty && e.refs == 0 {
+			c.removeLocked(e)
+		}
+	}
+	c.mu.Unlock()
+}

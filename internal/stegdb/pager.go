@@ -8,6 +8,18 @@
 // Everything an adversary can observe is the same encrypted, unlisted
 // blocks as any other hidden file; even the fact that a database exists is
 // hidden behind the (name, key) pair.
+//
+// Concurrency: the pager is safe for concurrent use. Pages live in a small
+// write-back cache with per-page latches (shared for reads, exclusive for
+// writes), the meta page has its own mutex, and AllocPage/FreePage are
+// atomic against concurrent allocators. Readers that must not block behind
+// writers take copy-on-write snapshots (BeginSnapshot) pinned at an epoch;
+// see snapshot.go. Durability point: WritePage is write-back — pages (and
+// the meta page) reach the hidden file at Sync/Close, at a flush-on-evict,
+// or at an explicit FlushPages. Lock order inside the package, outermost
+// first: Table key shards → BTree.mu / HashIndex stripes → HashIndex.dirMu
+// → Pager.allocMu → page latches → Pager.snapMu → Pager.metaMu (the
+// pageCache mutex is an independent leaf).
 package stegdb
 
 import (
@@ -15,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 
-	"stegfs/internal/stegfs"
+	"sync"
+
+	"stegfs/internal/fsapi"
 )
 
 // PageSize is the fixed database page size. It is independent of the volume
@@ -38,33 +52,82 @@ const (
 // nilPage is the null page id (page 0 is the meta page, never allocatable).
 const nilPage int64 = 0
 
+// defaultPageCacheSize is the default number of page frames the in-pager
+// cache holds (4 KB each). Hot directory/root pages are served from here
+// without re-reading through the hidden file.
+const defaultPageCacheSize = 1024
+
+// View is the slice of stegfs.HiddenView the pager needs. Production code
+// passes a *stegfs.HiddenView; tests substitute error-injecting wrappers to
+// exercise partial-failure paths.
+type View interface {
+	Create(name string, data []byte) error
+	ReadAt(name string, p []byte, off int64) (int, error)
+	WriteAt(name string, p []byte, off int64) (int, error)
+	Resize(name string, newSize int64) error
+	Stat(name string) (fsapi.FileInfo, error)
+	Sync() error
+}
+
 // Pager provides page-granular storage inside one hidden file, with a
 // free-list for recycling and amortized-doubling growth.
 type Pager struct {
-	view *stegfs.HiddenView
+	view View
 	name string
-	meta [PageSize]byte
+
+	// metaMu guards the meta page buffer and its dirty flag.
+	metaMu    sync.Mutex
+	meta      [PageSize]byte
+	metaDirty bool
+
+	// allocMu serializes AllocPage/FreePage so free-list updates, file
+	// growth and the numPages counter stay atomic under concurrency.
+	allocMu sync.Mutex
+
+	cache *pageCache
+
+	// snapMu guards the snapshot machinery: the epoch counter, the set of
+	// active snapshots, per-page last-write epochs and saved page versions.
+	snapMu       sync.Mutex
+	epoch        int64
+	nextSnapID   int64
+	snaps        map[int64]int64 // snapshot id -> pinned epoch
+	maxSnapEpoch int64           // max over snaps (0 when none)
+	liveEpoch    map[int64]int64 // page id -> epoch of its last write
+	versions     map[int64][]pageVersion
+}
+
+func newPager(view View, name string) *Pager {
+	return &Pager{
+		view:      view,
+		name:      name,
+		cache:     newPageCache(defaultPageCacheSize),
+		epoch:     1,
+		snaps:     make(map[int64]int64),
+		liveEpoch: make(map[int64]int64),
+		versions:  make(map[int64][]pageVersion),
+	}
 }
 
 // CreatePager creates the named hidden file and initializes an empty
 // database in it. The file starts with capacity for a handful of pages and
 // doubles as needed.
-func CreatePager(view *stegfs.HiddenView, name string) (*Pager, error) {
+func CreatePager(view View, name string) (*Pager, error) {
 	if err := view.Create(name, make([]byte, 8*PageSize)); err != nil {
 		return nil, err
 	}
-	p := &Pager{view: view, name: name}
+	p := newPager(view, name)
 	copy(p.meta[:], pagerMagic)
 	p.setMeta(metaNumPages, 1) // the meta page itself
-	if err := p.flushMeta(); err != nil {
+	if err := p.flushMetaNow(); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
 // OpenPager opens an existing database file.
-func OpenPager(view *stegfs.HiddenView, name string) (*Pager, error) {
-	p := &Pager{view: view, name: name}
+func OpenPager(view View, name string) (*Pager, error) {
+	p := newPager(view, name)
 	if _, err := view.ReadAt(name, p.meta[:], 0); err != nil {
 		return nil, fmt.Errorf("stegdb: read meta page: %w", err)
 	}
@@ -74,18 +137,75 @@ func OpenPager(view *stegfs.HiddenView, name string) (*Pager, error) {
 	return p, nil
 }
 
+// getMeta/setMeta access the meta buffer; callers hold metaMu (or have the
+// pager to themselves, as in CreatePager/OpenPager).
 func (p *Pager) getMeta(off int) int64 { return int64(binary.BigEndian.Uint64(p.meta[off:])) }
 
-func (p *Pager) setMeta(off int, v int64) { binary.BigEndian.PutUint64(p.meta[off:], uint64(v)) }
+func (p *Pager) setMeta(off int, v int64) {
+	binary.BigEndian.PutUint64(p.meta[off:], uint64(v))
+	p.metaDirty = true
+}
 
-// flushMeta persists page 0.
-func (p *Pager) flushMeta() error {
-	_, err := p.view.WriteAt(p.name, p.meta[:], 0)
-	return err
+// metaField returns one meta page field under the meta mutex.
+func (p *Pager) metaField(off int) int64 {
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	return p.getMeta(off)
+}
+
+// setMetaField updates one meta page field. The change is write-back: it
+// reaches the device at the next Sync/FlushMeta.
+func (p *Pager) setMetaField(off int, v int64) {
+	p.metaMu.Lock()
+	p.setMeta(off, v)
+	p.metaMu.Unlock()
+}
+
+// bumpRows adjusts the persistent row counter (write-back, like any other
+// meta field).
+func (p *Pager) bumpRows(delta int64) {
+	p.metaMu.Lock()
+	p.setMeta(metaRows, p.getMeta(metaRows)+delta)
+	p.metaMu.Unlock()
+}
+
+// flushMetaLocked persists page 0; the caller holds metaMu.
+func (p *Pager) flushMetaLocked() error {
+	if _, err := p.view.WriteAt(p.name, p.meta[:], 0); err != nil {
+		return err
+	}
+	p.metaDirty = false
+	return nil
+}
+
+// flushMetaNow persists page 0 immediately.
+func (p *Pager) flushMetaNow() error {
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	return p.flushMetaLocked()
 }
 
 // NumPages returns the number of pages in use (including the meta page).
-func (p *Pager) NumPages() int64 { return p.getMeta(metaNumPages) }
+func (p *Pager) NumPages() int64 { return p.metaField(metaNumPages) }
+
+// Rows returns the persistent row counter maintained by Table.
+func (p *Pager) Rows() int64 { return p.metaField(metaRows) }
+
+// SetPageCacheSize adjusts the page cache capacity (frames of PageSize
+// bytes). Shrinking evicts clean unpinned frames immediately; dirty frames
+// are flushed as they are evicted by later operations.
+func (p *Pager) SetPageCacheSize(n int) { p.cache.setCap(n) }
+
+// InvalidatePageCache flushes every dirty page and drops all unpinned
+// frames, so subsequent reads go back through the hidden file. Benchmarks
+// use it to restore a cold-cache state between measurement windows.
+func (p *Pager) InvalidatePageCache() error {
+	if err := p.FlushPages(); err != nil {
+		return err
+	}
+	p.cache.dropClean()
+	return nil
+}
 
 // ReadPage reads page id into buf (len PageSize).
 func (p *Pager) ReadPage(id int64, buf []byte) error {
@@ -95,11 +215,41 @@ func (p *Pager) ReadPage(id int64, buf []byte) error {
 	if id <= nilPage || id >= p.NumPages() {
 		return fmt.Errorf("stegdb: page %d out of range [1,%d)", id, p.NumPages())
 	}
-	_, err := p.view.ReadAt(p.name, buf, id*PageSize)
-	return err
+	e := p.cache.pin(id, p.flushEntry)
+	defer p.cache.unpin(e)
+	if err := p.ensureLoaded(e); err != nil {
+		return err
+	}
+	e.latch.RLock()
+	copy(buf, e.buf[:])
+	e.latch.RUnlock()
+	return nil
 }
 
-// WritePage writes buf (len PageSize) to page id.
+// ensureLoaded fills e.buf from the hidden file if the frame is empty.
+func (p *Pager) ensureLoaded(e *pageEntry) error {
+	e.latch.RLock()
+	ok := e.valid
+	e.latch.RUnlock()
+	if ok {
+		return nil
+	}
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	if e.valid {
+		return nil
+	}
+	if _, err := p.view.ReadAt(p.name, e.buf[:], e.id*PageSize); err != nil {
+		return err
+	}
+	e.valid = true
+	return nil
+}
+
+// WritePage writes buf (len PageSize) to page id. The write is write-back:
+// the frame is marked dirty and reaches the hidden file at Sync, FlushPages
+// or a flush-on-evict. If a snapshot could still see the page's previous
+// content, that content is saved as a copy-on-write version first.
 func (p *Pager) WritePage(id int64, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("stegdb: page buffer %d != %d", len(buf), PageSize)
@@ -107,29 +257,83 @@ func (p *Pager) WritePage(id int64, buf []byte) error {
 	if id <= nilPage || id >= p.NumPages() {
 		return fmt.Errorf("stegdb: page %d out of range [1,%d)", id, p.NumPages())
 	}
-	_, err := p.view.WriteAt(p.name, buf, id*PageSize)
-	return err
+	e := p.cache.pin(id, p.flushEntry)
+	defer p.cache.unpin(e)
+	e.latch.Lock()
+	defer e.latch.Unlock()
+	if err := p.saveVersionLocked(e); err != nil {
+		return err
+	}
+	copy(e.buf[:], buf)
+	e.valid = true
+	p.cache.markDirty(e)
+	return nil
+}
+
+// flushEntry writes one frame through to the hidden file. The caller holds
+// the frame's exclusive latch (flush-on-evict path).
+func (p *Pager) flushEntry(e *pageEntry) error {
+	if _, err := p.view.WriteAt(p.name, e.buf[:], e.id*PageSize); err != nil {
+		return err
+	}
+	p.cache.clearDirty(e, p.cache.gen(e))
+	return nil
+}
+
+// FlushPages writes every dirty frame back to the hidden file, coalescing
+// runs of consecutive page ids into single vectored writes. Frames
+// re-dirtied mid-flush stay dirty (write-wins via per-frame generations).
+func (p *Pager) FlushPages() error {
+	dirty := p.cache.dirtyEntries()
+	defer func() {
+		for _, e := range dirty {
+			p.cache.unpin(e)
+		}
+	}()
+	for i := 0; i < len(dirty); {
+		j := i + 1
+		for j < len(dirty) && dirty[j].id == dirty[j-1].id+1 {
+			j++
+		}
+		run := dirty[i:j]
+		buf := make([]byte, len(run)*PageSize)
+		gens := make([]uint64, len(run))
+		for k, e := range run {
+			e.latch.RLock()
+			copy(buf[k*PageSize:], e.buf[:])
+			gens[k] = p.cache.gen(e)
+			e.latch.RUnlock()
+		}
+		if _, err := p.view.WriteAt(p.name, buf, run[0].id*PageSize); err != nil {
+			return err
+		}
+		for k, e := range run {
+			p.cache.clearDirty(e, gens[k])
+		}
+		i = j
+	}
+	return nil
 }
 
 // AllocPage returns a zeroed page, reusing the free list when possible.
+// Atomic against concurrent allocators and frees.
 func (p *Pager) AllocPage() (int64, error) {
-	if head := p.getMeta(metaFreeHead); head != nilPage {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	if head := p.metaField(metaFreeHead); head != nilPage {
 		buf := make([]byte, PageSize)
 		if err := p.ReadPage(head, buf); err != nil {
 			return 0, err
 		}
 		next := int64(binary.BigEndian.Uint64(buf))
-		p.setMeta(metaFreeHead, next)
-		if err := p.flushMeta(); err != nil {
-			return 0, err
-		}
+		p.setMetaField(metaFreeHead, next)
 		zero := make([]byte, PageSize)
 		if err := p.WritePage(head, zero); err != nil {
 			return 0, err
 		}
 		return head, nil
 	}
-	id := p.NumPages()
+	id := p.metaField(metaNumPages)
 	// Grow the backing hidden file when the next page would not fit.
 	fi, err := p.view.Stat(p.name)
 	if err != nil {
@@ -144,36 +348,48 @@ func (p *Pager) AllocPage() (int64, error) {
 			return 0, err
 		}
 	}
-	p.setMeta(metaNumPages, id+1)
-	if err := p.flushMeta(); err != nil {
-		return 0, err
-	}
+	p.setMetaField(metaNumPages, id+1)
 	return id, nil
 }
 
-// Sync persists the meta page and then syncs the underlying volume, flushing
-// any block cache the volume is mounted through. Databases that ride a
-// cached StegFS volume call this at transaction boundaries.
-func (p *Pager) Sync() error {
-	if err := p.flushMeta(); err != nil {
-		return err
-	}
-	return p.view.Sync()
-}
-
-// Close is the database shutdown path: meta page out, volume synced.
-func (p *Pager) Close() error { return p.Sync() }
-
-// FreePage returns a page to the free list.
+// FreePage returns a page to the free list. Atomic against concurrent
+// allocators.
 func (p *Pager) FreePage(id int64) error {
 	if id <= nilPage || id >= p.NumPages() {
 		return fmt.Errorf("stegdb: freeing page %d out of range", id)
 	}
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	buf := make([]byte, PageSize)
-	binary.BigEndian.PutUint64(buf, uint64(p.getMeta(metaFreeHead)))
+	binary.BigEndian.PutUint64(buf, uint64(p.metaField(metaFreeHead)))
 	if err := p.WritePage(id, buf); err != nil {
 		return err
 	}
-	p.setMeta(metaFreeHead, id)
-	return p.flushMeta()
+	p.setMetaField(metaFreeHead, id)
+	return nil
 }
+
+// Sync is the durability barrier: dirty pages out (data before metadata),
+// then the meta page, then the underlying volume — flushing any block cache
+// the volume is mounted through. Databases that ride a cached StegFS volume
+// call this at transaction boundaries.
+func (p *Pager) Sync() error {
+	if err := p.FlushPages(); err != nil {
+		return err
+	}
+	p.metaMu.Lock()
+	err := p.flushMetaLocked()
+	p.metaMu.Unlock()
+	if err != nil {
+		return err
+	}
+	// A Sync opens a new epoch, so snapshots taken afterwards are pinned at
+	// a post-Sync boundary.
+	p.snapMu.Lock()
+	p.epoch++
+	p.snapMu.Unlock()
+	return p.view.Sync()
+}
+
+// Close is the database shutdown path: everything durable on the device.
+func (p *Pager) Close() error { return p.Sync() }

@@ -1,0 +1,172 @@
+package stegdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot reads: a Snapshot pins the pager at an epoch and serves page
+// reads as of that instant, no matter how many writes land afterwards.
+// Writers pay a copy-on-write: the first overwrite of a page whose old
+// content some snapshot can still see saves that content as a version
+// (in memory, keyed by epoch). Readers holding a snapshot therefore never
+// block writers and never see torn structures — the basis of stegdb's
+// Scan/Range/Get isolation.
+//
+// Contract: BeginSnapshot must not race a multi-page structural write —
+// callers exclude writers for the instant of the begin (BTree.Snapshot
+// takes the tree lock shared, which waits out in-flight exclusive writers;
+// registration then happens-before any later writer's version-save check).
+// Versions live only while at least one snapshot is active; when the last
+// closes, all saved versions and epoch tracking are dropped.
+
+// pageVersion is one saved pre-image: the page's content as of liveEpoch
+// `epoch` (i.e. visible to snapshots pinned at >= epoch... < next write).
+type pageVersion struct {
+	epoch int64 // last-write epoch of this content
+	data  []byte
+}
+
+// Snapshot is a read-only, point-in-time view of the pager. Close it when
+// done so saved versions can be reclaimed.
+type Snapshot struct {
+	pg    *Pager
+	id    int64
+	epoch int64
+	// Meta fields frozen at begin time.
+	numPages  int64
+	btreeRoot int64
+	rows      int64
+}
+
+// BeginSnapshot pins a new snapshot at the current epoch and advances the
+// epoch, so every later write is distinguishable from content the snapshot
+// saw. See the contract above for excluding concurrent structural writers.
+func (p *Pager) BeginSnapshot() *Snapshot {
+	p.snapMu.Lock()
+	p.nextSnapID++
+	s := &Snapshot{pg: p, id: p.nextSnapID, epoch: p.epoch}
+	p.epoch++
+	p.snaps[s.id] = s.epoch
+	if s.epoch > p.maxSnapEpoch {
+		p.maxSnapEpoch = s.epoch
+	}
+	p.snapMu.Unlock()
+
+	p.metaMu.Lock()
+	s.numPages = p.getMeta(metaNumPages)
+	s.btreeRoot = p.getMeta(metaBTreeRoot)
+	s.rows = p.getMeta(metaRows)
+	p.metaMu.Unlock()
+	return s
+}
+
+// Close releases the snapshot. When the last active snapshot closes, every
+// saved page version and the per-page epoch map are dropped.
+func (s *Snapshot) Close() {
+	p := s.pg
+	p.snapMu.Lock()
+	delete(p.snaps, s.id)
+	if len(p.snaps) == 0 {
+		p.maxSnapEpoch = 0
+		p.liveEpoch = make(map[int64]int64)
+		p.versions = make(map[int64][]pageVersion)
+	} else {
+		max := int64(0)
+		for _, e := range p.snaps {
+			if e > max {
+				max = e
+			}
+		}
+		p.maxSnapEpoch = max
+	}
+	p.snapMu.Unlock()
+}
+
+// NumPages returns the page count as of the snapshot.
+func (s *Snapshot) NumPages() int64 { return s.numPages }
+
+// BTreeRoot returns the B-tree root page as of the snapshot.
+func (s *Snapshot) BTreeRoot() int64 { return s.btreeRoot }
+
+// RowsAtSnapshot returns the row counter as of the snapshot.
+func (s *Snapshot) RowsAtSnapshot() int64 { return s.rows }
+
+// ReadPage reads page id as of the snapshot's epoch: the live frame when
+// the page has not been rewritten since, else the newest saved pre-image
+// the snapshot is allowed to see.
+func (s *Snapshot) ReadPage(id int64, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("stegdb: page buffer %d != %d", len(buf), PageSize)
+	}
+	if id <= nilPage || id >= s.numPages {
+		return fmt.Errorf("stegdb: snapshot page %d out of range [1,%d)", id, s.numPages)
+	}
+	p := s.pg
+	e := p.cache.pin(id, p.flushEntry)
+	defer p.cache.unpin(e)
+	if err := p.ensureLoaded(e); err != nil {
+		return err
+	}
+	// Lock order: page latch, then snapMu (same as WritePage's version
+	// save). Holding the latch shared pins the frame content while we
+	// decide whether it is the version this snapshot should see.
+	e.latch.RLock()
+	defer e.latch.RUnlock()
+	p.snapMu.Lock()
+	if p.liveEpoch[id] <= s.epoch {
+		p.snapMu.Unlock()
+		copy(buf, e.buf[:])
+		return nil
+	}
+	// The live page is too new; find the newest saved version the snapshot
+	// may see. Versions are appended in epoch order.
+	vs := p.versions[id]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].epoch <= s.epoch {
+			data := vs[i].data
+			p.snapMu.Unlock()
+			copy(buf, data)
+			return nil
+		}
+	}
+	p.snapMu.Unlock()
+	return errors.New("stegdb: snapshot lost page version")
+}
+
+// saveVersionLocked runs on the write path: if any active snapshot could
+// still see the page's current content, that content is saved as a version
+// before the caller overwrites the frame. The caller holds the frame's
+// exclusive latch; the frame may still be invalid (never loaded), in which
+// case the old content is loaded from the hidden file first.
+func (p *Pager) saveVersionLocked(e *pageEntry) error {
+	for {
+		p.snapMu.Lock()
+		if len(p.snaps) == 0 {
+			p.snapMu.Unlock()
+			return nil
+		}
+		old := p.liveEpoch[e.id] // 0 = content predates all snapshots
+		if old > p.maxSnapEpoch {
+			// Already rewritten past every snapshot this epoch range; no
+			// snapshot can see the current content.
+			p.liveEpoch[e.id] = p.epoch
+			p.snapMu.Unlock()
+			return nil
+		}
+		if e.valid {
+			v := pageVersion{epoch: old, data: append([]byte(nil), e.buf[:]...)}
+			p.versions[e.id] = append(p.versions[e.id], v)
+			p.liveEpoch[e.id] = p.epoch
+			p.snapMu.Unlock()
+			return nil
+		}
+		// Frame never loaded: fetch the old content (under the held
+		// exclusive latch, outside snapMu), then re-check.
+		p.snapMu.Unlock()
+		if _, err := p.view.ReadAt(p.name, e.buf[:], e.id*PageSize); err != nil {
+			return err
+		}
+		e.valid = true
+	}
+}

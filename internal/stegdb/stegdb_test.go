@@ -113,6 +113,10 @@ func TestPagerPersistence(t *testing.T) {
 	if err := pg.WritePage(id, want); err != nil {
 		t.Fatal(err)
 	}
+	// Pages are write-back: Sync is the durability point before reopening.
+	if err := pg.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	pg2, err := OpenPager(view, "db1")
 	if err != nil {
 		t.Fatal(err)
@@ -320,6 +324,9 @@ func TestHashIndexPersistence(t *testing.T) {
 	if err := h.Put([]byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
+	if err := pg.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	pg2, err := OpenPager(view, "db1")
 	if err != nil {
 		t.Fatal(err)
@@ -414,7 +421,8 @@ func TestTablePersistenceAcrossRemount(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := fs.Sync(); err != nil {
+	// Table.Sync flushes the pager's dirty pages, then the volume.
+	if err := tab.Sync(); err != nil {
 		t.Fatal(err)
 	}
 

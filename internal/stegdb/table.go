@@ -2,25 +2,45 @@ package stegdb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-
-	"stegfs/internal/stegfs"
+	"sync"
 )
 
 // Table is a hidden key-value table: rows live in a B-tree (ordered access,
 // range scans) with an optional hash index for O(1) point lookups — the
 // three structures the paper's future work names (tables, B-trees, hash
 // indices), all stored in one deniable hidden file.
+//
+// Concurrency: Put/Delete serialize per key via nKeyShards shard locks, so
+// the B-tree and hash index stay mutually consistent for any one key while
+// distinct keys proceed in parallel (limited below by the tree writer
+// lock). Get/Scan/Range never block behind writers: the hash path stripes
+// by bucket, the tree path reads snapshots.
 type Table struct {
-	pg    *Pager
-	tree  *BTree
-	hash  *HashIndex
-	hashy bool
+	pg     *Pager
+	tree   *BTree
+	hash   *HashIndex
+	hashy  bool
+	shards [nKeyShards]sync.Mutex
+}
+
+// nKeyShards is the Put/Delete key striping factor.
+const nKeyShards = 64
+
+// shardFor hashes the key (FNV-1a) onto a shard lock.
+func (t *Table) shardFor(key []byte) *sync.Mutex {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return &t.shards[h%nKeyShards]
 }
 
 // CreateTable creates a new hidden table in the named hidden file.
 // withHash adds the hash index (nBuckets buckets).
-func CreateTable(view *stegfs.HiddenView, name string, withHash bool, nBuckets int) (*Table, error) {
+func CreateTable(view View, name string, withHash bool, nBuckets int) (*Table, error) {
 	pg, err := CreatePager(view, name)
 	if err != nil {
 		return nil, err
@@ -35,13 +55,13 @@ func CreateTable(view *stegfs.HiddenView, name string, withHash bool, nBuckets i
 }
 
 // OpenTable opens an existing hidden table.
-func OpenTable(view *stegfs.HiddenView, name string) (*Table, error) {
+func OpenTable(view View, name string) (*Table, error) {
 	pg, err := OpenPager(view, name)
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{pg: pg, tree: NewBTree(pg)}
-	if pg.getMeta(metaHashRoot) != nilPage {
+	if pg.metaField(metaHashRoot) != nilPage {
 		t.hashy = true
 		if t.hash, err = NewHashIndex(pg, 0); err != nil {
 			return nil, err
@@ -60,15 +80,33 @@ func (t *Table) Sync() error { return t.pg.Sync() }
 // Close is the table shutdown path: everything durable on the device.
 func (t *Table) Close() error { return t.pg.Close() }
 
-// Put inserts or replaces a row.
+// Put inserts or replaces a row. The B-tree and hash index are kept
+// error-consistent: if the hash insert fails after the tree insert
+// succeeded, the tree change is rolled back before the error returns.
 func (t *Table) Put(key, val []byte) error {
-	if err := t.tree.Put(key, val); err != nil {
+	sh := t.shardFor(key)
+	sh.Lock()
+	defer sh.Unlock()
+	prev, existed, err := t.tree.PutEx(key, val)
+	if err != nil {
 		return err
 	}
 	if t.hashy {
 		if err := t.hash.Put(key, val); err != nil {
+			var rerr error
+			if existed {
+				_, _, rerr = t.tree.PutEx(key, prev)
+			} else {
+				_, _, rerr = t.tree.DeleteEx(key)
+			}
+			if rerr != nil {
+				return errors.Join(err, fmt.Errorf("stegdb: rollback failed: %w", rerr))
+			}
 			return err
 		}
+	}
+	if !existed {
+		t.pg.bumpRows(1)
 	}
 	return nil
 }
@@ -85,24 +123,41 @@ func (t *Table) Get(key []byte) ([]byte, bool, error) {
 // GetOrdered always uses the B-tree (for verification and range queries).
 func (t *Table) GetOrdered(key []byte) ([]byte, bool, error) { return t.tree.Get(key) }
 
-// Delete removes a row, reporting whether it existed.
+// Delete removes a row, reporting whether it existed. Error-consistent like
+// Put: if the hash delete fails after the tree delete succeeded, the row is
+// restored and (false, err) returned — the delete did not happen. The hash
+// index is probed even when the tree had no row, repairing any orphaned
+// hash entry from an earlier partial failure.
 func (t *Table) Delete(key []byte) (bool, error) {
-	found, err := t.tree.Delete(key)
+	sh := t.shardFor(key)
+	sh.Lock()
+	defer sh.Unlock()
+	prev, found, err := t.tree.DeleteEx(key)
 	if err != nil {
 		return false, err
 	}
 	if t.hashy {
 		if _, err := t.hash.Delete(key); err != nil {
+			if found {
+				if _, _, rerr := t.tree.PutEx(key, prev); rerr != nil {
+					return false, errors.Join(err, fmt.Errorf("stegdb: rollback failed: %w", rerr))
+				}
+			}
 			return false, err
 		}
+	}
+	if found {
+		t.pg.bumpRows(-1)
 	}
 	return found, nil
 }
 
-// Scan visits rows in key order.
+// Scan visits rows in key order, reading from a snapshot: the scan sees the
+// table exactly as of its start and never blocks concurrent writers.
 func (t *Table) Scan(fn func(key, val []byte) bool) error { return t.tree.Scan(fn) }
 
-// Range visits rows with lo <= key < hi in order (nil bounds are open).
+// Range visits rows with lo <= key < hi in order (nil bounds are open),
+// with the same snapshot semantics as Scan.
 func (t *Table) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
 	return t.tree.Scan(func(k, v []byte) bool {
 		if lo != nil && string(k) < string(lo) {
@@ -115,13 +170,12 @@ func (t *Table) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
 	})
 }
 
-// Rows counts the rows by scanning (the table is hidden; nothing may be
-// cached outside it).
-func (t *Table) Rows() (int64, error) {
-	var n int64
-	err := t.tree.Scan(func(k, v []byte) bool { n++; return true })
-	return n, err
-}
+// Snapshot pins a point-in-time read view of the table's ordered rows.
+func (t *Table) Snapshot() *TreeSnapshot { return t.tree.Snapshot() }
+
+// Rows returns the row count from the persistent counter maintained by
+// Put/Delete — O(1). Check() cross-validates it against a full scan.
+func (t *Table) Rows() (int64, error) { return t.pg.Rows(), nil }
 
 // Pages reports the pager footprint (pages in use).
 func (t *Table) Pages() int64 { return t.pg.NumPages() }
@@ -140,17 +194,22 @@ func (t *Table) GetUint64(key uint64) ([]byte, bool, error) {
 	return t.Get(k[:])
 }
 
-// Check verifies internal consistency: every B-tree row resolves through
-// the hash index (when present) and vice versa counts match.
+// Check verifies internal consistency against one snapshot of the tree:
+// every B-tree row resolves through the hash index (when present) with the
+// same value, the hash entry count matches the tree row count, and the O(1)
+// row counter agrees with the snapshot's scan count.
 func (t *Table) Check() error {
-	if !t.hashy {
-		return nil
-	}
+	s := t.Snapshot()
+	defer s.Close()
+	var scanned int64
 	var missed int
-	err := t.tree.Scan(func(k, v []byte) bool {
-		hv, ok, err := t.hash.Get(k)
-		if err != nil || !ok || string(hv) != string(v) {
-			missed++
+	err := s.Scan(func(k, v []byte) bool {
+		scanned++
+		if t.hashy {
+			hv, ok, err := t.hash.Get(k)
+			if err != nil || !ok || string(hv) != string(v) {
+				missed++
+			}
 		}
 		return true
 	})
@@ -159,6 +218,18 @@ func (t *Table) Check() error {
 	}
 	if missed > 0 {
 		return fmt.Errorf("stegdb: %d rows missing or stale in hash index", missed)
+	}
+	if rows := s.Rows(); rows != scanned {
+		return fmt.Errorf("stegdb: row counter %d != scanned rows %d", rows, scanned)
+	}
+	if t.hashy {
+		hc, err := t.hash.Count()
+		if err != nil {
+			return err
+		}
+		if hc != scanned {
+			return fmt.Errorf("stegdb: hash index holds %d entries, tree holds %d rows", hc, scanned)
+		}
 	}
 	return nil
 }
