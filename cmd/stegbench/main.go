@@ -7,6 +7,12 @@
 //	stegbench -exp all                     # everything, paper-scale
 //	stegbench -exp fig7 -scale small       # one experiment, test-scale
 //	stegbench -exp space -volume 1073741824 -bs 1024
+//	stegbench -exp ablate-cache -json out.jsonl
+//
+// With -json <path>, every sweep row is also appended to <path> as one
+// JSON object per line (JSON Lines), tagged with its experiment name, so
+// plots and regression tracking can consume runs without scraping the
+// human-readable tables.
 //
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,18 +30,84 @@ import (
 	"stegfs/internal/bench"
 )
 
+// sink, when non-nil, receives one JSON object per sweep row (-json).
+var sink *jsonSink
+
+type jsonSink struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+func openSink(path string) (*jsonSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &jsonSink{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// emit writes row as a single flattened JSON object with an "experiment"
+// tag. No-op when -json was not given.
+func emit(experiment string, row any) {
+	if sink == nil {
+		return
+	}
+	b, err := json.Marshal(row)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stegbench: -json: %v\n", err)
+		os.Exit(1)
+	}
+	m := map[string]any{}
+	if err := json.Unmarshal(b, &m); err != nil {
+		// Row is not an object (e.g. a bare value); nest it instead.
+		m["row"] = json.RawMessage(b)
+	}
+	m["experiment"] = experiment
+	if err := sink.enc.Encode(m); err != nil {
+		fmt.Fprintf(os.Stderr, "stegbench: -json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emitSeries flattens figure series into one object per (series, point).
+func emitSeries(experiment string, series []bench.Series, xLabel, yLabel string) {
+	if sink == nil {
+		return
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			emit(experiment, map[string]any{
+				"series": s.Label,
+				xLabel:   p.X,
+				yLabel:   p.Y,
+			})
+		}
+	}
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ida|all")
-		scale  = flag.String("scale", "small", "workload scale: paper|small")
-		volume = flag.Int64("volume", 0, "override volume size in bytes")
-		bs     = flag.Int("bs", 0, "override block size in bytes")
-		files  = flag.Int("files", 0, "override number of files")
-		ops    = flag.Int("ops", 0, "override file operations per user")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		policy = flag.String("cache-policy", "", "cache replacement policy for cached experiments: lru|arc|2q (default lru)")
+		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ida|all")
+		scale    = flag.String("scale", "small", "workload scale: paper|small")
+		volume   = flag.Int64("volume", 0, "override volume size in bytes")
+		bs       = flag.Int("bs", 0, "override block size in bytes")
+		files    = flag.Int("files", 0, "override number of files")
+		ops      = flag.Int("ops", 0, "override file operations per user")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		policy   = flag.String("cache-policy", "", "cache replacement policy for cached experiments: lru|arc|2q (default lru)")
+		jsonPath = flag.String("json", "", "append one JSON object per sweep row to this file (JSON Lines)")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		s, err := openSink(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stegbench: -json: %v\n", err)
+			os.Exit(2)
+		}
+		sink = s
+		defer s.f.Close()
+	}
 
 	var cfg bench.Config
 	switch *scale {
@@ -101,6 +174,7 @@ func runAblatePolicy(cfg bench.Config) error {
 		fmt.Printf("  %-8s  %12d  %8.4f  %7.2fx  %7.1f%%  %6d  %6d  %10d\n",
 			r.Policy, r.CacheBlocks, r.Seconds, r.Speedup, r.HitRate*100,
 			r.Stats.Hits, r.Stats.Misses, r.Stats.WriteBacks)
+		emit("ablate-policy", r)
 	}
 	return nil
 }
@@ -116,6 +190,7 @@ func runAblateConcurrency(cfg bench.Config) error {
 	for _, r := range rows {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
+		emit("ablate-concurrency", r)
 	}
 	return nil
 }
@@ -131,8 +206,10 @@ func runAblateWriteConcurrency(cfg bench.Config) error {
 	for _, r := range rows {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds)
+		emit("ablate-write-concurrency", r)
 	}
 	printAllocReport(report)
+	emit("ablate-write-concurrency-alloc", report)
 	return nil
 }
 
@@ -149,8 +226,10 @@ func runAblateCachedWrite(cfg bench.Config) error {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%  %10d  %7d  %7d  %6d\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds,
 			r.HitRate*100, r.WriteBacks, r.FlushBatches, r.WriteBehinds, r.FlushStalls)
+		emit("ablate-cached-write", r)
 	}
 	printAllocReport(report)
+	emit("ablate-cached-write-alloc", report)
 	return nil
 }
 
@@ -166,6 +245,7 @@ func runAblateStegDB(cfg bench.Config) error {
 	for _, r := range rows {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
+		emit("ablate-stegdb", r)
 	}
 	return nil
 }
@@ -193,6 +273,7 @@ func runAblateCache(cfg bench.Config) error {
 		fmt.Printf("  %12d  %8.4f  %7.2fx  %7.1f%%  %5d  %6d  %10d\n",
 			r.CacheBlocks, r.Seconds, r.Speedup, r.HitRate*100,
 			r.Stats.Hits, r.Stats.Misses, r.Stats.WriteBacks)
+		emit("ablate-cache", r)
 	}
 	return nil
 }
@@ -202,6 +283,9 @@ func runIDA(cfg bench.Config) error {
 	fmt.Println("Extension E-IDA — replication vs Rabin IDA at equal overhead:")
 	for _, line := range bench.FormatIDARows(rows) {
 		fmt.Println(line)
+	}
+	for _, r := range rows {
+		emit("ida", r)
 	}
 	return nil
 }
@@ -214,6 +298,7 @@ func runSpace(cfg bench.Config) error {
 	fmt.Println("Effective space utilization (§5.2):")
 	for _, r := range rows {
 		fmt.Printf("  %-10s %6.1f%%   %s\n", r.Scheme, r.Utilization*100, r.Note)
+		emit("space", r)
 	}
 	return nil
 }
@@ -222,6 +307,7 @@ func runFig6(cfg bench.Config) error {
 	series := bench.StegRandSpaceCurve(cfg, nil, nil)
 	fmt.Println("Figure 6 — StegRand space utilization vs replication factor:")
 	printSeries(series, "repl", "util")
+	emitSeries("fig6", series, "repl", "util")
 	return nil
 }
 
@@ -232,8 +318,10 @@ func runFig7(cfg bench.Config) error {
 	}
 	fmt.Println("Figure 7(a) — read access time (s) vs concurrent users:")
 	printSeries(readS, "users", "sec")
+	emitSeries("fig7a", readS, "users", "sec")
 	fmt.Println("Figure 7(b) — write access time (s) vs concurrent users:")
 	printSeries(writeS, "users", "sec")
+	emitSeries("fig7b", writeS, "users", "sec")
 	return nil
 }
 
@@ -245,8 +333,10 @@ func runFig8(cfg bench.Config) error {
 	}
 	fmt.Println("Figure 8(a) — normalized read time (s/KB) vs file size (KB):")
 	printSeries(readS, "KB", "s/KB")
+	emitSeries("fig8a", readS, "kb", "sPerKB")
 	fmt.Println("Figure 8(b) — normalized write time (s/KB) vs file size (KB):")
 	printSeries(writeS, "KB", "s/KB")
+	emitSeries("fig8b", writeS, "kb", "sPerKB")
 	return nil
 }
 
@@ -271,8 +361,10 @@ func runFig9(cfg bench.Config) error {
 	}
 	fmt.Println("Figure 9(a) — serial read access time (s) vs block size (KB):")
 	printSeries(readS, "KB", "sec")
+	emitSeries("fig9a", readS, "kb", "sec")
 	fmt.Println("Figure 9(b) — serial write access time (s) vs block size (KB):")
 	printSeries(writeS, "KB", "sec")
+	emitSeries("fig9b", writeS, "kb", "sec")
 	return nil
 }
 
@@ -286,6 +378,7 @@ func runAblateAbandoned(cfg bench.Config) error {
 	for _, r := range rows {
 		fmt.Printf("  %4.0f  %6.1f  %10d  %6d  %9.2f\n",
 			r.PctAbandoned*100, r.Utilization*100, r.Candidates, r.HiddenBlocks, r.GuessWork)
+		emit("ablate-abandoned", r)
 	}
 	return nil
 }
@@ -299,6 +392,7 @@ func runAblatePool(cfg bench.Config) error {
 	fmt.Println("  FreeMax  attack-precision  create-sec")
 	for _, r := range rows {
 		fmt.Printf("  %7d  %16.3f  %10.4f\n", r.FreeMax, r.AttackPrecision, r.CreateSeconds)
+		emit("ablate-pool", r)
 	}
 	return nil
 }
@@ -312,6 +406,7 @@ func runAblateDummy(cfg bench.Config) error {
 	fmt.Println("  NDummy  attack-precision  candidates")
 	for _, r := range rows {
 		fmt.Printf("  %6d  %16.3f  %10d\n", r.NDummy, r.AttackPrecision, r.Candidates)
+		emit("ablate-dummy", r)
 	}
 	return nil
 }

@@ -68,8 +68,14 @@ type Allocator struct {
 type group struct {
 	lo, hi int64        // block range [lo, hi), hi-exclusive
 	free   atomic.Int64 // live free count, readable without the lock
-	mu     sync.Mutex   // guards the bitmap words of [lo, hi) and rng
-	rng    *rand.Rand
+	// Guards the bitmap words of [lo, hi) and rng. Group locks are leaves of
+	// the volume hierarchy; lockAll sweeps them in ascending index order,
+	// which is the one audited self-nesting (the `multi` flag).
+	//
+	// lockcheck:level 50 volume/group multi
+	mu sync.Mutex
+	// lockcheck:guardedby mu
+	rng *rand.Rand
 
 	// Contention/throughput counters, exported via Allocator.Stats so the
 	// bench harness can report group skew. Updated atomically; never reset.
@@ -83,6 +89,8 @@ type group struct {
 // contended — so Contended/Locks is a well-formed ratio over the same event
 // set. TryLock+Lock costs one extra atomic on the uncontended fast path —
 // noise next to the bitmap scan under the lock.
+//
+// lockcheck:acquire volume/group
 func (g *group) lock() {
 	g.locks.Add(1)
 	if g.mu.TryLock() {
@@ -363,12 +371,15 @@ func (a *Allocator) TryAlloc(b int64) bool {
 // lockAll takes every group mutex in ascending order; unlockAll releases
 // them. Between the two calls no group can allocate or free, so the bitmap
 // is frozen.
+//
+// lockcheck:acquire volume/group
 func (a *Allocator) lockAll() {
 	for i := range a.groups {
 		a.groups[i].mu.Lock()
 	}
 }
 
+// lockcheck:release volume/group
 func (a *Allocator) unlockAll() {
 	for i := len(a.groups) - 1; i >= 0; i-- {
 		a.groups[i].mu.Unlock()

@@ -1,0 +1,299 @@
+// Package load type-checks Go packages for the static-analysis tools in
+// this repository using only the standard library.
+//
+// The usual foundation for a checker like lockcheck is
+// golang.org/x/tools/go/analysis + go/packages, but this module is
+// deliberately dependency-free, so load reimplements the small slice it
+// needs: `go list -e -json -deps` enumerates the requested packages and
+// their full dependency closure in topological order, and go/parser +
+// go/types type-check everything from source. Standard-library packages are
+// checked with IgnoreFuncBodies (the analyzers only need their type
+// signatures), so a whole-module load stays in the low seconds.
+//
+// Loading the whole program in one process means cross-package analysis is
+// a map lookup instead of the analysis.Fact export/import protocol: every
+// types.Object from every dependency is live at once, so an annotation on
+// an interface method in internal/vdisk is directly visible while checking
+// call sites in internal/blockcache.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	Path   string // import path
+	Dir    string
+	Target bool // named by the load patterns (vs. a dependency)
+	Std    bool // standard-library dependency (bodies not type-checked)
+
+	Fset  *token.FileSet // shared across all packages of one load
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds type-checker errors for target packages. Analyzers
+	// should refuse to run on packages that do not type-check.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Loader loads and caches type-checked packages. A Loader is not safe for
+// concurrent use.
+type Loader struct {
+	Fset   *token.FileSet
+	dir    string              // module directory go list runs in
+	listed map[string]*listPkg // import path -> metadata
+	extra  map[string]string   // import path -> dir, for out-of-module fixtures
+	pkgs   map[string]*Package
+	types  map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at the module directory dir (where
+// `go list` is run).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Fset:  token.NewFileSet(),
+		dir:   dir,
+		extra: make(map[string]string),
+		pkgs:  make(map[string]*Package),
+		types: map[string]*types.Package{"unsafe": types.Unsafe},
+	}
+}
+
+// AddFixture registers an out-of-module package: import path -> directory.
+// Fixture packages are always loaded with function bodies and marked Target.
+func (l *Loader) AddFixture(importPath, dir string) { l.extra[importPath] = dir }
+
+// goList runs `go list -e -json -deps` for patterns and merges the results
+// into l.listed.
+func (l *Loader) goList(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	// Cgo-free loading: go list then reports pure-Go file sets for packages
+	// like net that would otherwise include cgo-generated sources the
+	// type-checker cannot see.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	if l.listed == nil {
+		l.listed = make(map[string]*listPkg)
+	}
+	var roots []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Error != nil && p.Standard {
+			continue
+		}
+		l.listed[p.ImportPath] = p
+		if !p.DepOnly {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	return roots, nil
+}
+
+// Patterns loads the packages matching the go list patterns (e.g. "./...")
+// plus their dependency closure, and returns the matched target packages
+// sorted by import path.
+func (l *Loader) Patterns(patterns ...string) ([]*Package, error) {
+	roots, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range roots {
+		// Packages with no non-test Go files (a test-only module root, say)
+		// have nothing for the analyzers to look at.
+		if lp := l.listed[path]; lp != nil && len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		p.Target = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Fixtures loads the registered fixture packages named by importPaths.
+// Imports resolve against other fixtures first, then against the module /
+// standard library via go list.
+func (l *Loader) Fixtures(importPaths ...string) ([]*Package, error) {
+	var out []*Package
+	for _, path := range importPaths {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		p.Target = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Loaded returns every package loaded so far — targets and dependencies —
+// sorted by import path. Analyzers use this to collect annotations from the
+// whole in-memory program, not just the packages being diagnosed.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Import implements types.Importer so the type-checker can pull in
+// dependencies on demand.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if tp, ok := l.types[path]; ok && tp != nil {
+		return tp, nil
+	}
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// load type-checks one package (and, recursively, its imports).
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, std, full, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(path, dir, full)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Std: std, Fset: l.Fset, Files: files}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:         importerFor(l, dir),
+		IgnoreFuncBodies: std,
+		Error: func(err error) {
+			if !std {
+				p.TypeErrors = append(p.TypeErrors, err)
+			}
+		},
+	}
+	tp, err := conf.Check(path, l.Fset, files, p.Info)
+	if err != nil && tp == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p.Types = tp
+	l.pkgs[path] = p
+	l.types[path] = tp
+	return p, nil
+}
+
+// resolve maps an import path to its source directory. full reports whether
+// function bodies must be type-checked (module + fixture packages).
+func (l *Loader) resolve(path string) (dir string, std, full bool, err error) {
+	if d, ok := l.extra[path]; ok {
+		return d, false, true, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		// Standard-library packages import their vendored copies of
+		// golang.org/x/... under the source path; go list reports them
+		// with a vendor/ prefix.
+		lp, ok = l.listed["vendor/"+path]
+	}
+	if !ok {
+		// An import reached outside everything listed so far (a fixture
+		// importing a stdlib package, say). List it on demand.
+		if _, lerr := l.goList([]string{path}); lerr != nil {
+			return "", false, false, fmt.Errorf("cannot resolve import %q: %v", path, lerr)
+		}
+		if lp, ok = l.listed[path]; !ok {
+			return "", false, false, fmt.Errorf("cannot resolve import %q", path)
+		}
+	}
+	return lp.Dir, lp.Standard, !lp.Standard, nil
+}
+
+// parseDir parses the package's Go files. Listed packages use the exact
+// build-constraint-filtered file set from go list; fixture packages take
+// every non-test .go file in the directory.
+func (l *Loader) parseDir(path, dir string, full bool) ([]*ast.File, error) {
+	var names []string
+	if lp, ok := l.listed[path]; ok {
+		names = lp.GoFiles
+	} else if lp, ok := l.listed["vendor/"+path]; ok {
+		names = lp.GoFiles
+	} else {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("package %s (%s): no Go files", path, dir)
+	}
+	mode := parser.ParseComments | parser.SkipObjectResolution
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFor adapts the loader to types.ImporterFrom-style resolution. The
+// plain Importer interface is enough: import paths are canonical already
+// (go list resolved them), and fixtures use flat paths.
+func importerFor(l *Loader, _ string) types.Importer { return l }

@@ -1,0 +1,535 @@
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stegfs/internal/analysis/load"
+)
+
+// A Class is one lock class: a set of mutexes that share a position in a
+// documented lock hierarchy. A field annotated `lockcheck:level N dom/name`
+// declares (or joins) the class dom/name at level N; all stripes of a mutex
+// array belong to one class.
+type Class struct {
+	Name   string // canonical "domain/name", or an auto-generated guard name
+	Domain string
+	Level  int  // 0 = unleveled: guard discipline only, no order checking
+	NoIO   bool // device I/O must not happen while this class is held
+	Multi  bool // same-class nested acquisition is an audited pattern (ascending stripes)
+	Pos    token.Position
+}
+
+func (c *Class) String() string { return c.Name }
+
+// lockRef is a resolved reference to a class in a holds/acquire/release
+// directive. Shared references accept a read-side hold.
+type lockRef struct {
+	class  *Class
+	shared bool
+}
+
+// funcAnn carries the directives attached to one function, method, or
+// interface method.
+type funcAnn struct {
+	holds    []lockRef // preconditions: caller must hold these
+	acquires []lockRef // effects: held by the caller after the call returns
+	releases []lockRef // effects: no longer held after the call returns
+	io       bool      // performs device I/O (seed for the no-I/O-under-lock check)
+	returns  *Class    // returns a pointer to a mutex of this class
+}
+
+// rawDirective is an unresolved directive, collected in the first pass and
+// resolved once every class declaration is known.
+type rawDirective struct {
+	verb string // "guardedby", "holds", "acquire", "release", "returns"
+	args []string
+	pos  token.Pos
+	pkg  *load.Package
+	// context for name resolution:
+	owner *types.Named // enclosing struct type (guardedby) or receiver type (func directives)
+	obj   types.Object // the annotated field or function object
+}
+
+// program accumulates all annotation facts and analysis state across the
+// loaded packages.
+type program struct {
+	fset    *token.FileSet
+	classes map[string]*Class       // canonical name -> class
+	byObj   map[types.Object]*Class // mutex field/var -> class
+	guards  map[types.Object]*Class // guarded field/var -> guarding class
+	funcs   map[types.Object]*funcAnn
+	ignores map[string]map[int]bool // file -> lines carrying lockcheck:ignore
+	diags   []Diagnostic
+
+	summaries map[*types.Func]*summary
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Category string // "lockorder", "guarded", "io", "holds", "directive"
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Category, d.Message)
+}
+
+func newProgram(fset *token.FileSet) *program {
+	return &program{
+		fset:      fset,
+		classes:   make(map[string]*Class),
+		byObj:     make(map[types.Object]*Class),
+		guards:    make(map[types.Object]*Class),
+		funcs:     make(map[types.Object]*funcAnn),
+		ignores:   make(map[string]map[int]bool),
+		summaries: make(map[*types.Func]*summary),
+	}
+}
+
+func (p *program) errorf(pos token.Pos, category, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.fset.Position(pos),
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a diagnostic at position pos is covered by a
+// `lockcheck:ignore` on the same line or the line directly above.
+func (p *program) suppressed(pos token.Position) bool {
+	lines := p.ignores[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}
+
+// directive splits a "lockcheck:" comment line into verb and arguments.
+// Returns ok=false for ordinary comments.
+func directive(text string) (verb string, args []string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	// A nested "//" starts an unrelated trailing comment (fixtures put
+	// `// want ...` expectations there); it is not part of the directive.
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lockcheck:") {
+		return "", nil, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "lockcheck:"))
+	if len(fields) == 0 {
+		return "", nil, true
+	}
+	return fields[0], fields[1:], true
+}
+
+// collect gathers every lockcheck directive from the package's source. The
+// returned raw directives still need resolveRefs once all packages have
+// been collected.
+func (p *program) collect(pkg *load.Package) []rawDirective {
+	var raw []rawDirective
+	for _, file := range pkg.Files {
+		fname := p.fset.Position(file.Pos()).Filename
+		// lockcheck:ignore lines are positional, not attached to a declaration.
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, args, ok := directive(c.Text)
+				if !ok || verb != "ignore" {
+					continue
+				}
+				if len(args) == 0 {
+					p.errorf(c.Pos(), "directive", "lockcheck:ignore requires a reason")
+					continue
+				}
+				if p.ignores[fname] == nil {
+					p.ignores[fname] = make(map[int]bool)
+				}
+				p.ignores[fname][p.fset.Position(c.Pos()).Line] = true
+			}
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				raw = append(raw, p.collectFunc(pkg, d)...)
+			case *ast.GenDecl:
+				raw = append(raw, p.collectGen(pkg, d)...)
+			}
+		}
+	}
+	return raw
+}
+
+// collectFunc parses the directives on one function declaration.
+func (p *program) collectFunc(pkg *load.Package, d *ast.FuncDecl) []rawDirective {
+	obj := pkg.Info.Defs[d.Name]
+	if obj == nil {
+		return nil
+	}
+	var recv *types.Named
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv = namedOf(pkg.Info.TypeOf(d.Recv.List[0].Type))
+	}
+	return p.parseFuncDirectives(pkg, d.Doc, obj, recv)
+}
+
+// parseFuncDirectives handles the function-directive verbs; it is shared by
+// FuncDecls and interface methods.
+func (p *program) parseFuncDirectives(pkg *load.Package, doc *ast.CommentGroup, obj types.Object, recv *types.Named) []rawDirective {
+	if doc == nil {
+		return nil
+	}
+	var raw []rawDirective
+	for _, c := range doc.List {
+		verb, args, ok := directive(c.Text)
+		if !ok || verb == "ignore" {
+			continue
+		}
+		switch verb {
+		case "holds", "acquire", "release", "returns", "io":
+			if verb == "io" {
+				ann := p.funcAnnFor(obj)
+				ann.io = true
+				continue
+			}
+			if len(args) == 0 {
+				p.errorf(c.Pos(), "directive", "lockcheck:%s requires a lock class", verb)
+				continue
+			}
+			raw = append(raw, rawDirective{verb: verb, args: args, pos: c.Pos(), pkg: pkg, owner: recv, obj: obj})
+		case "level", "guardedby":
+			p.errorf(c.Pos(), "directive", "lockcheck:%s belongs on a mutex or field declaration, not a function", verb)
+		default:
+			p.errorf(c.Pos(), "directive", "unknown lockcheck directive %q", verb)
+		}
+	}
+	return raw
+}
+
+// collectGen parses directives on type and var declarations: struct fields
+// (level, guardedby), interface methods (io, holds, ...), package vars.
+func (p *program) collectGen(pkg *load.Package, d *ast.GenDecl) []rawDirective {
+	var raw []rawDirective
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				owner := namedOf(pkg.Info.TypeOf(s.Name))
+				for _, f := range t.Fields.List {
+					raw = append(raw, p.collectField(pkg, owner, f)...)
+				}
+			case *ast.InterfaceType:
+				for _, m := range t.Methods.List {
+					if len(m.Names) != 1 {
+						continue // embedded interface
+					}
+					obj := pkg.Info.Defs[m.Names[0]]
+					if obj == nil {
+						continue
+					}
+					raw = append(raw, p.parseFuncDirectives(pkg, pickDoc(m.Doc, m.Comment), obj, nil)...)
+				}
+			}
+		case *ast.ValueSpec:
+			// Package-level vars: a mutex var may carry a level directive.
+			doc := pickDoc(s.Doc, s.Comment)
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			if doc == nil || len(s.Names) == 0 {
+				continue
+			}
+			obj := pkg.Info.Defs[s.Names[0]]
+			if obj == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				verb, args, ok := directive(c.Text)
+				if !ok || verb == "ignore" {
+					continue
+				}
+				switch verb {
+				case "level":
+					p.declareClass(obj, args, c.Pos())
+				case "guardedby":
+					raw = append(raw, rawDirective{verb: verb, args: args, pos: c.Pos(), pkg: pkg, obj: obj})
+				default:
+					p.errorf(c.Pos(), "directive", "lockcheck:%s not valid on a package variable", verb)
+				}
+			}
+		}
+	}
+	return raw
+}
+
+// collectField parses directives on one struct field.
+func (p *program) collectField(pkg *load.Package, owner *types.Named, f *ast.Field) []rawDirective {
+	doc := pickDoc(f.Doc, f.Comment)
+	if doc == nil || len(f.Names) == 0 {
+		return nil
+	}
+	var raw []rawDirective
+	for _, name := range f.Names {
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			verb, args, ok := directive(c.Text)
+			if !ok || verb == "ignore" {
+				continue
+			}
+			switch verb {
+			case "level":
+				if !isMutexType(obj.Type()) {
+					p.errorf(c.Pos(), "directive", "lockcheck:level on %s, which is not a sync.Mutex/RWMutex (or array of them)", obj.Name())
+					continue
+				}
+				p.declareClass(obj, args, c.Pos())
+			case "guardedby":
+				raw = append(raw, rawDirective{verb: verb, args: args, pos: c.Pos(), pkg: pkg, owner: owner, obj: obj})
+			default:
+				p.errorf(c.Pos(), "directive", "lockcheck:%s not valid on a struct field", verb)
+			}
+		}
+	}
+	return raw
+}
+
+// declareClass handles `lockcheck:level N dom/name [noio] [multi]`.
+func (p *program) declareClass(obj types.Object, args []string, pos token.Pos) {
+	if len(args) < 2 {
+		p.errorf(pos, "directive", "lockcheck:level wants `level N domain/name [noio] [multi]`")
+		return
+	}
+	level, err := strconv.Atoi(args[0])
+	if err != nil || level <= 0 {
+		p.errorf(pos, "directive", "lockcheck:level %q: level must be a positive integer", args[0])
+		return
+	}
+	name := args[0+1]
+	domain := "default"
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		domain, name = name[:i], name[i+1:]
+	}
+	if name == "" || domain == "" {
+		p.errorf(pos, "directive", "lockcheck:level: empty class or domain name")
+		return
+	}
+	canonical := domain + "/" + name
+	var noio, multi bool
+	for _, f := range args[2:] {
+		switch f {
+		case "noio":
+			noio = true
+		case "multi":
+			multi = true
+		default:
+			p.errorf(pos, "directive", "lockcheck:level: unknown flag %q", f)
+		}
+	}
+	c := p.classes[canonical]
+	if c == nil {
+		c = &Class{Name: canonical, Domain: domain, Level: level, NoIO: noio, Multi: multi, Pos: p.fset.Position(pos)}
+		p.classes[canonical] = c
+	} else if c.Level != level {
+		p.errorf(pos, "directive", "lock class %s redeclared at level %d (previously %d at %s)", canonical, level, c.Level, c.Pos)
+		return
+	} else {
+		c.NoIO = c.NoIO || noio
+		c.Multi = c.Multi || multi
+	}
+	p.byObj[obj] = c
+}
+
+// resolveRefs resolves the second-pass directives now that every class is
+// declared.
+func (p *program) resolveRefs(raw []rawDirective) {
+	for _, r := range raw {
+		switch r.verb {
+		case "guardedby":
+			if len(r.args) != 1 {
+				p.errorf(r.pos, "directive", "lockcheck:guardedby wants exactly one mutex reference")
+				continue
+			}
+			class := p.resolveClassRef(r.pkg, r.owner, r.args[0], r.pos)
+			if class == nil {
+				continue
+			}
+			p.guards[r.obj] = class
+		case "holds", "acquire", "release":
+			ref, ok := p.resolveLockRef(r)
+			if !ok {
+				continue
+			}
+			ann := p.funcAnnFor(r.obj)
+			switch r.verb {
+			case "holds":
+				ann.holds = append(ann.holds, ref)
+			case "acquire":
+				ann.acquires = append(ann.acquires, ref)
+			case "release":
+				ann.releases = append(ann.releases, ref)
+			}
+		case "returns":
+			class := p.resolveClassRef(r.pkg, r.owner, r.args[0], r.pos)
+			if class == nil {
+				continue
+			}
+			p.funcAnnFor(r.obj).returns = class
+		}
+	}
+}
+
+func (p *program) resolveLockRef(r rawDirective) (lockRef, bool) {
+	shared := false
+	args := r.args
+	if len(args) == 2 && args[1] == "shared" {
+		shared = true
+		args = args[:1]
+	}
+	if len(args) != 1 {
+		p.errorf(r.pos, "directive", "lockcheck:%s wants `<class> [shared]`", r.verb)
+		return lockRef{}, false
+	}
+	class := p.resolveClassRef(r.pkg, r.owner, args[0], r.pos)
+	if class == nil {
+		return lockRef{}, false
+	}
+	return lockRef{class: class, shared: shared}, true
+}
+
+// resolveClassRef resolves a class reference appearing in a directive.
+// Accepted forms, tried in order:
+//
+//  1. "domain/name" — a declared class, looked up directly.
+//  2. a field name of the owning struct / receiver type whose field is an
+//     annotated mutex (or an unannotated one, which becomes an unleveled
+//     guard-only class);
+//  3. a bare class name unique across all declared domains;
+//  4. a package-level mutex var of the directive's package.
+func (p *program) resolveClassRef(pkg *load.Package, owner *types.Named, ref string, pos token.Pos) *Class {
+	if strings.Contains(ref, "/") {
+		if c := p.classes[ref]; c != nil {
+			return c
+		}
+		p.errorf(pos, "directive", "unknown lock class %q", ref)
+		return nil
+	}
+	if owner != nil {
+		if st, ok := owner.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if f.Name() != ref {
+					continue
+				}
+				if !isMutexType(f.Type()) {
+					p.errorf(pos, "directive", "%s.%s is not a mutex", owner.Obj().Name(), ref)
+					return nil
+				}
+				return p.classForMutex(f)
+			}
+		}
+	}
+	var found *Class
+	for name, c := range p.classes {
+		if strings.TrimPrefix(name, c.Domain+"/") == ref {
+			if found != nil {
+				p.errorf(pos, "directive", "class name %q is ambiguous (%s vs %s); qualify with a domain", ref, found.Name, c.Name)
+				return nil
+			}
+			found = c
+		}
+	}
+	if found != nil {
+		return found
+	}
+	if pkg != nil {
+		if obj := pkg.Types.Scope().Lookup(ref); obj != nil && isMutexType(obj.Type()) {
+			return p.classForMutex(obj)
+		}
+	}
+	p.errorf(pos, "directive", "cannot resolve lock reference %q", ref)
+	return nil
+}
+
+// classForMutex returns the class of an annotated mutex object, creating an
+// unleveled guard-only class for unannotated ones.
+func (p *program) classForMutex(obj types.Object) *Class {
+	if c := p.byObj[obj]; c != nil {
+		return c
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Name() + "." + name
+	}
+	c := &Class{Name: name, Domain: "default", Pos: p.fset.Position(obj.Pos())}
+	p.byObj[obj] = c
+	return c
+}
+
+func (p *program) funcAnnFor(obj types.Object) *funcAnn {
+	ann := p.funcs[obj]
+	if ann == nil {
+		ann = &funcAnn{}
+		p.funcs[obj] = ann
+	}
+	return ann
+}
+
+// sortDiags orders diagnostics by file position.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+func pickDoc(doc, comment *ast.CommentGroup) *ast.CommentGroup {
+	if doc != nil && comment != nil {
+		return &ast.CommentGroup{List: append(append([]*ast.Comment{}, doc.List...), comment.List...)}
+	}
+	if doc != nil {
+		return doc
+	}
+	return comment
+}
+
+// namedOf unwraps pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, a pointer to
+// one, or an array of them (lock stripes).
+func isMutexType(t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		return isMutexType(tt.Elem())
+	case *types.Array:
+		return isMutexType(tt.Elem())
+	case *types.Named:
+		obj := tt.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+	}
+	return false
+}

@@ -1,0 +1,845 @@
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stegfs/internal/analysis/load"
+)
+
+// holdKind distinguishes shared (RLock) from exclusive holds. Exclusive
+// satisfies any requirement; shared satisfies reads and `shared` refs.
+type holdKind int
+
+const (
+	holdShared holdKind = iota
+	holdExclusive
+)
+
+// heldSet maps each held class to the strongest kind of hold on it.
+type heldSet map[*Class]holdKind
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps only classes held on both paths (with the weaker kind), so a
+// conditional unlock never leaves a phantom hold behind.
+func (h heldSet) merge(o heldSet) heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		if ov, ok := o[k]; ok {
+			if ov < v {
+				v = ov
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (h heldSet) maxLevel(domain string) (int, *Class) {
+	max, maxc := 0, (*Class)(nil)
+	for c := range h {
+		if c.Domain == domain && c.Level > max {
+			max, maxc = c.Level, c
+		}
+	}
+	return max, maxc
+}
+
+// summary is what a function may do to locks, transitively through its
+// (statically resolvable) callees. It is the in-process analogue of an
+// exported analysis Fact.
+type summary struct {
+	acquires map[*Class]bool // classes the function may lock, however briefly
+	io       bool            // may perform device I/O
+	callees  map[*types.Func]bool
+}
+
+// walkMode selects what the walker produces: summaries first (call graph +
+// direct effects, no diagnostics), then diagnostics once every summary has
+// reached its fixed point.
+type walkMode int
+
+const (
+	modeSummarize walkMode = iota
+	modeDiagnose
+)
+
+// funcWalker walks one function body tracking the set of held lock classes
+// through straight-line control flow. The tracking is deliberately simple —
+// branches are analyzed independently and joined by intersection, loops are
+// analyzed once with the pre-loop state — which matches the lock...defer
+// unlock discipline this codebase uses everywhere; genuinely clever flows
+// get a lockcheck:ignore with a written rationale instead of a cleverer
+// analyzer.
+type funcWalker struct {
+	prog *program
+	pkg  *load.Package
+	mode walkMode
+	sum  *summary
+
+	held    heldSet
+	locals  map[types.Object]*Class // local vars that alias an annotated mutex
+	fresh   map[types.Object]bool   // locals holding a not-yet-shared allocation
+	inGo    bool                    // inside a `go func(){...}` literal
+	dead    bool                    // after return/panic on this path
+	results []heldSet               // held sets at each normal exit (unused today, kept for joins)
+}
+
+// lockMethodKind classifies the sync.Mutex/RWMutex method set. Try variants
+// never block, so they can never deadlock and are exempt from ordering
+// diagnostics; their hold is branch-conditional (see the IfStmt case).
+var lockMethods = map[string]struct {
+	acquire bool
+	try     bool
+	kind    holdKind
+}{
+	"Lock":     {acquire: true, kind: holdExclusive},
+	"TryLock":  {acquire: true, try: true, kind: holdExclusive},
+	"RLock":    {acquire: true, kind: holdShared},
+	"TryRLock": {acquire: true, try: true, kind: holdShared},
+	"Unlock":   {kind: holdExclusive},
+	"RUnlock":  {kind: holdShared},
+}
+
+func (p *program) analyzeFunc(pkg *load.Package, decl *ast.FuncDecl, mode walkMode, sum *summary) {
+	if decl.Body == nil {
+		return
+	}
+	obj, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	w := &funcWalker{
+		prog:   p,
+		pkg:    pkg,
+		mode:   mode,
+		sum:    sum,
+		held:   make(heldSet),
+		locals: make(map[types.Object]*Class),
+		fresh:  make(map[types.Object]bool),
+	}
+	if ann := p.funcs[obj]; ann != nil {
+		for _, h := range ann.holds {
+			kind := holdExclusive
+			if h.shared {
+				kind = holdShared
+			}
+			w.held[h.class] = kind
+		}
+	}
+	w.walkStmt(decl.Body)
+}
+
+func (w *funcWalker) emit(pos token.Pos, category, format string, args ...any) {
+	if w.mode != modeDiagnose {
+		return
+	}
+	position := w.prog.fset.Position(pos)
+	if w.prog.suppressed(position) {
+		return
+	}
+	w.prog.errorf(pos, category, format, args...)
+}
+
+// ---------------------------------------------------------------- statements
+
+func (w *funcWalker) walkStmt(s ast.Stmt) {
+	if s == nil || w.dead {
+		return
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, s2 := range st.List {
+			w.walkStmt(s2)
+		}
+	case *ast.ExprStmt:
+		w.walkExpr(st.X, false)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.walkExpr(r, false)
+		}
+		for i, l := range st.Lhs {
+			w.walkWrite(l)
+			if i < len(st.Rhs) {
+				w.recordLocal(l, st.Rhs[i], st.Tok)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.walkExpr(v, false)
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						w.recordLocalIdent(name, vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.walkWrite(st.X)
+	case *ast.DeferStmt:
+		w.walkDeferOrGo(st.Call, false)
+	case *ast.GoStmt:
+		w.walkDeferOrGo(st.Call, true)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.walkExpr(r, false)
+		}
+		w.dead = true
+	case *ast.IfStmt:
+		w.walkStmt(st.Init)
+		// `if mu.TryLock() { ... }` (or the negated form): the hold exists
+		// only on the branch where the try succeeded.
+		tryClass, tryKind, tryNegated, isTry := w.tryLockCond(st.Cond)
+		if !isTry {
+			w.walkExpr(st.Cond, false)
+		}
+		entry := w.held.clone()
+		if isTry && tryClass != nil && !tryNegated {
+			w.acquireTry(tryClass, tryKind)
+		}
+		w.walkStmt(st.Body)
+		thenHeld, thenDead := w.held, w.dead
+		w.held, w.dead = entry.clone(), false
+		if isTry && tryClass != nil && tryNegated {
+			w.acquireTry(tryClass, tryKind)
+		}
+		if st.Else != nil {
+			w.walkStmt(st.Else)
+		}
+		elseHeld, elseDead := w.held, w.dead
+		switch {
+		case thenDead && elseDead:
+			w.dead = true
+		case thenDead:
+			w.held, w.dead = elseHeld, false
+		case elseDead:
+			w.held, w.dead = thenHeld, false
+		default:
+			w.held, w.dead = thenHeld.merge(elseHeld), false
+		}
+	case *ast.ForStmt:
+		w.walkStmt(st.Init)
+		w.walkExpr(st.Cond, false)
+		entry := w.held.clone()
+		w.walkStmt(st.Body)
+		w.walkStmt(st.Post)
+		// Loops are analyzed once; the post-loop state is the pre-loop
+		// state (lock/unlock pairs inside a body balance out, and a `for
+		// { Lock() }` sweep is checked inside the body on its first step).
+		w.held, w.dead = entry, false
+	case *ast.RangeStmt:
+		w.walkExpr(st.X, false)
+		if st.Key != nil {
+			w.walkWrite(st.Key)
+		}
+		if st.Value != nil {
+			w.walkWrite(st.Value)
+		}
+		entry := w.held.clone()
+		w.walkStmt(st.Body)
+		w.held, w.dead = entry, false
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkExpr(st.Tag, false)
+		w.walkCases(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkStmt(st.Assign)
+		w.walkCases(st.Body)
+	case *ast.SelectStmt:
+		w.walkCases(st.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.SendStmt:
+		w.walkExpr(st.Chan, false)
+		w.walkExpr(st.Value, false)
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as path end for held-state purposes.
+		if st.Tok == token.BREAK || st.Tok == token.CONTINUE {
+			w.dead = true
+		}
+	}
+}
+
+// walkCases analyzes each case clause independently from the entry state
+// and restores the entry state after (cases rarely change lock state).
+func (w *funcWalker) walkCases(body *ast.BlockStmt) {
+	entry := w.held.clone()
+	for _, c := range body.List {
+		w.held, w.dead = entry.clone(), false
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.walkExpr(e, false)
+			}
+			for _, s := range cc.Body {
+				w.walkStmt(s)
+			}
+		case *ast.CommClause:
+			w.walkStmt(cc.Comm)
+			for _, s := range cc.Body {
+				w.walkStmt(s)
+			}
+		}
+	}
+	w.held, w.dead = entry, false
+}
+
+// walkDeferOrGo handles `defer f(...)` and `go f(...)`. Deferred unlocks
+// keep the lock held for the remainder of the function (which is exactly
+// how defer behaves); closure bodies run with an empty held set — a
+// goroutine starts fresh, and a deferred closure runs at exits where this
+// walker cannot know what is still held.
+func (w *funcWalker) walkDeferOrGo(call *ast.CallExpr, isGo bool) {
+	for _, a := range call.Args {
+		w.walkExpr(a, false)
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		w.walkClosure(lit, isGo)
+		return
+	}
+	// defer mu.Unlock() / defer t.Unfreeze(): the release happens at
+	// function end, so the class simply stays held for the rest of the
+	// walk — no state change now. Acquisitions in `go` statements belong
+	// to the new goroutine, not this one. Other deferred calls (cleanups)
+	// still contribute to the summary below.
+	if class, acquire, _, _, ok := w.lockCall(call); ok {
+		if acquire && !isGo && class != nil {
+			// `defer mu.Lock()` is almost certainly a bug, but it is a vet
+			// concern, not a hierarchy one; record the acquisition only.
+			w.recordAcquire(class)
+		}
+		return
+	}
+	if callee := w.staticCallee(call); callee != nil && !isGo {
+		w.recordCallee(callee)
+	}
+}
+
+// walkClosure analyzes a function literal with an empty held set.
+func (w *funcWalker) walkClosure(lit *ast.FuncLit, isGo bool) {
+	inner := &funcWalker{
+		prog:   w.prog,
+		pkg:    w.pkg,
+		mode:   w.mode,
+		sum:    w.sum,
+		held:   make(heldSet),
+		locals: w.locals, // closures capture enclosing mutex aliases
+		fresh:  w.fresh,
+		inGo:   w.inGo || isGo,
+	}
+	inner.walkStmt(lit.Body)
+}
+
+// ---------------------------------------------------------------- expressions
+
+func (w *funcWalker) walkWrite(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		w.checkAccess(x, nil, true)
+	case *ast.SelectorExpr:
+		w.walkExpr(x.X, false)
+		w.checkAccess(x.Sel, x, true)
+	case *ast.IndexExpr:
+		// m[k] = v mutates the container: the container access is a write.
+		w.walkWrite(x.X)
+		w.walkExpr(x.Index, false)
+	case *ast.StarExpr:
+		w.walkExpr(x.X, false)
+	default:
+		w.walkExpr(e, false)
+	}
+}
+
+func (w *funcWalker) walkExpr(e ast.Expr, _ bool) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.Ident:
+		w.checkAccess(x, nil, false)
+	case *ast.SelectorExpr:
+		w.walkExpr(x.X, false)
+		w.checkAccess(x.Sel, x, false)
+	case *ast.CallExpr:
+		w.walkCall(x)
+	case *ast.FuncLit:
+		w.walkClosure(x, false)
+	case *ast.UnaryExpr:
+		w.walkExpr(x.X, false)
+	case *ast.BinaryExpr:
+		w.walkExpr(x.X, false)
+		w.walkExpr(x.Y, false)
+	case *ast.ParenExpr:
+		w.walkExpr(x.X, false)
+	case *ast.StarExpr:
+		w.walkExpr(x.X, false)
+	case *ast.IndexExpr:
+		w.walkExpr(x.X, false)
+		w.walkExpr(x.Index, false)
+	case *ast.SliceExpr:
+		w.walkExpr(x.X, false)
+		w.walkExpr(x.Low, false)
+		w.walkExpr(x.High, false)
+		w.walkExpr(x.Max, false)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(x.X, false)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.walkExpr(kv.Value, false)
+				continue
+			}
+			w.walkExpr(el, false)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(x.Key, false)
+		w.walkExpr(x.Value, false)
+	}
+}
+
+// walkCall handles every call expression: direct mutex operations,
+// annotated wrappers, and ordinary calls checked against their summaries.
+func (w *funcWalker) walkCall(call *ast.CallExpr) {
+	// Immediately-invoked literal: runs here, under the current locks.
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			w.walkExpr(a, false)
+		}
+		inner := &funcWalker{prog: w.prog, pkg: w.pkg, mode: w.mode, sum: w.sum,
+			held: w.held, locals: w.locals, fresh: w.fresh, inGo: w.inGo}
+		inner.walkStmt(lit.Body)
+		return
+	}
+
+	if class, acquire, kind, try, ok := w.lockCall(call); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			w.walkExpr(sel.X, false)
+		}
+		if class == nil {
+			return // untracked mutex (no annotation reaches it)
+		}
+		switch {
+		case acquire && try:
+			// A try-acquire outside an if condition: the result decides
+			// whether the lock is held, which this walker does not track.
+			// Record it for the summary but leave the held set alone.
+			w.recordAcquire(class)
+		case acquire:
+			w.acquire(class, kind, call.Pos())
+		default:
+			w.release(class, kind)
+		}
+		return
+	}
+
+	// Walk receiver and arguments first (they may themselves lock).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.walkExpr(sel.X, false)
+		w.checkAccess(sel.Sel, sel, false)
+	} else {
+		w.walkExpr(call.Fun, false)
+	}
+	for _, a := range call.Args {
+		w.walkExpr(a, false)
+	}
+
+	callee := w.staticCallee(call)
+	if callee == nil {
+		return
+	}
+	w.recordCallee(callee)
+	ann := w.prog.funcs[callee]
+
+	if w.mode == modeDiagnose {
+		w.checkCallSite(call, callee, ann)
+	}
+
+	// Apply annotated effects to the held set.
+	if ann != nil {
+		for _, r := range ann.releases {
+			kind := holdExclusive
+			if r.shared {
+				kind = holdShared
+			}
+			w.release(r.class, kind)
+		}
+		for _, a := range ann.acquires {
+			kind := holdExclusive
+			if a.shared {
+				kind = holdShared
+			}
+			w.acquire(a.class, kind, call.Pos())
+		}
+	}
+}
+
+// checkCallSite verifies holds preconditions, summary-based lock ordering,
+// and the no-I/O-under-lock rule for one resolved call.
+func (w *funcWalker) checkCallSite(call *ast.CallExpr, callee *types.Func, ann *funcAnn) {
+	// A method called on a freshly allocated, not-yet-shared receiver (the
+	// constructor idiom `v := &Volume{...}; v.loadInodes()`) needs no lock:
+	// no other goroutine can reach the object yet.
+	freshRecv := false
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		freshRecv = w.baseIsFresh(sel.X)
+	}
+	if ann != nil && !freshRecv {
+		for _, h := range ann.holds {
+			kind, ok := w.held[h.class]
+			switch {
+			case !ok:
+				w.emit(call.Pos(), "holds", "call to %s requires holding %s", callee.Name(), h.class)
+			case !h.shared && kind != holdExclusive:
+				w.emit(call.Pos(), "holds", "call to %s requires %s exclusive, but only a shared hold is in scope", callee.Name(), h.class)
+			}
+		}
+	}
+	sum := w.prog.summaries[callee]
+	if sum == nil {
+		return
+	}
+	// Lock-order through the call graph: the callee may acquire a class at
+	// or below a level we already hold in the same domain. Classes in the
+	// callee's own `holds` list are exempt: such a callee runs with the
+	// class held by contract and may transiently release and reacquire it
+	// (the flush-pipeline pattern); the reacquire is flow-checked inside
+	// the callee's body.
+	annAcquires := map[*Class]bool{}
+	if ann != nil {
+		for _, a := range ann.acquires {
+			annAcquires[a.class] = true
+		}
+		for _, h := range ann.holds {
+			annAcquires[h.class] = true
+		}
+	}
+	for c := range sum.acquires {
+		if annAcquires[c] {
+			continue // the explicit acquire effect is checked by acquire()
+		}
+		if _, ok := w.held[c]; ok && !c.Multi {
+			w.emit(call.Pos(), "lockorder", "call to %s may acquire %s, which is already held", callee.Name(), c)
+			continue
+		}
+		if c.Level == 0 {
+			continue
+		}
+		if max, maxc := w.held.maxLevel(c.Domain); max >= c.Level && maxc != c {
+			w.emit(call.Pos(), "lockorder",
+				"call to %s may acquire %s (level %d) while holding %s (level %d)",
+				callee.Name(), c, c.Level, maxc, max)
+		}
+	}
+	// No I/O under a noio lock. A held class listed in the callee's own
+	// `holds` annotation is skipped here: that callee's body is analyzed
+	// with the class held, so any I/O under it is diagnosed at the exact
+	// offending line inside the callee instead of cascading to every
+	// *Locked helper call site.
+	if sum.io || (ann != nil && ann.io) {
+		calleeHolds := map[*Class]bool{}
+		if ann != nil {
+			for _, h := range ann.holds {
+				calleeHolds[h.class] = true
+			}
+		}
+		for c := range w.held {
+			if c.NoIO && !calleeHolds[c] {
+				w.emit(call.Pos(), "io", "call to %s may perform device I/O while holding %s", callee.Name(), c)
+			}
+		}
+	}
+}
+
+// acquire records that class becomes held here, diagnosing hierarchy
+// violations at the acquisition site.
+func (w *funcWalker) acquire(class *Class, kind holdKind, pos token.Pos) {
+	w.recordAcquire(class)
+	if w.mode == modeDiagnose {
+		if prev, ok := w.held[class]; ok && !class.Multi {
+			verb := "held"
+			if prev == holdShared {
+				verb = "held shared"
+			}
+			w.emit(pos, "lockorder", "%s acquired while already %s (self-deadlock or unordered reentry)", class, verb)
+		} else if class.Level > 0 {
+			if max, maxc := w.held.maxLevel(class.Domain); maxc != nil && maxc != class && class.Level <= max {
+				w.emit(pos, "lockorder", "%s (level %d) acquired while holding %s (level %d); the %s hierarchy runs low to high",
+					class, class.Level, maxc, max, class.Domain)
+			}
+		}
+	}
+	if prev, ok := w.held[class]; !ok || kind > prev {
+		w.held[class] = kind
+	}
+}
+
+// release removes a hold. Releasing a class that is not in the tracked set
+// is not diagnosed: wrappers (Unlock methods, gate transfers) routinely
+// release locks their caller acquired.
+func (w *funcWalker) release(class *Class, _ holdKind) {
+	delete(w.held, class)
+}
+
+func (w *funcWalker) recordAcquire(class *Class) {
+	if w.mode == modeSummarize && w.sum != nil && !w.inGo {
+		w.sum.acquires[class] = true
+	}
+}
+
+func (w *funcWalker) recordCallee(callee *types.Func) {
+	if w.mode == modeSummarize && w.sum != nil && !w.inGo {
+		w.sum.callees[callee] = true
+	}
+}
+
+// lockCall recognizes `x.Lock()` / `x.RLock()` / ... where x is a
+// sync.Mutex or sync.RWMutex, and resolves x to its lock class. ok reports
+// that the call is a mutex operation (even if the class is unknown).
+func (w *funcWalker) lockCall(call *ast.CallExpr) (class *Class, acquire bool, kind holdKind, try bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, 0, false, false
+	}
+	m, known := lockMethods[sel.Sel.Name]
+	if !known {
+		return nil, false, 0, false, false
+	}
+	selection := w.pkg.Info.Selections[sel]
+	if selection == nil {
+		return nil, false, 0, false, false
+	}
+	f, isFunc := selection.Obj().(*types.Func)
+	if !isFunc || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, false, 0, false, false
+	}
+	if recv := namedOf(recvType(f)); recv == nil || (recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return nil, false, 0, false, false
+	}
+	return w.resolveClassExpr(sel.X), m.acquire, m.kind, m.try, true
+}
+
+// tryLockCond recognizes an if condition that is exactly `x.TryLock()` /
+// `x.TryRLock()` or its negation.
+func (w *funcWalker) tryLockCond(cond ast.Expr) (class *Class, kind holdKind, negated bool, ok bool) {
+	e := cond
+	if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		e, negated = u.X, true
+	}
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return nil, 0, false, false
+	}
+	c, acquire, k, try, isLock := w.lockCall(call)
+	if !isLock || !acquire || !try {
+		return nil, 0, false, false
+	}
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		w.walkExpr(sel.X, false)
+	}
+	return c, k, negated, true
+}
+
+// acquireTry records a successful try-acquire: the class becomes held and
+// enters the summary, but no ordering diagnostic fires — a non-blocking
+// acquire cannot participate in a deadlock cycle.
+func (w *funcWalker) acquireTry(class *Class, kind holdKind) {
+	w.recordAcquire(class)
+	if prev, ok := w.held[class]; !ok || kind > prev {
+		w.held[class] = kind
+	}
+}
+
+func recvType(f *types.Func) types.Type {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// resolveClassExpr maps an expression denoting a mutex to its lock class:
+// field selectors, stripe-array indexing, annotated accessor calls
+// (lockcheck:returns), and single-assignment local aliases.
+func (w *funcWalker) resolveClassExpr(e ast.Expr) *Class {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return w.resolveClassExpr(x.X)
+	case *ast.StarExpr:
+		return w.resolveClassExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.resolveClassExpr(x.X)
+		}
+	case *ast.IndexExpr:
+		return w.resolveClassExpr(x.X)
+	case *ast.SelectorExpr:
+		if selection := w.pkg.Info.Selections[x]; selection != nil {
+			if c := w.prog.byObj[selection.Obj()]; c != nil {
+				return c
+			}
+		}
+		// Qualified package identifier (pkg.Var).
+		if obj := w.pkg.Info.Uses[x.Sel]; obj != nil {
+			return w.prog.byObj[obj]
+		}
+	case *ast.Ident:
+		if obj := w.pkg.Info.Uses[x]; obj != nil {
+			if c := w.prog.byObj[obj]; c != nil {
+				return c
+			}
+			return w.locals[obj]
+		}
+	case *ast.CallExpr:
+		if callee := w.staticCallee(x); callee != nil {
+			if ann := w.prog.funcs[callee]; ann != nil {
+				return ann.returns
+			}
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves the called function object, if the call target is
+// statically known (direct function, method value on a concrete receiver,
+// or interface method).
+func (w *funcWalker) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := w.pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := w.pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.ParenExpr:
+		return w.staticCallee(&ast.CallExpr{Fun: fun.X, Args: call.Args})
+	}
+	return nil
+}
+
+// recordLocal tracks `m := &fs.createMu[i]` style aliases and fresh
+// allocations (`c := &Cache{...}`) for guard-exemption.
+func (w *funcWalker) recordLocal(lhs ast.Expr, rhs ast.Expr, tok token.Token) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	w.recordLocalIdent(id, rhs)
+	_ = tok
+}
+
+func (w *funcWalker) recordLocalIdent(id *ast.Ident, rhs ast.Expr) {
+	obj := w.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = w.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if c := w.resolveClassExpr(rhs); c != nil {
+		w.locals[obj] = c
+		return
+	}
+	delete(w.locals, obj)
+	// A pointer derived from a fresh allocation (`g := &a.groups[i]` with a
+	// fresh `a`) is itself unreachable from other goroutines.
+	w.fresh[obj] = isFreshExpr(rhs) || w.baseIsFresh(rhs)
+}
+
+// isFreshExpr reports whether e allocates an object no other goroutine can
+// reach yet (guard checks do not apply through it).
+func isFreshExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, lit := x.X.(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAccess enforces guardedby on a resolved identifier use. sel is the
+// selector expression when the identifier is a field selection.
+func (w *funcWalker) checkAccess(id *ast.Ident, sel *ast.SelectorExpr, write bool) {
+	if w.mode != modeDiagnose {
+		return
+	}
+	var obj types.Object
+	if sel != nil {
+		if selection := w.pkg.Info.Selections[sel]; selection != nil {
+			obj = selection.Obj()
+		} else {
+			obj = w.pkg.Info.Uses[id]
+		}
+	} else {
+		obj = w.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	guard := w.prog.guards[obj]
+	if guard == nil {
+		return
+	}
+	if sel != nil && w.baseIsFresh(sel.X) {
+		return
+	}
+	kind, held := w.held[guard]
+	switch {
+	case !held:
+		mode := "read"
+		if write {
+			mode = "write to"
+		}
+		w.emit(id.Pos(), "guarded", "%s %s without holding %s", mode, obj.Name(), guard)
+	case write && kind != holdExclusive:
+		w.emit(id.Pos(), "guarded", "write to %s with only a shared hold of %s", obj.Name(), guard)
+	}
+}
+
+// baseIsFresh walks to the root identifier of a selector chain and reports
+// whether it is a fresh (unshared) local allocation.
+func (w *funcWalker) baseIsFresh(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := w.pkg.Info.Uses[x]
+			return obj != nil && w.fresh[obj]
+		default:
+			return false
+		}
+	}
+}

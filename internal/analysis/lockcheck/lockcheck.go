@@ -1,0 +1,148 @@
+// Package lockcheck statically enforces the repository's documented lock
+// hierarchies (ROADMAP.md "Concurrency contract") from machine-readable
+// annotations. It implements three checks:
+//
+//  1. lock-order: a mutex annotated `// lockcheck:level N domain/name` may
+//     only be acquired when every lock already held in the same domain has
+//     a strictly lower level. The check is interprocedural: each function
+//     carries a summary of every class it may (transitively) acquire, so
+//     holding fs.mu while calling into something that eventually locks
+//     nsMu is flagged at the call site.
+//  2. guarded fields: a struct field annotated `// lockcheck:guardedby mu`
+//     may only be read while its guard is held (shared or exclusive) and
+//     only be written under an exclusive hold. Functions annotated
+//     `// lockcheck:holds mu` assert the caller provides the hold, and
+//     call sites of such functions are checked for it.
+//  3. no-I/O-under-lock: functions reachable from a vdisk.Device /
+//     vdisk.BatchDevice method (seeded by `// lockcheck:io` annotations)
+//     must not be called while a `noio`-flagged mutex — the block cache and
+//     page cache map mutexes — is held. This pins the single-flight miss
+//     path and the flush pipeline's submit-outside-the-mutex design.
+//
+// False positives are silenced in place with `// lockcheck:ignore <reason>`
+// on the offending line or the line above; the reason is mandatory. See
+// docs/ANALYSIS.md for the full annotation grammar and the level maps.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stegfs/internal/analysis/load"
+)
+
+// Analyze runs all lockcheck checks over the target packages. The loader
+// must be the one that loaded them: annotations and function summaries are
+// collected from every module package in its cache (the in-process stand-in
+// for go/analysis fact propagation), so cross-package contracts hold even
+// when only a subset of packages is being diagnosed.
+func Analyze(l *load.Loader, targets []*load.Package) []Diagnostic {
+	prog := newProgram(l.Fset)
+
+	// Pass 1: collect annotations from every module (non-stdlib) package.
+	scope := l.Loaded()
+	var raw []rawDirective
+	for _, pkg := range scope {
+		if pkg.Std {
+			continue
+		}
+		raw = append(raw, prog.collect(pkg)...)
+	}
+	prog.resolveRefs(raw)
+
+	// Pass 2: per-function summaries, then propagate to a fixed point.
+	prog.buildSummaries(scope)
+
+	// Pass 3: flow-sensitive diagnostics over the target packages.
+	for _, pkg := range targets {
+		if len(pkg.TypeErrors) > 0 {
+			prog.errorf(pkg.Files[0].Pos(), "directive",
+				"package %s does not type-check (%d errors); lockcheck skipped it: %v",
+				pkg.Path, len(pkg.TypeErrors), pkg.TypeErrors[0])
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					prog.analyzeFunc(pkg, fd, modeDiagnose, nil)
+				}
+			}
+		}
+	}
+
+	sortDiags(prog.diags)
+	return prog.diags
+}
+
+// buildSummaries computes, for every function in the module packages, the
+// set of lock classes it may acquire and whether it may reach device I/O,
+// then propagates both through the static call graph to a fixed point.
+func (p *program) buildSummaries(pkgs []*load.Package) {
+	// Seed: direct effects observed in each body.
+	for _, pkg := range pkgs {
+		if pkg.Std {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				p.analyzeFunc(pkg, fd, modeSummarize, p.summaryFor(obj))
+			}
+		}
+	}
+	// Fold annotation-declared effects into the seeds. This covers
+	// interface methods (no bodies): a call through vdisk.Device.WriteBlock
+	// or a `lockcheck:acquire`-annotated interface still taints callers.
+	for obj, ann := range p.funcs {
+		f, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sum := p.summaryFor(f)
+		for _, a := range ann.acquires {
+			sum.acquires[a.class] = true
+		}
+		if ann.io {
+			sum.io = true
+		}
+	}
+
+	// Fixed point: propagate callee effects into callers.
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range p.summaries {
+			for callee := range sum.callees {
+				csum := p.summaries[callee]
+				if csum == nil {
+					continue
+				}
+				for c := range csum.acquires {
+					if !sum.acquires[c] {
+						sum.acquires[c] = true
+						changed = true
+					}
+				}
+				if csum.io && !sum.io {
+					sum.io = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (p *program) summaryFor(f *types.Func) *summary {
+	sum := p.summaries[f]
+	if sum == nil {
+		sum = &summary{acquires: make(map[*Class]bool), callees: make(map[*types.Func]bool)}
+		p.summaries[f] = sum
+	}
+	return sum
+}

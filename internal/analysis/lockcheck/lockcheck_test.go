@@ -1,0 +1,202 @@
+package lockcheck
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"stegfs/internal/analysis/load"
+)
+
+// moduleDir walks up from the working directory to the go.mod root, so the
+// loader's `go list` calls resolve the module no matter where `go test`
+// runs the package.
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		if filepath.Dir(d) == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+	}
+}
+
+// runFixtures loads the named testdata/src packages (each import path is
+// its directory name) and returns the diagnostics.
+func runFixtures(t *testing.T, names ...string) []Diagnostic {
+	t.Helper()
+	l := load.NewLoader(moduleDir(t))
+	for _, n := range names {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.AddFixture(n, dir)
+	}
+	pkgs, err := l.Fixtures(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", p.Path, p.TypeErrors[0])
+		}
+	}
+	return Analyze(l, pkgs)
+}
+
+// wantRe matches `// want` expectation comments carrying one or more
+// backquoted regular expressions, analysistest-style.
+var wantRe = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)$")
+
+// expectation is one unmatched `// want` regex.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans fixture sources for expectation comments.
+func collectWants(t *testing.T, names ...string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, n := range names {
+		dir := filepath.Join("testdata", "src", n)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			abs, _ := filepath.Abs(path)
+			sc := bufio.NewScanner(f)
+			for lineno := 1; sc.Scan(); lineno++ {
+				m := wantRe.FindStringSubmatch(sc.Text())
+				if m == nil {
+					continue
+				}
+				for _, quoted := range regexp.MustCompile("`[^`]*`").FindAllString(m[1], -1) {
+					re, err := regexp.Compile(quoted[1 : len(quoted)-1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", path, lineno, err)
+					}
+					wants = append(wants, &expectation{file: abs, line: lineno, re: re})
+				}
+			}
+			f.Close()
+		}
+	}
+	return wants
+}
+
+// checkFixture is the golden-file driver: every diagnostic must match a
+// want on its line, and every want must be matched by a diagnostic.
+func checkFixture(t *testing.T, names ...string) {
+	t.Helper()
+	diags := runFixtures(t, names...)
+	wants := collectWants(t, names...)
+	matched := make([]bool, len(wants))
+outer:
+	for _, d := range diags {
+		for i, w := range wants {
+			if matched[i] || w.line != d.Pos.Line || !sameFile(w.file, d.Pos.Filename) {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, _ := filepath.Abs(a)
+	bb, _ := filepath.Abs(b)
+	return aa == bb
+}
+
+func TestOrder(t *testing.T)   { checkFixture(t, "order") }
+func TestGuarded(t *testing.T) { checkFixture(t, "guarded") }
+func TestIOUnder(t *testing.T) { checkFixture(t, "iounder") }
+func TestIgnore(t *testing.T)  { checkFixture(t, "ignore") }
+
+// TestHoldsPropagation loads provider and consumer together; all wants live
+// in the consumer, every class in the provider.
+func TestHoldsPropagation(t *testing.T) { checkFixture(t, "holdsa", "holdsb") }
+
+// TestMutationSmoke mirrors the CI mutation-smoke step in-process: the
+// seeded order inversion in testdata/src/mutation must produce at least one
+// lockorder diagnostic. If this test fails, the analyzer has silently lost
+// its core check.
+func TestMutationSmoke(t *testing.T) {
+	diags := runFixtures(t, "mutation")
+	var order int
+	for _, d := range diags {
+		if d.Category == "lockorder" {
+			order++
+		}
+	}
+	if order == 0 {
+		t.Fatalf("seeded lock-order inversion not detected; diagnostics: %v", diags)
+	}
+}
+
+// TestDiagnosticString pins the human-readable rendering the CLI prints.
+func TestDiagnosticString(t *testing.T) {
+	diags := runFixtures(t, "mutation")
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "mutation.go") || !strings.Contains(s, "lockorder") {
+		t.Fatalf("unexpected rendering: %q", s)
+	}
+}
+
+// TestRepoIsClean runs the analyzer over the whole module, exactly like the
+// CI lockcheck step: the tree must be free of findings. Any new finding is
+// either a real locking bug (fix it) or a documented false positive (add a
+// lockcheck:ignore with its reason).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	root := moduleDir(t)
+	l := load.NewLoader(root)
+	pkgs, err := l.Patterns("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(l, pkgs)
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("lockcheck over ./... reported %d finding(s):\n%s", len(diags), b.String())
+	}
+}

@@ -1,0 +1,48 @@
+// Package holdsa is the provider half of the cross-package propagation
+// fixture: it declares a leveled registry lock, a guarded table, and
+// exported entry points whose annotations (holds / acquire / release) are
+// the only way package holdsb can interact with the hierarchy.
+package holdsa
+
+import "sync"
+
+// Registry is shared state with an exported locking protocol.
+type Registry struct {
+	// lockcheck:level 10 reg/mu
+	mu sync.RWMutex
+	// lockcheck:guardedby mu
+	entries map[string]int
+	// lockcheck:level 20 reg/flush
+	flushMu sync.Mutex
+}
+
+func New() *Registry {
+	return &Registry{entries: make(map[string]int)}
+}
+
+// LockRegistry exposes the lock to other packages.
+//
+// lockcheck:acquire reg/mu
+func (r *Registry) LockRegistry() { r.mu.Lock() }
+
+// UnlockRegistry releases it.
+//
+// lockcheck:release reg/mu
+func (r *Registry) UnlockRegistry() { r.mu.Unlock() }
+
+// PutLocked requires the caller to hold the registry exclusively.
+//
+// lockcheck:holds reg/mu
+func (r *Registry) PutLocked(k string, v int) { r.entries[k] = v }
+
+// GetLocked requires at least a shared hold.
+//
+// lockcheck:holds reg/mu shared
+func (r *Registry) GetLocked(k string) int { return r.entries[k] }
+
+// Flush takes the inner flush lock; callers holding reg/mu are in order
+// (10 -> 20), callers holding reg/flush already are not.
+func (r *Registry) Flush() {
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
+}

@@ -1,0 +1,50 @@
+// Package holdsb is the consumer half of the cross-package propagation
+// fixture: every lock class, annotation and summary it is checked against
+// lives in package holdsa.
+package holdsb
+
+import "holdsa"
+
+// good follows holdsa's protocol exactly.
+func good(r *holdsa.Registry) int {
+	r.LockRegistry()
+	r.PutLocked("a", 1)
+	v := r.GetLocked("a")
+	r.UnlockRegistry()
+	return v
+}
+
+// badNoHold calls a holds-annotated function without the lock; the
+// precondition propagates across the package boundary.
+func badNoHold(r *holdsa.Registry) {
+	r.PutLocked("a", 1) // want `call to PutLocked requires holding reg/mu`
+}
+
+// badAfterRelease: the release annotation ends the hold.
+func badAfterRelease(r *holdsa.Registry) int {
+	r.LockRegistry()
+	r.UnlockRegistry()
+	return r.GetLocked("a") // want `call to GetLocked requires holding reg/mu`
+}
+
+// goodNesting: holding reg/mu (10) while calling Flush, which acquires
+// reg/flush (20), descends the hierarchy correctly.
+func goodNesting(r *holdsa.Registry) {
+	r.LockRegistry()
+	defer r.UnlockRegistry()
+	r.Flush()
+}
+
+// reentryAcrossPackages: a caller that re-enters reg/mu through the
+// exported wrappers alone — the class identity crosses the package
+// boundary with the acquire/release annotations.
+func reentryAcrossPackages(r *holdsa.Registry) {
+	r.LockRegistry()
+	defer r.UnlockRegistry()
+	r.Flush()
+	// Still holding reg/mu: locking a second registry's reg/mu is a
+	// same-class reentry, caught class-wide across packages.
+	s := holdsa.New()
+	s.LockRegistry() // want `reg/mu acquired while already held`
+	s.UnlockRegistry()
+}

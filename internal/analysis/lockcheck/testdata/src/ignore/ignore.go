@@ -1,0 +1,54 @@
+// Package ignore exercises the lockcheck:ignore escape hatch: a suppressed
+// violation stays silent, the identical unsuppressed one does not, and an
+// ignore without a reason is itself a finding.
+package ignore
+
+import "sync"
+
+type Pair struct {
+	// lockcheck:level 10 fix/first
+	first sync.Mutex
+	// lockcheck:level 20 fix/second
+	second sync.Mutex
+	// lockcheck:guardedby first
+	v int
+}
+
+// auditedInversion mirrors the real tree's one audited lock-order
+// exception: the ignore (with its mandatory rationale) silences it.
+func (p *Pair) auditedInversion() {
+	p.second.Lock()
+	defer p.second.Unlock()
+	// lockcheck:ignore audited inversion: second holders never block on first
+	p.first.Lock()
+	p.first.Unlock()
+}
+
+// sameLineIgnore suppresses with a trailing comment.
+func (p *Pair) sameLineIgnore() {
+	p.second.Lock()
+	defer p.second.Unlock()
+	p.first.Lock() // lockcheck:ignore audited inversion, same-line form
+	p.first.Unlock()
+}
+
+// unsuppressed is the identical inversion without an ignore.
+func (p *Pair) unsuppressed() {
+	p.second.Lock()
+	defer p.second.Unlock()
+	p.first.Lock() // want `fix/first \(level 10\) acquired while holding fix/second \(level 20\)`
+	p.first.Unlock()
+}
+
+// guardIgnored: guarded-field findings honor the hatch too.
+func (p *Pair) guardIgnored() int {
+	// lockcheck:ignore benign stale read, consumed only by stats output
+	return p.v
+}
+
+// reasonRequired: an ignore with no reason is a directive error, and it
+// suppresses nothing.
+func (p *Pair) reasonRequired() int {
+	// lockcheck:ignore // want `lockcheck:ignore requires a reason`
+	return p.v // want `read v without holding fix/first`
+}

@@ -1,0 +1,110 @@
+// Package iounder exercises the no-I/O-under-lock check: an interface
+// method seeded with lockcheck:io must not be reachable while a noio
+// mutex is held, including transitively through helpers.
+package iounder
+
+import "sync"
+
+// Dev mimics vdisk.Device.
+type Dev interface {
+	// lockcheck:io
+	ReadBlock(n int64, buf []byte) error
+	// lockcheck:io
+	WriteBlock(n int64, buf []byte) error
+}
+
+type Cache struct {
+	// lockcheck:level 10 fix/iomu noio
+	mu sync.Mutex
+	// lockcheck:guardedby mu
+	blocks map[int64][]byte
+
+	dev Dev
+}
+
+// goodMiss drops the mutex before touching the device.
+func (c *Cache) goodMiss(n int64) ([]byte, error) {
+	c.mu.Lock()
+	if b, ok := c.blocks[n]; ok {
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.mu.Unlock()
+	buf := make([]byte, 512)
+	if err := c.dev.ReadBlock(n, buf); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.blocks[n] = buf
+	c.mu.Unlock()
+	return buf, nil
+}
+
+// badMiss reads the device while holding the cache mutex.
+func (c *Cache) badMiss(n int64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]byte, 512)
+	if err := c.dev.ReadBlock(n, buf); err != nil { // want `call to ReadBlock may perform device I/O while holding fix/iomu`
+		return nil, err
+	}
+	c.blocks[n] = buf
+	return buf, nil
+}
+
+// writeOut is a helper that ends at the device; its summary is io-tainted.
+func (c *Cache) writeOut(n int64, b []byte) error {
+	return c.dev.WriteBlock(n, b)
+}
+
+// badFlush reaches the device transitively under the mutex.
+func (c *Cache) badFlush(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.blocks[n]
+	return c.writeOut(n, b) // want `call to writeOut may perform device I/O while holding fix/iomu`
+}
+
+// flushLocked runs with the cache mutex held by contract. Because it
+// declares the hold, the io taint is diagnosed at the device call inside
+// it — the exact offending line — and not at its call sites.
+//
+// lockcheck:holds mu
+func (c *Cache) flushLocked(n int64) error {
+	return c.dev.WriteBlock(n, c.blocks[n]) // want `call to WriteBlock may perform device I/O while holding fix/iomu`
+}
+
+// viaLocked calls the holds-annotated helper: the call site stays clean.
+func (c *Cache) viaLocked(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked(n)
+}
+
+// stageLocked drops the mutex for the device write and retakes it, exactly
+// like the real flush pipeline. The declared hold keeps its call sites
+// clean; the unlock/io/relock sequence is flow-checked right here.
+//
+// lockcheck:holds mu
+func (c *Cache) stageLocked(n int64) error {
+	b := c.blocks[n]
+	c.mu.Unlock()
+	err := c.dev.WriteBlock(n, b)
+	c.mu.Lock()
+	return err
+}
+
+// viaStage calls the unlock-relock helper under the mutex: no finding.
+func (c *Cache) viaStage(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stageLocked(n)
+}
+
+// goodFlush stages under the mutex and submits outside it.
+func (c *Cache) goodFlush(n int64) error {
+	c.mu.Lock()
+	b := c.blocks[n]
+	c.mu.Unlock()
+	return c.writeOut(n, b)
+}

@@ -1,0 +1,26 @@
+// Package mutation is the CI mutation-smoke fixture: it contains one
+// deliberate lock-order inversion modeled on the volume hierarchy (fs.mu
+// taken while an allocation-group lock is held). The CI "mutation smoke"
+// step runs cmd/lockcheck over this package and asserts a non-zero exit —
+// proving the deployed analyzer actually detects a seeded inversion, not
+// just that it runs. There are intentionally no `// want` expectations
+// here; TestMutationSmoke asserts on the diagnostics directly.
+package mutation
+
+import "sync"
+
+type Volume struct {
+	// lockcheck:level 40 vol/fsmu
+	mu sync.RWMutex
+	// lockcheck:level 50 vol/group multi
+	groups [4]sync.Mutex
+}
+
+// seededInversion takes fs.mu UNDER a group lock — the exact regression
+// the volume hierarchy forbids (groups are leaves; fs.mu is level 40).
+func (v *Volume) seededInversion() {
+	v.groups[2].Lock()
+	defer v.groups[2].Unlock()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+}

@@ -1,0 +1,162 @@
+// Package order exercises the lock-order check: direct inversions,
+// same-class reentry, the multi flag, stripe accessors, and the
+// interprocedural summary check.
+package order
+
+import "sync"
+
+type System struct {
+	// lockcheck:level 10 fix/outer
+	outer sync.Mutex
+	// lockcheck:level 20 fix/mid
+	mid sync.RWMutex
+	// lockcheck:level 30 fix/inner
+	inner sync.Mutex
+	// lockcheck:level 40 fix/stripes multi
+	stripes [8]sync.Mutex
+
+	n int
+}
+
+// goodOrder acquires strictly ascending levels: never flagged.
+func (s *System) goodOrder() {
+	s.outer.Lock()
+	defer s.outer.Unlock()
+	s.mid.Lock()
+	defer s.mid.Unlock()
+	s.inner.Lock()
+	s.n++
+	s.inner.Unlock()
+}
+
+// badOrder locks mid before outer.
+func (s *System) badOrder() {
+	s.mid.Lock()
+	defer s.mid.Unlock()
+	s.outer.Lock() // want `fix/outer \(level 10\) acquired while holding fix/mid \(level 20\)`
+	defer s.outer.Unlock()
+}
+
+// equalIsBad: acquiring at the same level as a held lock is also an
+// inversion (no two same-level locks may nest).
+func (s *System) equalIsBad(o *System) {
+	s.inner.Lock()
+	defer s.inner.Unlock()
+	o.inner.Lock() // want `fix/inner acquired while already held`
+	defer o.inner.Unlock()
+}
+
+// reentry self-deadlocks.
+func (s *System) reentry() {
+	s.outer.Lock()
+	s.outer.Lock() // want `fix/outer acquired while already held`
+	s.outer.Unlock()
+	s.outer.Unlock()
+}
+
+// explicitUnlockResets: after a real unlock the held set shrinks, so a
+// lower-level lock may be taken again.
+func (s *System) explicitUnlockResets() {
+	s.mid.Lock()
+	s.n = 1
+	s.mid.Unlock()
+	s.outer.Lock()
+	s.outer.Unlock()
+}
+
+// stripesMulti: classes flagged `multi` may nest with themselves
+// (ascending stripe sweeps), but still respect cross-class order.
+func (s *System) stripesMulti() {
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+	for i := range s.stripes {
+		s.stripes[i].Unlock()
+	}
+}
+
+// stripeUnderInner is fine: 40 > 30.
+func (s *System) stripeUnderInner() {
+	s.inner.Lock()
+	defer s.inner.Unlock()
+	s.stripes[0].Lock()
+	s.stripes[0].Unlock()
+}
+
+// stripeThenMid inverts: 20 under 40.
+func (s *System) stripeThenMid() {
+	s.stripes[1].Lock()
+	defer s.stripes[1].Unlock()
+	s.mid.RLock() // want `fix/mid \(level 20\) acquired while holding fix/stripes \(level 40\)`
+	s.mid.RUnlock()
+}
+
+// stripe returns one stripe mutex.
+//
+// lockcheck:returns fix/stripes
+func (s *System) stripe(i int) *sync.Mutex { return &s.stripes[i%len(s.stripes)] }
+
+// viaAccessor resolves the accessor's return class.
+func (s *System) viaAccessor() {
+	m := s.stripe(3)
+	m.Lock()
+	s.mid.Lock() // want `fix/mid \(level 20\) acquired while holding fix/stripes \(level 40\)`
+	s.mid.Unlock()
+	m.Unlock()
+}
+
+// lockInner is a helper whose summary records the fix/inner acquisition.
+func (s *System) lockInner() {
+	s.inner.Lock()
+	s.n++
+	s.inner.Unlock()
+}
+
+// interprocedural: the callee's summary carries its acquisitions to the
+// call site, so holding stripes (40) while calling a function that locks
+// inner (30) is an inversion even though no Lock() appears here.
+func (s *System) interprocedural() {
+	s.stripes[0].Lock()
+	defer s.stripes[0].Unlock()
+	s.lockInner() // want `call to lockInner may acquire fix/inner \(level 30\) while holding fix/stripes \(level 40\)`
+}
+
+// tryThenLock is the counted-acquisition idiom (alloc's group.lock): the
+// TryLock hold exists only inside the if body, so the blocking Lock on the
+// fall-through path is not a reentry.
+func (s *System) tryThenLock() {
+	if s.inner.TryLock() {
+		s.inner.Unlock()
+		return
+	}
+	s.inner.Lock()
+	s.inner.Unlock()
+}
+
+// tryNegated: the negated form holds the lock on the fall-through path —
+// the guarded access there is fine, and unlocking it is balanced.
+func (s *System) tryNegated() bool {
+	if !s.outer.TryLock() {
+		return false
+	}
+	s.outer.Unlock()
+	return true
+}
+
+// tryIsNotOrdered: an out-of-order TryLock is deadlock-free by definition
+// and is not flagged, but the hold it creates still orders what follows.
+func (s *System) tryIsNotOrdered() {
+	s.mid.Lock()
+	defer s.mid.Unlock()
+	if s.outer.TryLock() {
+		s.n++
+		s.outer.Unlock()
+	}
+}
+
+// interproceduralOK: calling the same helper under a lower level is fine.
+func (s *System) interproceduralOK() {
+	s.outer.Lock()
+	defer s.outer.Unlock()
+	s.lockInner()
+}

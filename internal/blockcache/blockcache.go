@@ -154,6 +154,12 @@ type Options struct {
 //
 // Cache is safe for concurrent use.
 type Cache struct {
+	// c.mu is a pure metadata lock: device I/O must never run under it
+	// (enforced by the noio flag). The four deliberate exceptions —
+	// pass-through, write-through and eviction write-back — carry audited
+	// lockcheck:ignore annotations at the call sites.
+	//
+	// lockcheck:level 60 volume/cacheMu noio
 	mu           sync.Mutex
 	bgWake       *sync.Cond // wakes the background flushers (work or shutdown)
 	flushDone    *sync.Cond // signaled when a flush run completes (barriers, back-pressure)
@@ -161,17 +167,27 @@ type Cache struct {
 	cap          int
 	writeThrough bool
 	highWater    int // write-behind high-water mark; 0 = disabled
-	workers      int // background flusher goroutines (0 = synchronous write-behind)
-	policy       Policy
-	entries      map[int64]*entry
-	inflight     map[int64]*fetch // miss fetches in progress (see ReadBlock)
-	dirty        int              // resident dirty blocks (staged ones included)
-	staged       int              // dirty blocks currently flush-in-flight
-	draining     bool             // write-behind hysteresis: past high water, not yet at low
-	closed       bool
-	wg           sync.WaitGroup
-	wbErr        error // sticky deferred write-back failure; surfaced at the next barrier
-	stats        Stats
+	// lockcheck:guardedby mu
+	workers int // background flusher goroutines (0 = synchronous write-behind)
+	// lockcheck:guardedby mu
+	policy Policy
+	// lockcheck:guardedby mu
+	entries map[int64]*entry
+	// lockcheck:guardedby mu
+	inflight map[int64]*fetch // miss fetches in progress (see ReadBlock)
+	// lockcheck:guardedby mu
+	dirty int // resident dirty blocks (staged ones included)
+	// lockcheck:guardedby mu
+	staged int // dirty blocks currently flush-in-flight
+	// lockcheck:guardedby mu
+	draining bool // write-behind hysteresis: past high water, not yet at low
+	// lockcheck:guardedby mu
+	closed bool
+	wg     sync.WaitGroup
+	// lockcheck:guardedby mu
+	wbErr error // sticky deferred write-back failure; surfaced at the next barrier
+	// lockcheck:guardedby mu
+	stats Stats
 }
 
 // fetch tracks one in-flight miss read. Misses release c.mu while the device
@@ -261,7 +277,10 @@ func (c *Cache) Device() vdisk.Device { return c.dev }
 func (c *Cache) Capacity() int { return c.cap }
 
 // PolicyName returns the replacement policy in use ("lru", "arc", "2q").
-func (c *Cache) PolicyName() string { return c.policy.Name() }
+func (c *Cache) PolicyName() string {
+	// lockcheck:ignore the policy pointer is immutable after construction and Name is stateless; only policy STATE needs the mutex
+	return c.policy.Name()
+}
 
 // FlushWorkers returns the number of background flusher goroutines (0 after
 // StopFlushers/Close).
@@ -386,6 +405,7 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap == 0 {
+		// lockcheck:ignore audited: pass-through mode serializes the write under the mutex exactly like a single spindle; there is no cached state to protect
 		if err := c.dev.WriteBlock(n, buf); err != nil {
 			return err
 		}
@@ -393,6 +413,7 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 		return nil
 	}
 	if c.writeThrough {
+		// lockcheck:ignore audited: write-through holds the mutex across the device write so the cached copy and the device never diverge
 		if err := c.dev.WriteBlock(n, buf); err != nil {
 			return err
 		}
@@ -405,6 +426,7 @@ func (c *Cache) WriteBlock(n int64, buf []byte) error {
 
 // writeLocked stores buf for block n in the resident set (caller holds c.mu
 // and has already handled pass-through/write-through device writes).
+// lockcheck:holds volume/cacheMu
 func (c *Cache) writeLocked(n int64, buf []byte) {
 	if f, ok := c.inflight[n]; ok {
 		// A miss fetch for this block is mid-flight; whatever it read no
@@ -429,6 +451,7 @@ func (c *Cache) writeLocked(n int64, buf []byte) {
 // and stalls the writer only at the hard cap (2x the mark); without a pool
 // it runs one synchronous (but batched, outside-the-mutex) write-behind run.
 // Caller holds c.mu.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) afterWriteLocked() {
 	if c.highWater <= 0 || c.dirty <= c.highWater {
 		return
@@ -579,6 +602,7 @@ func (c *Cache) WriteBlocks(ns []int64, bufs [][]byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap == 0 || c.writeThrough {
+		// lockcheck:ignore audited: pass/write-through batches hold the mutex across the device submission so the batch lands atomically w.r.t. cached state
 		if err := vdisk.WriteBlocks(c.dev, ns, bufs); err != nil {
 			return err
 		}
@@ -596,6 +620,7 @@ func (c *Cache) WriteBlocks(ns []int64, bufs [][]byte) error {
 
 // insertLocked adds a new entry for block n (caller holds c.mu) and evicts
 // policy-chosen victims while the cache is over capacity.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) insertLocked(n int64, buf []byte, dirty bool) {
 	e := &entry{block: n, data: append(make([]byte, 0, len(buf)), buf...), dirty: dirty}
 	c.entries[n] = e
@@ -616,6 +641,7 @@ func (c *Cache) insertLocked(n int64, buf []byte, dirty bool) {
 // write-back failure records a sticky error (surfaced by the next
 // Flush/Sync/Close), keeps the victim resident so the data is not lost, and
 // returns false.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) evictLocked() bool {
 	n, ok := c.policy.Victim()
 	if !ok {
@@ -633,6 +659,7 @@ func (c *Cache) evictLocked() bool {
 		return false
 	}
 	if victim.dirty {
+		// lockcheck:ignore audited: eviction write-back keeps the mutex so the victim cannot be re-dirtied mid-write; evictions are rare next to the flush pipeline
 		if err := c.dev.WriteBlock(n, victim.data); err != nil {
 			if c.wbErr == nil {
 				c.wbErr = fmt.Errorf("blockcache: eviction write-back block %d: %w", n, err)
@@ -657,6 +684,7 @@ func (c *Cache) evictLocked() bool {
 
 // dirtyRunLocked returns up to limit unstaged dirty entries in ascending
 // block order (limit <= 0 means all).
+// lockcheck:holds volume/cacheMu
 func (c *Cache) dirtyRunLocked(limit int) []*entry {
 	run := make([]*entry, 0, c.dirty-c.staged)
 	for _, e := range c.entries {
@@ -680,6 +708,7 @@ const minWorkerRun = 16
 // everything unstaged), bounded by runCap (<= 0 = maxFlushRun) — and pushes
 // it through the pipeline via flushEntriesLocked. Caller holds c.mu; the
 // lock is held on return.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) flushRunLocked(lowTarget, runCap int, background bool) error {
 	limit := maxFlushRun
 	if runCap > 0 && runCap < limit {
@@ -713,6 +742,7 @@ func (c *Cache) flushRunLocked(lowTarget, runCap int, background bool) error {
 // (barrier callers report it directly). The staged blocks stay dirty and
 // resident on failure, so nothing is lost. Caller holds c.mu and guarantees
 // every entry is dirty and not already flushing; the lock is held on return.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) flushEntriesLocked(run []*entry, background bool) error {
 	bs := c.dev.BlockSize()
 	ns := make([]int64, len(run))
@@ -765,6 +795,7 @@ func (c *Cache) flushEntriesLocked(run []*entry, background bool) error {
 // exist, and a sticky error pauses the pipeline (retrying a failing device
 // in a tight loop helps nobody; the next barrier clears the error and
 // re-arms).
+// lockcheck:holds volume/cacheMu
 func (c *Cache) flushNeededLocked() bool {
 	if c.wbErr != nil || c.highWater <= 0 || c.dirty-c.staged <= 0 {
 		return false
@@ -822,6 +853,7 @@ func (c *Cache) flusher() {
 // the mutex behind the old single-hold flush pass; that keeps the barrier
 // terminating under sustained concurrent writers instead of chasing them
 // forever. Caller holds c.mu.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) drainLocked() error {
 	c.stats.Flushes++
 	for c.staged > 0 {
@@ -887,6 +919,7 @@ func (c *Cache) Flush() error {
 // call this only after completing their real work — a successful flush must
 // still sync the device / drop entries before the historical error is
 // surfaced. Clearing the error re-arms the background pipeline.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) takeStickyLocked() error {
 	err := c.wbErr
 	c.wbErr = nil
@@ -959,6 +992,7 @@ func (c *Cache) StopFlushers() error {
 
 // stopPoolLocked signals every background flusher to exit and converts the
 // cache to synchronous write-behind. Caller holds c.mu.
+// lockcheck:holds volume/cacheMu
 func (c *Cache) stopPoolLocked() {
 	c.closed = true
 	c.workers = 0

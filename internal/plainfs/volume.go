@@ -72,6 +72,11 @@ func DefaultConfig(policy Policy) Config {
 // StegFS (sharing the outer bitmap so plain and hidden allocations never
 // collide).
 type Volume struct {
+	// One big mutex per mounted plain volume; it sits below the allocation
+	// group locks, which its mutators take through the shared allocator, and
+	// above FS.mu: stegfs.Backup walks the plain directory under fs.mu.
+	//
+	// lockcheck:level 45 volume/plainMu
 	mu  sync.Mutex
 	dev vdisk.Device
 	bm  *bitmapvec.Bitmap
@@ -81,9 +86,12 @@ type Volume struct {
 	inodeBlocks int64 // length of the inode table in blocks
 	dataStart   int64 // first allocatable data block
 
-	rng    *rand.Rand
+	// lockcheck:guardedby mu
+	rng *rand.Rand
+	// lockcheck:guardedby mu
 	byName map[string]int // name -> inode slot
-	nodes  []*inode       // slot -> inode (cache of the whole table)
+	// lockcheck:guardedby mu
+	nodes []*inode // slot -> inode (cache of the whole table)
 
 	standalone bool
 	bmStart    int64 // standalone only: bitmap region start
@@ -134,6 +142,7 @@ func NewEmbedded(dev vdisk.Device, bm *bitmapvec.Bitmap, inodeStart, inodeBlocks
 }
 
 // loadInodes reads the whole central directory into memory and indexes it.
+// lockcheck:holds volume/plainMu
 func (v *Volume) loadInodes() error {
 	per := inodesPerBlock(v.dev)
 	capacity := v.inodeBlocks * per
@@ -163,6 +172,7 @@ func (v *Volume) loadInodes() error {
 }
 
 // flushInode writes one inode slot back to the device.
+// lockcheck:holds volume/plainMu
 func (v *Volume) flushInode(slot int) error {
 	per := inodesPerBlock(v.dev)
 	blk := v.inodeStart + int64(slot)/per
@@ -197,6 +207,7 @@ func (v *Volume) blocksFor(size int) int64 {
 }
 
 // allocData allocates n data blocks under the configured policy.
+// lockcheck:holds volume/plainMu
 func (v *Volume) allocData(n int64) ([]int64, error) {
 	switch v.cfg.Policy {
 	case Contiguous:
@@ -248,6 +259,7 @@ func (v *Volume) allocData(n int64) ([]int64, error) {
 
 // allocRandom draws one uniformly random free block, through the shared
 // sharded allocator when the volume is embedded under one.
+// lockcheck:holds volume/plainMu
 func (v *Volume) allocRandom() (int64, error) {
 	if v.cfg.Alloc != nil {
 		b, err := v.cfg.Alloc.Alloc()
@@ -264,6 +276,7 @@ func (v *Volume) allocRandom() (int64, error) {
 }
 
 // allocMeta allocates one block for indirect pointers.
+// lockcheck:holds volume/plainMu
 func (v *Volume) allocMeta() (int64, error) {
 	if v.cfg.Policy == Random {
 		return v.allocRandom()
@@ -304,6 +317,7 @@ func (v *Volume) Create(name string, data []byte) error {
 	return v.createLocked(name, data)
 }
 
+// lockcheck:holds volume/plainMu
 func (v *Volume) createLocked(name string, data []byte) error {
 	if _, ok := v.byName[name]; ok {
 		return fmt.Errorf("%w: %q", fsapi.ErrExists, name)
@@ -424,6 +438,7 @@ func (v *Volume) Delete(name string) error {
 	return v.deleteLocked(name)
 }
 
+// lockcheck:holds volume/plainMu
 func (v *Volume) deleteLocked(name string) error {
 	slot, ok := v.byName[name]
 	if !ok {
@@ -454,6 +469,7 @@ func (v *Volume) Stat(name string) (fsapi.FileInfo, error) {
 	return fsapi.FileInfo{Name: in.name, Size: in.size, Blocks: in.nblocks}, nil
 }
 
+// lockcheck:holds volume/plainMu
 func (v *Volume) lookup(name string) (*inode, error) {
 	slot, ok := v.byName[name]
 	if !ok {

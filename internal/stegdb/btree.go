@@ -20,6 +20,7 @@ import (
 // behind writers.
 type BTree struct {
 	pg *Pager
+	// lockcheck:level 20 stegdb/btree
 	mu sync.RWMutex
 }
 

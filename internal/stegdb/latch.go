@@ -11,25 +11,39 @@ import (
 // elem) belong to the cache mutex, so eviction and flush can inspect them
 // without taking the latch.
 type pageEntry struct {
-	id    int64
+	id int64
+	// Latches sit between allocMu and snapMu in the hierarchy; only one
+	// frame's latch is ever held at a time. Latched loads/flushes touch the
+	// hidden file on purpose, so the class is not noio.
+	// lockcheck:level 50 stegdb/latch
 	latch sync.RWMutex
+	// lockcheck:guardedby latch
 	valid bool // buf holds the page's current content
-	buf   [PageSize]byte
+	// lockcheck:guardedby latch
+	buf [PageSize]byte
 
-	refs  int           // pins; >0 keeps the frame out of eviction
-	dirty bool          // content newer than the hidden file
-	gen   uint64        // bumped on every markDirty; write-wins on flush
-	elem  *list.Element // position in the LRU list
+	// lockcheck:guardedby stegdb/cacheMu
+	refs int // pins; >0 keeps the frame out of eviction
+	// lockcheck:guardedby stegdb/cacheMu
+	dirty bool // content newer than the hidden file
+	// lockcheck:guardedby stegdb/cacheMu
+	gen uint64 // bumped on every markDirty; write-wins on flush
+	// lockcheck:guardedby stegdb/cacheMu
+	elem *list.Element // position in the LRU list
 }
 
 // pageCache is a small LRU of page frames with per-page latches. The cache
 // mutex covers only the map/LRU bookkeeping — never page I/O — so pins are
 // cheap and page loads/flushes proceed in parallel on distinct pages.
 type pageCache struct {
-	mu      sync.Mutex
-	cap     int
+	// lockcheck:level 80 stegdb/cacheMu noio
+	mu sync.Mutex
+	// lockcheck:guardedby mu
+	cap int
+	// lockcheck:guardedby mu
 	entries map[int64]*pageEntry
-	lru     *list.List // front = most recently used; holds *pageEntry
+	// lockcheck:guardedby mu
+	lru *list.List // front = most recently used; holds *pageEntry
 }
 
 func newPageCache(capacity int) *pageCache {
@@ -108,6 +122,8 @@ func (c *pageCache) pin(id int64, flush func(*pageEntry) error) *pageEntry {
 }
 
 // removeLocked drops a frame from the map and LRU; caller holds c.mu.
+//
+// lockcheck:holds stegdb/cacheMu
 func (c *pageCache) removeLocked(e *pageEntry) {
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.id)
@@ -121,6 +137,8 @@ func (c *pageCache) unpin(e *pageEntry) {
 
 // markDirty records that the frame content is newer than the hidden file.
 // Caller holds the frame's exclusive latch.
+//
+// lockcheck:holds stegdb/latch
 func (c *pageCache) markDirty(e *pageEntry) {
 	c.mu.Lock()
 	e.dirty = true

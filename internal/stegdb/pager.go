@@ -19,7 +19,10 @@
 // or at an explicit FlushPages. Lock order inside the package, outermost
 // first: Table key shards → BTree.mu / HashIndex stripes → HashIndex.dirMu
 // → Pager.allocMu → page latches → Pager.snapMu → Pager.metaMu (the
-// pageCache mutex is an independent leaf).
+// pageCache mutex is an independent leaf). This order is not just prose:
+// each lock carries a lockcheck:level annotation in the stegdb domain and
+// cmd/lockcheck enforces it in CI — see docs/ANALYSIS.md for the grammar
+// and the level map.
 package stegdb
 
 import (
@@ -61,11 +64,17 @@ const defaultPageCacheSize = 1024
 // passes a *stegfs.HiddenView; tests substitute error-injecting wrappers to
 // exercise partial-failure paths.
 type View interface {
+	// lockcheck:io
 	Create(name string, data []byte) error
+	// lockcheck:io
 	ReadAt(name string, p []byte, off int64) (int, error)
+	// lockcheck:io
 	WriteAt(name string, p []byte, off int64) (int, error)
+	// lockcheck:io
 	Resize(name string, newSize int64) error
+	// lockcheck:io
 	Stat(name string) (fsapi.FileInfo, error)
+	// lockcheck:io
 	Sync() error
 }
 
@@ -75,26 +84,42 @@ type Pager struct {
 	view View
 	name string
 
-	// metaMu guards the meta page buffer and its dirty flag.
-	metaMu    sync.Mutex
-	meta      [PageSize]byte
+	// metaMu guards the meta page buffer and its dirty flag. It is the
+	// innermost leveled lock of the package hierarchy; flushMetaLocked
+	// deliberately writes the hidden file while holding it (the meta page
+	// must not change mid-write), so it is not noio.
+	// lockcheck:level 70 stegdb/metaMu
+	metaMu sync.Mutex
+	// lockcheck:guardedby metaMu
+	meta [PageSize]byte
+	// lockcheck:guardedby metaMu
 	metaDirty bool
 
 	// allocMu serializes AllocPage/FreePage so free-list updates, file
-	// growth and the numPages counter stay atomic under concurrency.
+	// growth and the numPages counter stay atomic under concurrency. It
+	// sits above the latches/snapMu/metaMu it takes, and is not noio:
+	// AllocPage stats and grows the hidden file under it by design.
+	// lockcheck:level 40 stegdb/allocMu
 	allocMu sync.Mutex
 
 	cache *pageCache
 
 	// snapMu guards the snapshot machinery: the epoch counter, the set of
 	// active snapshots, per-page last-write epochs and saved page versions.
-	snapMu       sync.Mutex
-	epoch        int64
-	nextSnapID   int64
-	snaps        map[int64]int64 // snapshot id -> pinned epoch
-	maxSnapEpoch int64           // max over snaps (0 when none)
-	liveEpoch    map[int64]int64 // page id -> epoch of its last write
-	versions     map[int64][]pageVersion
+	// lockcheck:level 60 stegdb/snapMu
+	snapMu sync.Mutex
+	// lockcheck:guardedby snapMu
+	epoch int64
+	// lockcheck:guardedby snapMu
+	nextSnapID int64
+	// lockcheck:guardedby snapMu
+	snaps map[int64]int64 // snapshot id -> pinned epoch
+	// lockcheck:guardedby snapMu
+	maxSnapEpoch int64 // max over snaps (0 when none)
+	// lockcheck:guardedby snapMu
+	liveEpoch map[int64]int64 // page id -> epoch of its last write
+	// lockcheck:guardedby snapMu
+	versions map[int64][]pageVersion
 }
 
 func newPager(view View, name string) *Pager {
@@ -117,7 +142,9 @@ func CreatePager(view View, name string) (*Pager, error) {
 		return nil, err
 	}
 	p := newPager(view, name)
+	// lockcheck:ignore the pager has not been published yet; CreatePager has it to itself
 	copy(p.meta[:], pagerMagic)
+	// lockcheck:ignore the pager has not been published yet; CreatePager has it to itself
 	p.setMeta(metaNumPages, 1) // the meta page itself
 	if err := p.flushMetaNow(); err != nil {
 		return nil, err
@@ -128,9 +155,11 @@ func CreatePager(view View, name string) (*Pager, error) {
 // OpenPager opens an existing database file.
 func OpenPager(view View, name string) (*Pager, error) {
 	p := newPager(view, name)
+	// lockcheck:ignore the pager has not been published yet; OpenPager has it to itself
 	if _, err := view.ReadAt(name, p.meta[:], 0); err != nil {
 		return nil, fmt.Errorf("stegdb: read meta page: %w", err)
 	}
+	// lockcheck:ignore the pager has not been published yet; OpenPager has it to itself
 	if string(p.meta[:8]) != pagerMagic {
 		return nil, errors.New("stegdb: not a stegdb file (bad magic)")
 	}
@@ -138,9 +167,13 @@ func OpenPager(view View, name string) (*Pager, error) {
 }
 
 // getMeta/setMeta access the meta buffer; callers hold metaMu (or have the
-// pager to themselves, as in CreatePager/OpenPager).
+// pager to themselves, as in CreatePager/OpenPager, which carry audited
+// lockcheck:ignore annotations for exactly that reason).
+//
+// lockcheck:holds stegdb/metaMu
 func (p *Pager) getMeta(off int) int64 { return int64(binary.BigEndian.Uint64(p.meta[off:])) }
 
+// lockcheck:holds stegdb/metaMu
 func (p *Pager) setMeta(off int, v int64) {
 	binary.BigEndian.PutUint64(p.meta[off:], uint64(v))
 	p.metaDirty = true
@@ -170,6 +203,8 @@ func (p *Pager) bumpRows(delta int64) {
 }
 
 // flushMetaLocked persists page 0; the caller holds metaMu.
+//
+// lockcheck:holds stegdb/metaMu
 func (p *Pager) flushMetaLocked() error {
 	if _, err := p.view.WriteAt(p.name, p.meta[:], 0); err != nil {
 		return err
@@ -272,6 +307,8 @@ func (p *Pager) WritePage(id int64, buf []byte) error {
 
 // flushEntry writes one frame through to the hidden file. The caller holds
 // the frame's exclusive latch (flush-on-evict path).
+//
+// lockcheck:holds stegdb/latch
 func (p *Pager) flushEntry(e *pageEntry) error {
 	if _, err := p.view.WriteAt(p.name, e.buf[:], e.id*PageSize); err != nil {
 		return err

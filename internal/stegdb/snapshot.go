@@ -139,6 +139,8 @@ func (s *Snapshot) ReadPage(id int64, buf []byte) error {
 // before the caller overwrites the frame. The caller holds the frame's
 // exclusive latch; the frame may still be invalid (never loaded), in which
 // case the old content is loaded from the hidden file first.
+//
+// lockcheck:holds stegdb/latch
 func (p *Pager) saveVersionLocked(e *pageEntry) error {
 	for {
 		p.snapMu.Lock()

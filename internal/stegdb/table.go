@@ -18,10 +18,12 @@ import (
 // lock). Get/Scan/Range never block behind writers: the hash path stripes
 // by bucket, the tree path reads snapshots.
 type Table struct {
-	pg     *Pager
-	tree   *BTree
-	hash   *HashIndex
-	hashy  bool
+	pg    *Pager
+	tree  *BTree
+	hash  *HashIndex
+	hashy bool
+	// Outermost lock of the stegdb hierarchy; one shard per operation.
+	// lockcheck:level 10 stegdb/shard
 	shards [nKeyShards]sync.Mutex
 }
 
@@ -29,6 +31,8 @@ type Table struct {
 const nKeyShards = 64
 
 // shardFor hashes the key (FNV-1a) onto a shard lock.
+//
+// lockcheck:returns stegdb/shard
 func (t *Table) shardFor(key []byte) *sync.Mutex {
 	h := uint64(14695981039346656037)
 	for _, b := range key {

@@ -38,9 +38,12 @@ const createStripes = 64
 // what lets Sync/Backup quiesce the whole volume, all allocation groups
 // included, before imaging or writing the bitmap.
 type FS struct {
-	nsMu     sync.Mutex                // serializes compound namespace ops (directory updates)
-	mu       sync.RWMutex              // guards sb fields; serializes Sync/Backup metadata writes
-	objs     *lockTable                // per-hidden-object locks, keyed by header block
+	// lockcheck:level 10 volume/nsMu
+	nsMu sync.Mutex // serializes compound namespace ops (directory updates)
+	// lockcheck:level 40 volume/fsMu
+	mu   sync.RWMutex // guards sb fields; serializes Sync/Backup metadata writes
+	objs *lockTable   // per-hidden-object locks, keyed by header block
+	// lockcheck:level 30 volume/createMu
 	createMu [createStripes]sync.Mutex // name stripes: same-(name,key) creates serialize here
 	dev      vdisk.Device
 	cache    *blockcache.Cache // non-nil when mounted through WithCache
@@ -51,6 +54,8 @@ type FS struct {
 }
 
 // createStripe returns the name-stripe mutex for a physical name.
+//
+// lockcheck:returns volume/createMu
 func (fs *FS) createStripe(physName string) *sync.Mutex {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(physName))
@@ -393,6 +398,7 @@ func (fs *FS) Sync() error {
 	return fs.syncLocked()
 }
 
+// lockcheck:holds volume/fsMu
 func (fs *FS) syncLocked() error {
 	if fs.cache != nil {
 		// Data blocks before the metadata that references them.

@@ -33,14 +33,20 @@ import "sync"
 // header block — never a deadlock, since deleters take neither stripes nor
 // the gate exclusively.
 type lockTable struct {
+	// lockcheck:level 20 volume/gate
 	gate sync.RWMutex // freeze gate; object holders share it, Freeze excludes them
-	mu   sync.Mutex   // guards m
-	m    map[int64]*objLock
+	// t.mu is deliberately unleveled: it protects only the table map, is
+	// held for a few map operations at a time, and never wraps another
+	// acquisition — guard discipline is all it needs.
+	mu sync.Mutex // guards m
+	// lockcheck:guardedby mu
+	m map[int64]*objLock
 }
 
 type objLock struct {
 	refs int
-	mu   sync.RWMutex
+	// lockcheck:level 21 volume/objLock
+	mu sync.RWMutex
 }
 
 func newLockTable() *lockTable {
@@ -84,12 +90,16 @@ func (t *lockTable) put(b int64) {
 }
 
 // Lock takes the exclusive lock of the object whose header lives in block b.
+// lockcheck:acquire volume/gate shared
+// lockcheck:acquire volume/objLock
 func (t *lockTable) Lock(b int64) {
 	t.gate.RLock()
 	t.get(b).mu.Lock()
 }
 
 // Unlock releases an exclusive hold.
+// lockcheck:release volume/objLock
+// lockcheck:release volume/gate shared
 func (t *lockTable) Unlock(b int64) {
 	t.lookup(b).mu.Unlock()
 	t.put(b)
@@ -97,12 +107,16 @@ func (t *lockTable) Unlock(b int64) {
 }
 
 // RLock takes the shared lock of the object whose header lives in block b.
+// lockcheck:acquire volume/gate shared
+// lockcheck:acquire volume/objLock shared
 func (t *lockTable) RLock(b int64) {
 	t.gate.RLock()
 	t.get(b).mu.RLock()
 }
 
 // RUnlock releases a shared hold.
+// lockcheck:release volume/objLock shared
+// lockcheck:release volume/gate shared
 func (t *lockTable) RUnlock(b int64) {
 	t.lookup(b).mu.RUnlock()
 	t.put(b)
@@ -117,15 +131,19 @@ func (t *lockTable) RUnlock(b int64) {
 // the stripe would stall a same-name create behind a pending Freeze, and
 // the gate must always be taken before any later-level lock, in Freeze's
 // order).
+// lockcheck:acquire volume/gate shared
 func (t *lockTable) EnterGate() { t.gate.RLock() }
 
 // ExitGate releases a shared gate hold taken with EnterGate and not yet
 // transferred to an object lock.
+// lockcheck:release volume/gate shared
 func (t *lockTable) ExitGate() { t.gate.RUnlock() }
 
 // LockGateHeld locks object b exclusively for a caller that already holds
 // the gate shared (via EnterGate). The matching release is the ordinary
 // Unlock, which gives the gate hold back.
+// lockcheck:holds volume/gate shared
+// lockcheck:acquire volume/objLock
 func (t *lockTable) LockGateHeld(b int64) { t.get(b).mu.Lock() }
 
 // Freeze blocks until no per-object lock is held and prevents new ones from
@@ -133,7 +151,9 @@ func (t *lockTable) LockGateHeld(b int64) { t.get(b).mu.Lock() }
 // this to quiesce hidden-object activity. Freeze is taken BEFORE FS.mu by
 // its callers; since object holders never nest a second object acquisition
 // (hand-over-hand only), a pending Freeze cannot deadlock a holder.
+// lockcheck:acquire volume/gate
 func (t *lockTable) Freeze() { t.gate.Lock() }
 
 // Unfreeze reopens the gate.
+// lockcheck:release volume/gate
 func (t *lockTable) Unfreeze() { t.gate.Unlock() }

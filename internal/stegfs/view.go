@@ -20,9 +20,16 @@ import (
 // file operations take the underlying per-object locks, so reads of distinct
 // files through one view (or many views) run in parallel.
 type HiddenView struct {
-	fs   *FS
-	uid  string
-	mu   sync.RWMutex // guards faks
+	fs  *FS
+	uid string
+	// The FAK map lock is self-contained: it is never held across a call
+	// into FS (every method copies what it needs and releases first), but
+	// it may be taken while a namespace op holds nsMu, so it sits between
+	// nsMu and the gate.
+	//
+	// lockcheck:level 15 volume/viewMu
+	mu sync.RWMutex // guards faks
+	// lockcheck:guardedby mu
 	faks map[string][]byte
 }
 

@@ -16,11 +16,20 @@ import "sync"
 type CutStore struct {
 	store Store
 
-	mu      sync.Mutex
-	limit   int64 // accepted-write budget; < 0 = unlimited
-	writes  int64 // writes accepted so far
+	// c.mu is deliberately NOT noio: WriteBlock holds it across the wrapped
+	// store's write so the cut point is exact under concurrent writers.
+	//
+	// lockcheck:level 64 volume/cutMu
+	mu sync.Mutex
+	// lockcheck:guardedby mu
+	limit int64 // accepted-write budget; < 0 = unlimited
+	// lockcheck:guardedby mu
+	writes int64 // writes accepted so far
+	// lockcheck:guardedby mu
 	dropped int64 // writes silently discarded after the cut
-	trace   []int64
+	// lockcheck:guardedby mu
+	trace []int64
+	// lockcheck:guardedby mu
 	tracing bool
 }
 

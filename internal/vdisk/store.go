@@ -19,10 +19,13 @@ type Store interface {
 // MemStore is an in-memory block store. It is the default substrate for
 // tests and benchmarks; contents are zero until written.
 type MemStore struct {
+	// lockcheck:level 66 volume/memMu
 	mu        sync.RWMutex
 	blockSize int
-	data      []byte
-	closed    bool
+	// lockcheck:guardedby mu
+	data []byte
+	// lockcheck:guardedby mu
+	closed bool
 }
 
 // NewMemStore creates an in-memory store with numBlocks blocks of blockSize
@@ -38,11 +41,15 @@ func NewMemStore(numBlocks int64, blockSize int) (*MemStore, error) {
 }
 
 // NumBlocks returns the number of blocks.
-func (m *MemStore) NumBlocks() int64 { return int64(len(m.data) / m.blockSize) }
+func (m *MemStore) NumBlocks() int64 {
+	// lockcheck:ignore the slice header is immutable after construction; only the contents are guarded
+	return int64(len(m.data) / m.blockSize)
+}
 
 // BlockSize returns the block size in bytes.
 func (m *MemStore) BlockSize() int { return m.blockSize }
 
+// lockcheck:holds volume/memMu shared
 func (m *MemStore) check(n int64, buf []byte) error {
 	if m.closed {
 		return ErrClosed
@@ -114,11 +121,14 @@ var _ Store = (*MemStore)(nil)
 // FileStore is a block store backed by a single file on the host file
 // system. The file is created (or truncated to size) on open.
 type FileStore struct {
-	mu        sync.Mutex
+	// lockcheck:level 67 volume/fileMu
+	mu sync.Mutex
+	// lockcheck:guardedby mu
 	f         *os.File
 	blockSize int
 	numBlocks int64
-	closed    bool
+	// lockcheck:guardedby mu
+	closed bool
 }
 
 // CreateFileStore creates (or truncates) path as a volume of numBlocks
@@ -165,6 +175,7 @@ func (s *FileStore) NumBlocks() int64 { return s.numBlocks }
 // BlockSize returns the block size in bytes.
 func (s *FileStore) BlockSize() int { return s.blockSize }
 
+// lockcheck:holds volume/fileMu
 func (s *FileStore) check(n int64, buf []byte) error {
 	if s.closed {
 		return ErrClosed

@@ -37,8 +37,12 @@ var (
 // Both raw stores (no timing) and Disk (timing simulator) implement it.
 type Device interface {
 	// ReadBlock reads block n into buf. len(buf) must equal BlockSize().
+	//
+	// lockcheck:io
 	ReadBlock(n int64, buf []byte) error
 	// WriteBlock writes buf to block n. len(buf) must equal BlockSize().
+	//
+	// lockcheck:io
 	WriteBlock(n int64, buf []byte) error
 	// NumBlocks returns the number of blocks on the device.
 	NumBlocks() int64
@@ -57,8 +61,12 @@ type BatchDevice interface {
 	Device
 	// ReadBlocks reads block ns[i] into bufs[i] for every i. len(ns) must
 	// equal len(bufs) and every buffer must be exactly one block long.
+	//
+	// lockcheck:io
 	ReadBlocks(ns []int64, bufs [][]byte) error
 	// WriteBlocks writes bufs[i] to block ns[i] for every i.
+	//
+	// lockcheck:io
 	WriteBlocks(ns []int64, bufs [][]byte) error
 }
 
@@ -198,18 +206,29 @@ type Stats struct {
 // Disk wraps a Store with the mechanical timing simulator. It is safe for
 // concurrent use; requests are serialized exactly like a single spindle.
 type Disk struct {
+	// The timing state below is mutated per request, but the store I/O
+	// itself always runs outside the mutex (the noio flag enforces that):
+	// a held d.mu only ever covers clock arithmetic, never a device wait.
+	//
+	// lockcheck:level 62 volume/diskMu noio
 	mu    sync.Mutex
 	store Store
 	geom  Geometry
 
-	clock   time.Duration
+	// lockcheck:guardedby mu
+	clock time.Duration
+	// lockcheck:guardedby mu
 	headPos int64 // next block after the last serviced request; -1 = unknown
-	raEnd   int64 // exclusive end of the current read-ahead window
-	stats   Stats
+	// lockcheck:guardedby mu
+	raEnd int64 // exclusive end of the current read-ahead window
+	// lockcheck:guardedby mu
+	stats Stats
 
 	// emuScale > 0 turns on latency emulation: every request additionally
 	// sleeps emuScale x its simulated service time, outside d.mu. See
 	// EmulateLatency.
+	//
+	// lockcheck:guardedby mu
 	emuScale float64
 }
 
@@ -398,6 +417,8 @@ func (d *Disk) CostOf(n int64, read bool) time.Duration {
 
 // chargeLocked computes the service time for a request on block n and
 // updates the head position and read-ahead window. Caller holds d.mu.
+//
+// lockcheck:holds volume/diskMu
 func (d *Disk) chargeLocked(n int64, read bool) time.Duration {
 	bs := d.store.BlockSize()
 	total := d.store.NumBlocks()
