@@ -17,7 +17,7 @@
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
 // ablate-concurrency, ablate-write-concurrency, ablate-cached-write,
-// ablate-stegdb, all.
+// ablate-stegdb, ablate-faults, all.
 package main
 
 import (
@@ -87,7 +87,7 @@ func emitSeries(experiment string, series []bench.Series, xLabel, yLabel string)
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ida|all")
+		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ablate-faults|ida|all")
 		scale    = flag.String("scale", "small", "workload scale: paper|small")
 		volume   = flag.Int64("volume", 0, "override volume size in bytes")
 		bs       = flag.Int("bs", 0, "override block size in bytes")
@@ -160,7 +160,26 @@ func main() {
 	run("ablate-write-concurrency", runAblateWriteConcurrency)
 	run("ablate-cached-write", runAblateCachedWrite)
 	run("ablate-stegdb", runAblateStegDB)
+	run("ablate-faults", runAblateFaults)
 	run("ida", runIDA)
+}
+
+func runAblateFaults(cfg bench.Config) error {
+	fmt.Println("Ablation A-F — transient device faults (create/read/rewrite hidden-file workload):")
+	fmt.Println("  fault-rate  retries-max       ops   errors  goodput  dev-retries  giveups  injected  read-only  disk-sec")
+	for _, maxRetries := range []int{6, 0} {
+		rows, err := bench.FaultSweep(cfg, nil, maxRetries)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("  %10.3f  %11d  %8d  %7d  %6.1f%%  %11d  %7d  %8d  %9v  %8.4f\n",
+				r.Rate, r.MaxRetries, r.Ops, r.OpErrors, r.Goodput*100,
+				r.Retries, r.GiveUps, r.Faults, r.ReadOnly, r.SimSeconds)
+			emit("ablate-faults", r)
+		}
+	}
+	return nil
 }
 
 func runAblatePolicy(cfg bench.Config) error {

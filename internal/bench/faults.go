@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stegfs/internal/stegfs"
+	"stegfs/internal/vdisk"
+	"stegfs/internal/workload"
+)
+
+// FaultRow is one row of the fault-injection ablation: a fixed hidden-file
+// workload run against a device injecting transient faults at Rate, with or
+// without the retry layer. Goodput is the fraction of FS operations that
+// completed; with retries enabled it should stay at 1.0 well past realistic
+// fault rates, with the cost visible only in the retry counters.
+type FaultRow struct {
+	Rate       float64 // per-block-access transient fault probability
+	MaxRetries int     // retry budget (0 = no retry layer mounted)
+	Ops        int     // FS-level operations attempted
+	OpErrors   int     // operations that returned an error
+	Goodput    float64 // (Ops-OpErrors)/Ops
+	Retries    int64   // device accesses reissued by the retry layer
+	GiveUps    int64   // accesses abandoned after exhausting the budget
+	Faults     int64   // faults the device actually injected
+	ReadOnly   bool    // did the mount degrade before the workload finished
+	SimSeconds float64 // simulated disk service time
+}
+
+// FaultSweep runs the robustness ablation: the same create/read/rewrite
+// workload at each transient-fault rate. Faults are armed only after format
+// so every run starts from an identical volume.
+func FaultSweep(cfg Config, rates []float64, maxRetries int) ([]FaultRow, error) {
+	if rates == nil {
+		rates = []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05}
+	}
+	var out []FaultRow
+	for _, rate := range rates {
+		row, err := faultPoint(cfg, rate, maxRetries)
+		if err != nil {
+			return nil, fmt.Errorf("fault rate %v: %w", rate, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func faultPoint(cfg Config, rate float64, maxRetries int) (FaultRow, error) {
+	store, err := vdisk.NewMemStore(cfg.NumBlocks(), cfg.BlockSize)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	fstore := vdisk.NewFaultStore(store, cfg.Seed+int64(rate*1e6))
+	disk := vdisk.NewDisk(fstore, cfg.Geometry)
+	p := cfg.Steg
+	p.Seed = cfg.Seed
+	var opts []stegfs.Option
+	if maxRetries > 0 {
+		opts = append(opts, stegfs.WithRetry(maxRetries))
+	}
+	fs, err := stegfs.Format(disk, p, opts...)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	// Each injected incident clears after two attempts: the workload
+	// measures transient noise, not permanently dead sectors.
+	fstore.SetTransientRates(rate, rate, 2)
+
+	view := fs.NewHiddenView("faults")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	row := FaultRow{Rate: rate, MaxRetries: maxRetries}
+	op := func(err error) {
+		row.Ops++
+		if err != nil {
+			row.OpErrors++
+		}
+	}
+	nFiles := cfg.NumFiles / 2
+	if nFiles < 4 {
+		nFiles = 4
+	}
+	for i := 0; i < nFiles; i++ {
+		size := cfg.FileLo + 1 + rng.Int63n(cfg.FileHi-cfg.FileLo)
+		spec := workload.FileSpec{Name: fmt.Sprintf("f%04d", i), Size: size}
+		op(view.Create(spec.Name, workload.Payload(spec, cfg.Seed)))
+		_, err := view.Read(spec.Name)
+		op(err)
+		spec.Size = cfg.FileLo + 1 + rng.Int63n(cfg.FileHi-cfg.FileLo)
+		op(view.Write(spec.Name, workload.Payload(spec, cfg.Seed+1)))
+		_, err = view.Read(spec.Name)
+		op(err)
+		if i%8 == 7 {
+			op(fs.Sync())
+		}
+	}
+	op(fs.Sync())
+
+	fstore.Disarm()
+	h := fs.Health()
+	fst := fstore.Stats()
+	row.Goodput = float64(row.Ops-row.OpErrors) / float64(row.Ops)
+	row.Retries = h.Retries
+	row.GiveUps = h.GiveUps
+	row.Faults = fst.ReadFaults + fst.WriteFaults
+	row.ReadOnly = h.ReadOnly
+	row.SimSeconds = disk.Stats().Busy.Seconds()
+	return row, nil
+}

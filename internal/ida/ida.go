@@ -15,7 +15,9 @@ package ida
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"stegfs/internal/gf256"
 )
@@ -24,11 +26,21 @@ import (
 // field elements.
 const MaxShares = 128
 
+// shareHdrLen is the per-share header: 8 bytes original length + 4 bytes
+// CRC32 (IEEE) of the fragment payload.
+const shareHdrLen = 12
+
+// ErrCorruptShare reports a share whose payload fails its integrity check.
+// Without the checksum a bit-flipped share decodes to garbage plaintext —
+// GF(2^8) reconstruction mixes every share into every output byte.
+var ErrCorruptShare = errors.New("ida: share payload corrupt")
+
 // Share is one dispersal fragment.
 type Share struct {
 	// Index identifies the matrix row used to build this share (0..n-1).
 	Index int
-	// Data is the fragment payload, ceil(len(input)/m) + header bytes.
+	// Data is the fragment: a 12-byte header (original length + payload
+	// CRC32) followed by ceil(len(input)/m) payload bytes.
 	Data []byte
 }
 
@@ -76,13 +88,14 @@ func Split(data []byte, p Params) ([]Share, error) {
 	shares := make([]Share, n)
 	for i := 0; i < n; i++ {
 		row := cauchyRow(i, m)
-		frag := make([]byte, 8+cols)
+		frag := make([]byte, shareHdrLen+cols)
 		binary.BigEndian.PutUint64(frag, uint64(len(data)))
-		out := frag[8:]
+		out := frag[shareHdrLen:]
 		for j := 0; j < m; j++ {
 			// Column-major: byte j of every column forms a stride-m view.
 			gf256.MulSlice(row[j], out, stride(padded, j, m, cols))
 		}
+		binary.BigEndian.PutUint32(frag[8:], crc32.ChecksumIEEE(out))
 		shares[i] = Share{Index: i, Data: frag}
 	}
 	return shares, nil
@@ -107,7 +120,7 @@ func Reconstruct(shares []Share, p Params) ([]byte, error) {
 		return nil, fmt.Errorf("ida: %d shares < quorum %d", len(shares), m)
 	}
 	use := shares[:m]
-	cols := len(use[0].Data) - 8
+	cols := len(use[0].Data) - shareHdrLen
 	if cols < 0 {
 		return nil, fmt.Errorf("ida: share too short")
 	}
@@ -121,11 +134,14 @@ func Reconstruct(shares []Share, p Params) ([]byte, error) {
 			return nil, fmt.Errorf("ida: duplicate share index %d", s.Index)
 		}
 		seen[s.Index] = true
-		if len(s.Data)-8 != cols {
+		if len(s.Data)-shareHdrLen != cols {
 			return nil, fmt.Errorf("ida: share lengths differ")
 		}
 		if int(binary.BigEndian.Uint64(s.Data)) != origLen {
 			return nil, fmt.Errorf("ida: share headers disagree on length")
+		}
+		if crc32.ChecksumIEEE(s.Data[shareHdrLen:]) != binary.BigEndian.Uint32(s.Data[8:]) {
+			return nil, fmt.Errorf("ida: share %d: %w", s.Index, ErrCorruptShare)
 		}
 	}
 	if origLen > cols*m {
@@ -147,7 +163,7 @@ func Reconstruct(shares []Share, p Params) ([]byte, error) {
 	for j := 0; j < m; j++ {
 		acc := make([]byte, cols)
 		for k := 0; k < m; k++ {
-			gf256.MulSlice(inv[j][k], acc, use[k].Data[8:])
+			gf256.MulSlice(inv[j][k], acc, use[k].Data[shareHdrLen:])
 		}
 		for c := 0; c < cols; c++ {
 			padded[c*m+j] = acc[c]

@@ -2,6 +2,7 @@ package ida
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -66,8 +67,8 @@ func TestShareSizesAndOverhead(t *testing.T) {
 		t.Fatal(err)
 	}
 	perShare := len(shares[0].Data)
-	if perShare != 8+1000 { // header + ceil(4000/4)
-		t.Fatalf("share size %d, want 1008", perShare)
+	if perShare != 12+1000 { // header (length + CRC) + ceil(4000/4)
+		t.Fatalf("share size %d, want 1012", perShare)
 	}
 	total := perShare * len(shares)
 	// Total ~= (n/m) x data (+ headers); for (4,8) that is 2x.
@@ -187,5 +188,50 @@ func TestLossResilience(t *testing.T) {
 	// Lose 4: impossible.
 	if _, err := Reconstruct(shares[4:], p); err == nil {
 		t.Fatal("reconstruction beyond loss budget should fail")
+	}
+}
+
+// TestReconstructRejectsCorruptShare: a bit-flipped share must be detected,
+// not silently mixed into garbage plaintext (GF(2^8) reconstruction spreads
+// a single flipped payload bit across the whole output).
+func TestReconstructRejectsCorruptShare(t *testing.T) {
+	p := Params{M: 3, N: 5}
+	data := mk(500, 9)
+	shares, err := Split(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bit := range []int{0, 7, 13, 1000} {
+		corrupt := make([]Share, 3)
+		copy(corrupt, shares[:3])
+		flipped := append([]byte(nil), shares[1].Data...)
+		off := 12 + bit/8 // flip inside the payload, past the header
+		if off >= len(flipped) {
+			off = len(flipped) - 1
+		}
+		flipped[off] ^= 1 << (bit % 8)
+		corrupt[1] = Share{Index: shares[1].Index, Data: flipped}
+		_, err := Reconstruct(corrupt, p)
+		if !errors.Is(err, ErrCorruptShare) {
+			t.Fatalf("bit %d: want ErrCorruptShare, got %v", bit, err)
+		}
+	}
+	// A header flip (length word) is caught by the header-agreement check,
+	// not the CRC — but it must still fail loudly.
+	corrupt := make([]Share, 3)
+	copy(corrupt, shares[:3])
+	flipped := append([]byte(nil), shares[0].Data...)
+	flipped[7] ^= 1
+	corrupt[0] = Share{Index: shares[0].Index, Data: flipped}
+	if _, err := Reconstruct(corrupt, p); err == nil {
+		t.Fatal("corrupted length header accepted")
+	}
+	// Untouched shares still reconstruct.
+	got, err := Reconstruct(shares[:3], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("clean shares failed after corruption trials")
 	}
 }

@@ -46,11 +46,13 @@ type FS struct {
 	// lockcheck:level 30 volume/createMu
 	createMu [createStripes]sync.Mutex // name stripes: same-(name,key) creates serialize here
 	dev      vdisk.Device
-	cache    *blockcache.Cache // non-nil when mounted through WithCache
-	alloc    *alloc.Allocator  // sharded allocator over the volume bitmap
+	cache    *blockcache.Cache  // non-nil when mounted through WithCache
+	retry    *vdisk.RetryDevice // non-nil when mounted through WithRetry
+	alloc    *alloc.Allocator   // sharded allocator over the volume bitmap
 	sb       *superblock
 	params   Params
 	plain    *plainfs.Volume
+	health   healthState // read-only degradation state (see health.go)
 }
 
 // createStripe returns the name-stripe mutex for a physical name.
@@ -71,6 +73,8 @@ type mountConfig struct {
 	writeBehind  int
 	flushWorkers int
 	allocGroups  int
+	retryPolicy  *vdisk.RetryPolicy
+	retry        *vdisk.RetryDevice // set by applyOptions when retryPolicy != nil
 }
 
 // WithCache mounts the volume through a blockcache of the given capacity (in
@@ -125,11 +129,28 @@ func WithAllocGroups(groups int) Option {
 	return func(c *mountConfig) { c.allocGroups = groups }
 }
 
-// applyOptions resolves opts and wraps dev in a cache when requested.
+// WithRetry mounts the volume through a vdisk.RetryDevice: transient device
+// faults (vdisk.ErrTransient, vdisk.ErrIO) are absorbed by bounded retries
+// with exponential backoff below the cache, so they never reach the FS and
+// never degrade the mount. maxRetries <= 0 selects the policy default.
+// FS.Health reports the retry/give-up counters.
+func WithRetry(maxRetries int) Option {
+	return func(c *mountConfig) {
+		c.retryPolicy = &vdisk.RetryPolicy{MaxRetries: maxRetries}
+	}
+}
+
+// applyOptions resolves opts and wraps dev in a retry layer and/or a cache
+// when requested (stacking retry below the cache, so flushed write-backs are
+// retried too).
 func applyOptions(dev vdisk.Device, opts []Option) (vdisk.Device, *blockcache.Cache, mountConfig, error) {
 	var cfg mountConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.retryPolicy != nil {
+		cfg.retry = vdisk.NewRetryDevice(dev, *cfg.retryPolicy)
+		dev = cfg.retry
 	}
 	if cfg.cacheBlocks > 0 {
 		c, err := blockcache.NewWithOptions(dev, blockcache.Options{
@@ -279,7 +300,7 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (_ *FS, retErr erro
 		}
 	}
 
-	fs := &FS{dev: dev, cache: cache, alloc: al, sb: sb, params: params, objs: newLockTable()}
+	fs := &FS{dev: dev, cache: cache, retry: mcfg.retry, alloc: al, sb: sb, params: params, objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: params.MaxPlainFiles,
@@ -365,7 +386,7 @@ func Mount(dev vdisk.Device, opts ...Option) (_ *FS, retErr error) {
 	if err != nil {
 		return nil, err
 	}
-	fs := &FS{dev: dev, cache: cache, alloc: al, sb: sb, params: params, objs: newLockTable()}
+	fs := &FS{dev: dev, cache: cache, retry: mcfg.retry, alloc: al, sb: sb, params: params, objs: newLockTable()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),
@@ -395,7 +416,10 @@ func (fs *FS) Sync() error {
 	defer fs.objs.Unfreeze()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.syncLocked()
+	// A failed barrier means the device could not persist data that mutators
+	// already believe durable — if it is a device-class fault, degrade the
+	// mount so further mutations fail fast instead of widening the loss.
+	return fs.observe(fs.syncLocked())
 }
 
 // lockcheck:holds volume/fsMu
@@ -497,9 +521,12 @@ func (fs *FS) SchemeName() string { return "StegFS" }
 
 // Create stores a plain file through the central directory.
 func (fs *FS) Create(name string, data []byte) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
 	fs.objs.EnterGate()
 	defer fs.objs.ExitGate()
-	return fs.plain.Create(name, data)
+	return fs.observe(fs.plain.Create(name, data))
 }
 
 // Read returns a plain file's contents.
@@ -509,16 +536,22 @@ func (fs *FS) Read(name string) ([]byte, error) {
 
 // Write replaces a plain file's contents.
 func (fs *FS) Write(name string, data []byte) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
 	fs.objs.EnterGate()
 	defer fs.objs.ExitGate()
-	return fs.plain.Write(name, data)
+	return fs.observe(fs.plain.Write(name, data))
 }
 
 // Delete removes a plain file.
 func (fs *FS) Delete(name string) error {
+	if err := fs.checkWritable(); err != nil {
+		return err
+	}
 	fs.objs.EnterGate()
 	defer fs.objs.ExitGate()
-	return fs.plain.Delete(name)
+	return fs.observe(fs.plain.Delete(name))
 }
 
 // Stat describes a plain file.

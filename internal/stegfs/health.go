@@ -1,0 +1,91 @@
+package stegfs
+
+import (
+	"errors"
+	"sync"
+
+	"stegfs/internal/vdisk"
+)
+
+// ErrReadOnly reports a mutation attempted on a degraded mount. After an
+// unrecoverable device write error the FS flips to read-only: reads keep
+// serving from whatever is reachable, mutators fail fast with this error
+// instead of wedging behind a device that cannot persist them.
+var ErrReadOnly = errors.New("stegfs: volume degraded to read-only")
+
+// Health describes a mount's fault state, surfaced by FS.Health.
+type Health struct {
+	// ReadOnly is true once an unrecoverable write error degraded the mount.
+	ReadOnly bool
+	// Reason is the error that caused the degradation ("" while healthy).
+	Reason string
+	// Faults counts device-class write failures observed by the FS — with a
+	// healthy retry layer underneath this stays 0, transients included.
+	Faults int64
+	// DirtyBlocks is the cache's dirty backlog (0 when uncached).
+	DirtyBlocks int
+	// Retries and GiveUps are the retry layer's counters when the volume is
+	// mounted WithRetry (0 otherwise).
+	Retries int64
+	GiveUps int64
+}
+
+// healthState carries the degradation flag. Its mutex is a guard-only leaf:
+// deliberately unleveled (like the lockTable's internal mutex), it is taken
+// only for field access, never while acquiring any other lock or doing I/O,
+// so it can be consulted from any point in the hierarchy.
+type healthState struct {
+	mu sync.Mutex
+	// lockcheck:guardedby mu
+	roReason error // first unrecoverable write error; nil while writable
+	// lockcheck:guardedby mu
+	faults int64
+}
+
+// checkWritable gates every mutator entry point: once the mount is degraded,
+// mutations fail fast with ErrReadOnly.
+func (fs *FS) checkWritable() error {
+	fs.health.mu.Lock()
+	defer fs.health.mu.Unlock()
+	if fs.health.roReason != nil {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// observe inspects an error leaving a write path. Device-class faults
+// (vdisk.IsFault) count and degrade the mount; logical errors (ErrNoSpace,
+// ErrExists, ...) pass through untouched. Returns err for chaining.
+func (fs *FS) observe(err error) error {
+	if err == nil || !vdisk.IsFault(err) {
+		return err
+	}
+	fs.health.mu.Lock()
+	defer fs.health.mu.Unlock()
+	fs.health.faults++
+	if fs.health.roReason == nil {
+		fs.health.roReason = err
+	}
+	return err
+}
+
+// Health reports the mount's current fault state.
+func (fs *FS) Health() Health {
+	fs.health.mu.Lock()
+	ro := fs.health.roReason
+	faults := fs.health.faults
+	fs.health.mu.Unlock()
+	h := Health{Faults: faults}
+	if ro != nil {
+		h.ReadOnly = true
+		h.Reason = ro.Error()
+	}
+	if fs.cache != nil {
+		h.DirtyBlocks = fs.cache.Dirty()
+	}
+	if fs.retry != nil {
+		st := fs.retry.Stats()
+		h.Retries, h.GiveUps = st.Retries, st.GiveUps
+	}
+	return h
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,14 +20,25 @@ import (
 const hdrNumDirect = 24
 
 // hdrMagic follows the signature inside a decrypted header; it is redundant
-// with the signature (which is what actually authenticates the header) and
-// exists as a cheap self-check for corruption diagnostics.
+// with the signature (which identifies the header as ours) and exists as a
+// cheap self-check for corruption diagnostics.
 var hdrMagic = [4]byte{'S', 'G', 'H', '1'}
 
+// hdrCRCOff / hdrBodyOff delimit the header content checksum: a CRC32 of
+// everything after the checksum field. The signature only proves the block
+// belongs to (name, key) — it says nothing about the fields, and the CTR
+// seal is malleable, so a media bit flip in size/nblocks/pointers would
+// otherwise decode cleanly and send readers chasing garbage. The CRC makes
+// post-decrypt corruption a detectable error instead.
+const (
+	hdrCRCOff  = 37
+	hdrBodyOff = 41
+)
+
 // hdrFixedLen is the length of the fixed part of a hidden header:
-// sig(32) magic(4) flags(1) pad(3) size(8) nblocks(8)
+// sig(32) magic(4) flags(1) crc(4) pad(3) size(8) nblocks(8)
 // direct(24*8) single(8) double(8) freeCount(2).
-const hdrFixedLen = 32 + 4 + 1 + 3 + 8 + 8 + hdrNumDirect*8 + 8 + 8 + 2
+const hdrFixedLen = 32 + 4 + 1 + 4 + 3 + 8 + 8 + hdrNumDirect*8 + 8 + 8 + 2
 
 // header is the in-memory form of a hidden object's header block (Figure 2:
 // signature, link to inode table, free-blocks list).
@@ -57,7 +69,7 @@ func encodeHeader(h *header, buf []byte) error {
 	copy(buf, h.sig[:])
 	copy(buf[32:], hdrMagic[:])
 	buf[36] = h.flags
-	off := 40
+	off := 44
 	binary.BigEndian.PutUint64(buf[off:], uint64(h.size))
 	binary.BigEndian.PutUint64(buf[off+8:], uint64(h.nblocks))
 	off += 16
@@ -76,6 +88,7 @@ func encodeHeader(h *header, buf []byte) error {
 	for i, b := range h.free {
 		binary.BigEndian.PutUint64(buf[off+i*8:], uint64(b))
 	}
+	binary.BigEndian.PutUint32(buf[hdrCRCOff:], crc32.ChecksumIEEE(buf[hdrBodyOff:]))
 	return nil
 }
 
@@ -94,10 +107,13 @@ func decodeHeader(buf []byte, wantSig [sgcrypto.SignatureLen]byte) (*header, boo
 		// corruption. Report it loudly.
 		return nil, false, fmt.Errorf("stegfs: header signature match with corrupt magic")
 	}
+	if got := crc32.ChecksumIEEE(buf[hdrBodyOff:]); got != binary.BigEndian.Uint32(buf[hdrCRCOff:]) {
+		return nil, false, fmt.Errorf("stegfs: header content checksum mismatch")
+	}
 	h := &header{root: ptree.NewRoot(hdrNumDirect)}
 	copy(h.sig[:], buf[:32])
 	h.flags = buf[36]
-	off := 40
+	off := 44
 	h.size = int64(binary.BigEndian.Uint64(buf[off:]))
 	h.nblocks = int64(binary.BigEndian.Uint64(buf[off+8:]))
 	off += 16
@@ -357,6 +373,13 @@ func (fs *FS) openExclusive(physName string, fak []byte) (*hiddenRef, error) {
 }
 
 func (fs *FS) openHidden(physName string, fak []byte, exclusive bool) (*hiddenRef, error) {
+	if exclusive {
+		// Exclusive opens exist to mutate; a degraded mount refuses them
+		// up front (reads — shared opens — keep serving).
+		if err := fs.checkWritable(); err != nil {
+			return nil, err
+		}
+	}
 	r, err := fs.probeHeader(physName, fak)
 	if err != nil {
 		return nil, err
@@ -480,6 +503,9 @@ func (fs *FS) poolAlloc(r *hiddenRef) ptree.AllocFunc {
 // group). The bulk data write then runs under the new object's exclusive
 // lock only; pool interactions go straight to the sharded allocator.
 func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte) (*hiddenRef, error) {
+	if err := fs.checkWritable(); err != nil {
+		return nil, err
+	}
 	sealer, err := sgcrypto.NewSealer(physName, fak)
 	if err != nil {
 		return nil, err
@@ -587,7 +613,7 @@ func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
 	bufs := payloadBufs(data, len(blocks), bs)
 	if err := io.WriteBlocks(blocks, bufs); err != nil {
 		fs.releaseFailedWrite(r, blocks)
-		return err
+		return fs.observe(err)
 	}
 	root, meta, err := ptree.Write(io, fs.poolAlloc(r), hdrNumDirect, blocks)
 	if err != nil {
@@ -595,7 +621,7 @@ func (fs *FS) writeHiddenData(r *hiddenRef, data []byte) error {
 		// release them along with the data blocks or a failed large write
 		// leaks every indirect block it managed to allocate.
 		fs.releaseFailedWrite(r, append(blocks, meta...))
-		return err
+		return fs.observe(err)
 	}
 	r.hdr.root = root
 	r.hdr.size = int64(len(data))
@@ -628,7 +654,9 @@ func (fs *FS) flushHeader(r *hiddenRef) error {
 	if err := encodeHeader(r.hdr, buf); err != nil {
 		return err
 	}
-	return r.io(fs.dev).WriteBlock(r.headerBlk, buf)
+	// Header writes are the durability chokepoint for every hidden mutation;
+	// a device-class failure here degrades the mount (see health.go).
+	return fs.observe(r.io(fs.dev).WriteBlock(r.headerBlk, buf))
 }
 
 // readHidden returns the full payload of an open hidden object: one batched
@@ -666,7 +694,7 @@ func (fs *FS) rewriteHidden(r *hiddenRef, data []byte) error {
 	}
 	if n == r.hdr.nblocks {
 		if err := io.WriteBlocks(blocks, payloadBufs(data, len(blocks), bs)); err != nil {
-			return err
+			return fs.observe(err)
 		}
 		r.hdr.size = int64(len(data))
 		return fs.flushHeader(r)

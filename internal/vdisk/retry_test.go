@@ -1,0 +1,227 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sleepRecorder collects the backoff waits a RetryDevice asked for.
+type sleepRecorder struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (s *sleepRecorder) sleep(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waits = append(s.waits, d)
+}
+
+func newRetryFixture(t *testing.T, pol RetryPolicy) (*FaultStore, *RetryDevice, *sleepRecorder) {
+	t.Helper()
+	mem, err := NewMemStore(64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(mem, 11)
+	rec := &sleepRecorder{}
+	pol.Sleep = rec.sleep
+	return fs, NewRetryDevice(fs, pol), rec
+}
+
+func TestRetryDeviceAbsorbsTransients(t *testing.T) {
+	fs, dev, rec := newRetryFixture(t, RetryPolicy{MaxRetries: 4})
+	fs.SetTransientRates(1, 1, 3) // every op: exactly 3 failures then success
+	buf := fillBlock(1, 512)
+	if err := dev.WriteBlock(9, buf); err != nil {
+		t.Fatalf("retry should absorb a 3-failure incident: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("payload mismatch through retry layer")
+	}
+	st := dev.Stats()
+	if st.Retries != 6 || st.GiveUps != 0 {
+		t.Fatalf("want 6 retries 0 giveups, got %+v", st)
+	}
+	if len(rec.waits) != 6 {
+		t.Fatalf("want 6 backoff sleeps, got %d", len(rec.waits))
+	}
+}
+
+func TestRetryDeviceBackoffGrowsWithJitter(t *testing.T) {
+	fs, dev, rec := newRetryFixture(t, RetryPolicy{
+		MaxRetries: 6,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   8 * time.Millisecond,
+	})
+	fs.SetTransientRates(1, 0, 6)
+	if err := dev.ReadBlock(0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.waits) != 6 {
+		t.Fatalf("want 6 waits, got %d", len(rec.waits))
+	}
+	// Equal jitter: attempt i waits in [base*2^i/2, base*2^i], capped.
+	delay := time.Millisecond
+	for i, w := range rec.waits {
+		if w < delay/2 || w > delay {
+			t.Fatalf("wait %d = %v outside [%v, %v]", i, w, delay/2, delay)
+		}
+		delay *= 2
+		if delay > 8*time.Millisecond {
+			delay = 8 * time.Millisecond
+		}
+	}
+}
+
+func TestRetryDeviceGivesUp(t *testing.T) {
+	fs, dev, _ := newRetryFixture(t, RetryPolicy{MaxRetries: 2})
+	fs.SetTransientRates(0, 1, 100) // incident longer than the budget
+	err := dev.WriteBlock(1, fillBlock(2, 512))
+	if err == nil {
+		t.Fatal("want give-up error")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("give-up must preserve the fault class: %v", err)
+	}
+	st := dev.Stats()
+	if st.GiveUps != 1 || st.Retries != 2 {
+		t.Fatalf("want 2 retries 1 giveup, got %+v", st)
+	}
+}
+
+func TestRetryDeviceDoesNotRetryUsageOrCorrupt(t *testing.T) {
+	fs, dev, rec := newRetryFixture(t, RetryPolicy{MaxRetries: 4})
+	buf := fillBlock(3, 512)
+	if err := dev.WriteBlock(999, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	fs.FailWrite(4)
+	if err := dev.WriteBlock(4, buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if len(rec.waits) != 0 {
+		t.Fatal("non-retryable errors must not back off")
+	}
+	if st := dev.Stats(); st.Retries != 0 {
+		t.Fatalf("non-retryable errors must not count retries: %+v", st)
+	}
+}
+
+func TestRetryDeviceBatchRetry(t *testing.T) {
+	fs, dev, _ := newRetryFixture(t, RetryPolicy{MaxRetries: 4})
+	ns := []int64{10, 11, 12, 13}
+	bufs := make([][]byte, len(ns))
+	for i := range bufs {
+		bufs[i] = fillBlock(byte(i), 512)
+	}
+	fs.FailNextWrites(10, 2) // first block of the batch fails twice
+	if err := dev.WriteBlocks(ns, bufs); err != nil {
+		t.Fatalf("batch retry failed: %v", err)
+	}
+	got := make([][]byte, len(ns))
+	for i := range got {
+		got[i] = make([]byte, 512)
+	}
+	if err := dev.ReadBlocks(ns, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ns {
+		if !bytes.Equal(got[i], bufs[i]) {
+			t.Fatalf("block %d mismatch after batch retry", ns[i])
+		}
+	}
+	if dev.Stats().Retries == 0 {
+		t.Fatal("expected at least one batch retry")
+	}
+}
+
+// TestRetryDeviceThroughDisk checks the intended stack order: a Disk over a
+// FaultStore, wrapped by RetryDevice. A failed store pass charges the Disk
+// nothing, so the retry reissues an uncharged batch and only the successful
+// submission hits the simulator clock.
+func TestRetryDeviceThroughDisk(t *testing.T) {
+	mem, err := NewMemStore(64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(mem, 3)
+	disk := NewDisk(fs, DefaultGeometry())
+	rec := &sleepRecorder{}
+	dev := NewRetryDevice(disk, RetryPolicy{MaxRetries: 4, Sleep: rec.sleep})
+	fs.SetTransientRates(0, 1, 2)
+	buf := fillBlock(9, 512)
+	if err := dev.WriteBlock(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := disk.Stats()
+	if st.Writes != 1 {
+		t.Fatalf("failed attempts must not be charged: disk saw %d writes", st.Writes)
+	}
+}
+
+func TestRetryDeviceConcurrent(t *testing.T) {
+	fs, dev, _ := newRetryFixture(t, RetryPolicy{MaxRetries: 8})
+	fs.SetTransientRates(0.05, 0.05, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := fillBlock(byte(g), 512)
+			got := make([]byte, 512)
+			for i := 0; i < 50; i++ {
+				n := int64((g*50 + i) % 64)
+				if err := dev.WriteBlock(n, buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if err := dev.ReadBlock(n, got); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRetryDeviceBatchFallsBackPerBlock: at a fault rate where some write in
+// every whole-batch attempt fails, the device must degrade to per-block
+// retries — whole-batch reissue would multiply the fault rate by the batch
+// size and never complete.
+func TestRetryDeviceBatchFallsBackPerBlock(t *testing.T) {
+	fs, dev, _ := newRetryFixture(t, RetryPolicy{MaxRetries: 4})
+	fs.SetTransientRates(1, 1, 2) // every fresh access starts a 2-fail incident
+	ns := make([]int64, 16)
+	bufs := make([][]byte, len(ns))
+	for i := range ns {
+		ns[i] = int64(10 + i)
+		bufs[i] = fillBlock(byte(i), 512)
+	}
+	if err := dev.WriteBlocks(ns, bufs); err != nil {
+		t.Fatalf("batch under total transient noise: %v", err)
+	}
+	got := make([][]byte, len(ns))
+	for i := range got {
+		got[i] = make([]byte, 512)
+	}
+	if err := dev.ReadBlocks(ns, got); err != nil {
+		t.Fatalf("read-back under total transient noise: %v", err)
+	}
+	for i := range ns {
+		if !bytes.Equal(got[i], bufs[i]) {
+			t.Fatalf("block %d mismatch after per-block fallback", ns[i])
+		}
+	}
+	if st := dev.Stats(); st.GiveUps != 0 {
+		t.Fatalf("per-block fallback gave up %d times", st.GiveUps)
+	}
+}

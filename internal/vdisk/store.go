@@ -196,8 +196,10 @@ func (s *FileStore) ReadBlock(n int64, buf []byte) error {
 	if err := s.check(n, buf); err != nil {
 		return err
 	}
-	_, err := s.f.ReadAt(buf, n*int64(s.blockSize))
-	return err
+	if _, err := s.f.ReadAt(buf, n*int64(s.blockSize)); err != nil {
+		return fmt.Errorf("vdisk: read block %d: %w: %w", n, ErrIO, err)
+	}
+	return nil
 }
 
 // WriteBlock writes buf to block n.
@@ -207,8 +209,10 @@ func (s *FileStore) WriteBlock(n int64, buf []byte) error {
 	if err := s.check(n, buf); err != nil {
 		return err
 	}
-	_, err := s.f.WriteAt(buf, n*int64(s.blockSize))
-	return err
+	if _, err := s.f.WriteAt(buf, n*int64(s.blockSize)); err != nil {
+		return fmt.Errorf("vdisk: write block %d: %w: %w", n, ErrIO, err)
+	}
+	return nil
 }
 
 // Sync flushes the backing file to stable storage.
@@ -218,7 +222,10 @@ func (s *FileStore) Sync() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.f.Sync()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("vdisk: sync: %w: %w", ErrIO, err)
+	}
+	return nil
 }
 
 // Close flushes and closes the backing file.
@@ -229,7 +236,10 @@ func (s *FileStore) Close() error {
 		return nil
 	}
 	s.closed = true
-	return s.f.Close()
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("vdisk: close: %w: %w", ErrIO, err)
+	}
+	return nil
 }
 
 var _ Store = (*FileStore)(nil)

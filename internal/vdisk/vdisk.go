@@ -31,7 +31,25 @@ var (
 	ErrBadBuffer = errors.New("vdisk: buffer length != block size")
 	// ErrClosed reports use of a closed device.
 	ErrClosed = errors.New("vdisk: device is closed")
+	// ErrTransient reports a fault that may clear on retry (a momentary bus
+	// or controller error). RetryDevice retries these; nothing above the
+	// retry seam should ever observe one.
+	ErrTransient = errors.New("vdisk: transient device error")
+	// ErrCorrupt reports an unrecoverable media fault on a block (a grown
+	// defect, an uncorrectable ECC error). Retrying cannot help.
+	ErrCorrupt = errors.New("vdisk: unrecoverable media error")
+	// ErrIO wraps an operating-system I/O error from a file-backed store, so
+	// callers can classify host failures without matching os/syscall errors
+	// directly. RetryDevice treats these as retryable.
+	ErrIO = errors.New("vdisk: host I/O error")
 )
+
+// IsFault reports whether err is a device-level fault (as opposed to a usage
+// error such as ErrOutOfRange or ErrBadBuffer). stegfs uses this to decide
+// when a failed write should degrade the mount to read-only.
+func IsFault(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrIO)
+}
 
 // Device is the block-level interface the file systems are written against.
 // Both raw stores (no timing) and Disk (timing simulator) implement it.
@@ -201,6 +219,8 @@ type Stats struct {
 	BatchReads   int64         // ReadBlocks submissions (each covers >= 1 blocks)
 	BatchWrites  int64         // WriteBlocks submissions (each covers >= 1 blocks)
 	Busy         time.Duration // accumulated service time
+	Retries      int64         // requests reissued after a retryable fault (RetryDevice)
+	GiveUps      int64         // requests abandoned after exhausting the retry budget
 }
 
 // Disk wraps a Store with the mechanical timing simulator. It is safe for
