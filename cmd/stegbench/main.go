@@ -17,7 +17,11 @@
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
 // ablate-concurrency, ablate-write-concurrency, ablate-cached-write,
-// ablate-stegdb, ablate-faults, all.
+// ablate-stegdb, ablate-faults, ida, speed, all.
+//
+// The speed experiment is the odd one out: it reports wall-clock CPU
+// throughput (MB/s and allocs/op) of the crypto primitives and the cached
+// sealed data path, not simulated-disk seconds.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"stegfs/internal/bench"
 )
@@ -87,7 +92,7 @@ func emitSeries(experiment string, series []bench.Series, xLabel, yLabel string)
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ablate-faults|ida|all")
+		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ablate-faults|ida|speed|all")
 		scale    = flag.String("scale", "small", "workload scale: paper|small")
 		volume   = flag.Int64("volume", 0, "override volume size in bytes")
 		bs       = flag.Int("bs", 0, "override block size in bytes")
@@ -162,6 +167,29 @@ func main() {
 	run("ablate-stegdb", runAblateStegDB)
 	run("ablate-faults", runAblateFaults)
 	run("ida", runIDA)
+	run("speed", runSpeed)
+}
+
+func runSpeed(cfg bench.Config) error {
+	// Small scale keeps each row's measured window tiny so the CI smoke run
+	// finishes in seconds; paper scale measures long enough to be stable.
+	budget := 20 * time.Millisecond
+	if cfg.VolumeBytes >= 1<<30 {
+		budget = 200 * time.Millisecond
+	}
+	rows, err := bench.SpeedSuite(cfg, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Raw speed — crypto primitives and cached sealed data path")
+	fmt.Println("(single goroutine, wall clock; not simulated-disk seconds):")
+	for _, line := range bench.FormatSpeedRows(rows) {
+		fmt.Println(line)
+	}
+	for _, r := range rows {
+		emit("speed", r)
+	}
+	return nil
 }
 
 func runAblateFaults(cfg bench.Config) error {

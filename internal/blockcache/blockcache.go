@@ -499,6 +499,31 @@ func (c *Cache) ReadBlocks(ns []int64, bufs [][]byte) error {
 		c.mu.Unlock()
 		return nil
 	}
+	// Fast path: when every block is resident, serve the batch under one
+	// lock hold with no bookkeeping allocations (the slow path's index
+	// slice, dedup map and single-flight registrations exist only for
+	// misses). The presence scan runs first so a partial hit does not
+	// double-count its prefix against the stats below.
+	c.mu.Lock()
+	allHit := true
+	for _, n := range ns {
+		if _, ok := c.entries[n]; !ok {
+			allHit = false
+			break
+		}
+	}
+	if allHit {
+		for i, n := range ns {
+			e := c.entries[n]
+			c.stats.Hits++
+			c.policy.Touch(n)
+			copy(bufs[i], e.data)
+		}
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
 	remaining := make([]int, len(ns))
 	for i := range remaining {
 		remaining[i] = i

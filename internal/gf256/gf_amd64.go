@@ -1,0 +1,74 @@
+//go:build amd64
+
+package gf256
+
+import "stegfs/internal/cpux"
+
+// hasVec gates the AVX2 nibble-table kernel. The check requires OS-enabled
+// YMM state, not just the CPUID feature bit (see cpux).
+var hasVec = cpux.HasAVX2
+
+// mulNibLo[c][x] = c*x and mulNibHi[c][x] = c*(x<<4) for x in 0..15 — the
+// split-nibble product tables behind the VPSHUFB kernel: a byte product
+// c*b decomposes as c*(b&0x0f) ^ c*(b>>4 << 4) because multiplication by c
+// is linear over GF(2). Each row is 16 bytes, exactly one PSHUFB table.
+var mulNibLo, mulNibHi [256][16]byte
+
+// mulSlow is carry-less (russian peasant) multiplication mod 0x11b. It is
+// used only to build the nibble tables at init time so the build does not
+// depend on the exp/log tables being initialized first — Go runs a package's
+// init functions in file order, and relying on that ordering here would be a
+// silent trap for anyone renaming files.
+func mulSlow(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= poly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func init() {
+	for c := 1; c < 256; c++ {
+		for x := 1; x < 16; x++ {
+			mulNibLo[c][x] = mulSlow(byte(c), byte(x))
+			mulNibHi[c][x] = mulSlow(byte(c), byte(x<<4))
+		}
+	}
+}
+
+// mulAddVecAsm computes dst[i] ^= lo[src[i]&0x0f] ^ hi[src[i]>>4] over n
+// bytes, 32 (or 64) per iteration, using VPSHUFB against the two nibble
+// tables. n must be a non-negative multiple of 32. Implemented in
+// gf_amd64.s.
+//
+//go:noescape
+func mulAddVecAsm(lo, hi *[16]byte, dst, src *byte, n int)
+
+// mulSliceVec is the AVX2 path behind MulSlice: the 32-byte-aligned body
+// goes through the VPSHUFB kernel and the sub-32-byte tail through the
+// direct exp/log loop. Callers have already rejected c == 0 and checked
+// hasVec and the minimum length.
+func mulSliceVec(c byte, dst, src []byte) {
+	n := len(src)
+	_ = dst[n-1]
+	body := n &^ 31
+	if body > 0 {
+		mulAddVecAsm(&mulNibLo[c], &mulNibHi[c], &dst[0], &src[0], body)
+	}
+	if body < n {
+		lc := log[c]
+		for i := body; i < n; i++ {
+			if s := src[i]; s != 0 {
+				dst[i] ^= exp[lc+log[s]]
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+//go:build amd64
+
+#include "textflag.h"
+
+DATA nibMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// func mulAddVecAsm(lo, hi *[16]byte, dst, src *byte, n int)
+//
+// dst[i] ^= lo[src[i]&0x0f] ^ hi[src[i]>>4] for i in [0, n), n a multiple
+// of 32. The two 16-entry nibble tables are broadcast once into both lanes
+// of a YMM register; each 32-byte step splits the source into nibbles with
+// a shift+mask (VPSRLW shifts 16-bit lanes, so the mask also strips the
+// bits that bleed in from the neighboring byte) and resolves both halves
+// with one VPSHUFB each.
+TEXT ·mulAddVecAsm(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	VMOVDQU nibMask<>(SB), Y2
+
+loop64:
+	CMPQ CX, $64
+	JB   loop32
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y7
+	VPSRLW  $4, Y3, Y4
+	VPSRLW  $4, Y7, Y8
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y7, Y7
+	VPAND   Y2, Y4, Y4
+	VPAND   Y2, Y8, Y8
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y7, Y0, Y9
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y8, Y1, Y10
+	VPXOR   Y5, Y6, Y5
+	VPXOR   Y9, Y10, Y9
+	VPXOR   (DI), Y5, Y5
+	VPXOR   32(DI), Y9, Y9
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y9, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JMP     loop64
+
+loop32:
+	CMPQ CX, $32
+	JB   done
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y5, Y6, Y5
+	VPXOR   (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+
+done:
+	VZEROUPPER
+	RET

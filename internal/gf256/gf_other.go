@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package gf256
+
+// hasVec is false off amd64: there is no vector kernel, so MulSlice and
+// MulAddSlices always take the portable word-wide Go path.
+const hasVec = false
+
+// mulSliceVec is never called when hasVec is false; the stub exists so the
+// dispatch code compiles on every architecture.
+func mulSliceVec(c byte, dst, src []byte) {}

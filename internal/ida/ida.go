@@ -85,29 +85,31 @@ func Split(data []byte, p Params) ([]Share, error) {
 	padded := make([]byte, cols*m)
 	copy(padded, data)
 
+	// De-interleave the m column-byte strides once up front; every share row
+	// multiplies against the same views (the previous code rebuilt each
+	// stride for each of the n shares, an n*m blow-up in copy traffic).
+	strides := make([][]byte, m)
+	flat := make([]byte, cols*m)
+	for j := 0; j < m; j++ {
+		strides[j] = flat[j*cols : (j+1)*cols]
+		for c := 0; c < cols; c++ {
+			strides[j][c] = padded[c*m+j]
+		}
+	}
+
 	shares := make([]Share, n)
 	for i := 0; i < n; i++ {
 		row := cauchyRow(i, m)
 		frag := make([]byte, shareHdrLen+cols)
 		binary.BigEndian.PutUint64(frag, uint64(len(data)))
-		out := frag[shareHdrLen:]
-		for j := 0; j < m; j++ {
-			// Column-major: byte j of every column forms a stride-m view.
-			gf256.MulSlice(row[j], out, stride(padded, j, m, cols))
-		}
-		binary.BigEndian.PutUint32(frag[8:], crc32.ChecksumIEEE(out))
+		// One fused matrix-row pass; XOR accumulation order does not affect
+		// the result, so the share bytes are identical to the sequential
+		// per-stride MulSlice formulation.
+		gf256.MulAddSlices(row, frag[shareHdrLen:], strides)
+		binary.BigEndian.PutUint32(frag[8:], crc32.ChecksumIEEE(frag[shareHdrLen:]))
 		shares[i] = Share{Index: i, Data: frag}
 	}
 	return shares, nil
-}
-
-// stride extracts the lazily-materialized j-th byte of every m-byte column.
-func stride(padded []byte, j, m, cols int) []byte {
-	out := make([]byte, cols)
-	for c := 0; c < cols; c++ {
-		out[c] = padded[c*m+j]
-	}
-	return out
 }
 
 // Reconstruct rebuilds the original data from any m distinct shares.
@@ -159,12 +161,15 @@ func Reconstruct(shares []Share, p Params) ([]byte, error) {
 	}
 
 	// padded column bytes: padded[c*m+j] = sum_k inv[j][k] * share_k[c].
+	payloads := make([][]byte, m)
+	for k := range use {
+		payloads[k] = use[k].Data[shareHdrLen:]
+	}
 	padded := make([]byte, cols*m)
+	acc := make([]byte, cols)
 	for j := 0; j < m; j++ {
-		acc := make([]byte, cols)
-		for k := 0; k < m; k++ {
-			gf256.MulSlice(inv[j][k], acc, use[k].Data[shareHdrLen:])
-		}
+		clear(acc)
+		gf256.MulAddSlices(inv[j], acc, payloads)
 		for c := 0; c < cols; c++ {
 			padded[c*m+j] = acc[c]
 		}

@@ -2,10 +2,15 @@ package ida
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"stegfs/internal/gf256"
 )
 
 func mk(n int, tag byte) []byte {
@@ -233,5 +238,88 @@ func TestReconstructRejectsCorruptShare(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("clean shares failed after corruption trials")
+	}
+}
+
+// splitReference is the pre-optimization Split encoding loop: per-share
+// stride extraction and sequential MulSlice accumulation. The fused path
+// must produce byte-identical shares — IDA share bytes are on-disk format.
+func splitReference(data []byte, p Params) []Share {
+	m, n := p.M, p.N
+	cols := (len(data) + m - 1) / m
+	padded := make([]byte, cols*m)
+	copy(padded, data)
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		row := cauchyRow(i, m)
+		frag := make([]byte, shareHdrLen+cols)
+		binary.BigEndian.PutUint64(frag, uint64(len(data)))
+		out := frag[shareHdrLen:]
+		for j := 0; j < m; j++ {
+			strideView := make([]byte, cols)
+			for c := 0; c < cols; c++ {
+				strideView[c] = padded[c*m+j]
+			}
+			gf256.MulSlice(row[j], out, strideView)
+		}
+		binary.BigEndian.PutUint32(frag[8:], crc32.ChecksumIEEE(out))
+		shares[i] = Share{Index: i, Data: frag}
+	}
+	return shares
+}
+
+// TestSplitSharesByteIdentical pins the fused encoder to the reference
+// encoder byte for byte across parameter shapes and lengths, including
+// sizes that are not multiples of m and sub-kernel-threshold strides.
+func TestSplitSharesByteIdentical(t *testing.T) {
+	for _, p := range []Params{{M: 1, N: 1}, {M: 2, N: 3}, {M: 3, N: 5}, {M: 4, N: 7}, {M: 9, N: 17}} {
+		for _, sz := range []int{0, 1, 7, 100, 4096, 16384 + 13} {
+			data := mk(sz, byte(p.M*31+sz))
+			got, err := Split(data, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := splitReference(data, p)
+			if len(got) != len(want) {
+				t.Fatalf("(%d,%d) sz=%d: share count %d != %d", p.M, p.N, sz, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Index != want[i].Index || !bytes.Equal(got[i].Data, want[i].Data) {
+					t.Fatalf("(%d,%d) sz=%d: share %d bytes diverge from reference", p.M, p.N, sz, i)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	data := mk(64*1024, 7)
+	for _, p := range []Params{{M: 3, N: 5}, {M: 8, N: 12}} {
+		b.Run(fmt.Sprintf("m=%d,n=%d", p.M, p.N), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Split(data, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	data := mk(64*1024, 7)
+	for _, p := range []Params{{M: 3, N: 5}, {M: 8, N: 12}} {
+		shares, err := Split(data, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d,n=%d", p.M, p.N), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Reconstruct(shares[:p.M], p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

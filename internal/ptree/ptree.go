@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NilBlock is the pointer value meaning "no block". Block 0 always holds a
@@ -168,41 +169,62 @@ func writePtrBlock(io BlockIO, alloc AllocFunc, ptrs []int64) (int64, error) {
 	return b, nil
 }
 
-// readPtrBlock reads up to max pointers from a pointer block, stopping at
-// the first NilBlock.
-func readPtrBlock(io BlockIO, b int64, max int64) ([]int64, error) {
-	buf := make([]byte, io.BlockSize())
-	if err := io.ReadBlock(b, buf); err != nil {
-		return nil, err
+// ptrBufPool recycles the scratch block buffers pointer-block reads decode
+// from, so traversing a tree allocates nothing once warm.
+var ptrBufPool sync.Pool
+
+func getPtrBuf(bs int) *[]byte {
+	if p, _ := ptrBufPool.Get().(*[]byte); p != nil && cap(*p) >= bs {
+		*p = (*p)[:bs]
+		return p
 	}
-	return parsePtrs(io, buf, max), nil
+	b := make([]byte, bs)
+	return &b
+}
+
+// readPtrBlock reads up to max pointers from a pointer block, stopping at
+// the first NilBlock, appending them to dst.
+func readPtrBlock(io BlockIO, b int64, max int64, dst []int64) ([]int64, error) {
+	p := getPtrBuf(io.BlockSize())
+	defer ptrBufPool.Put(p)
+	if err := io.ReadBlock(b, *p); err != nil {
+		return dst, err
+	}
+	return parsePtrs(io, *p, max, dst), nil
 }
 
 // parsePtrs decodes up to max pointers from a raw pointer block, stopping at
-// the first NilBlock.
-func parsePtrs(io BlockIO, buf []byte, max int64) []int64 {
+// the first NilBlock, appending them to dst.
+func parsePtrs(io BlockIO, buf []byte, max int64, dst []int64) []int64 {
 	ppb := ptrsPerBlock(io)
 	if max > ppb {
 		max = ppb
 	}
-	out := make([]int64, 0, max)
 	for i := int64(0); i < max; i++ {
 		p := int64(binary.BigEndian.Uint64(buf[i*8:]))
 		if p == NilBlock {
 			break
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 	}
-	return out
+	return dst
 }
 
 // Read returns the data-block list of a file with nBlocks blocks stored
 // under root.
 func Read(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
+	return ReadInto(io, root, nBlocks, nil)
+}
+
+// ReadInto is Read appending into dst[:0], so callers that traverse the same
+// tree repeatedly can reuse one backing array; it returns the (possibly
+// regrown) slice. Pointer-block scratch comes from an internal pool — a warm
+// caller passing an adequately sized dst triggers no allocation at all.
+func ReadInto(io BlockIO, root Root, nBlocks int64, dst []int64) ([]int64, error) {
 	if nBlocks < 0 {
 		return nil, fmt.Errorf("ptree: negative block count %d", nBlocks)
 	}
-	out := make([]int64, 0, nBlocks)
+	out := dst[:0]
 	for i := 0; int64(i) < nBlocks && i < len(root.Direct); i++ {
 		out = append(out, root.Direct[i])
 	}
@@ -212,18 +234,17 @@ func Read(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
 	if root.Single == NilBlock {
 		return nil, errors.New("ptree: missing single-indirect block")
 	}
-	ptrs, err := readPtrBlock(io, root.Single, nBlocks-int64(len(out)))
+	out, err := readPtrBlock(io, root.Single, nBlocks-int64(len(out)), out)
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, ptrs...)
 	if int64(len(out)) == nBlocks {
 		return out, nil
 	}
 	if root.Double == NilBlock {
 		return nil, errors.New("ptree: missing double-indirect block")
 	}
-	l1, err := readPtrBlock(io, root.Double, ptrsPerBlock(io))
+	l1, err := readPtrBlock(io, root.Double, ptrsPerBlock(io), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -238,18 +259,17 @@ func Read(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
 			return nil, err
 		}
 		for _, buf := range bufs {
-			out = append(out, parsePtrs(io, buf, nBlocks-int64(len(out)))...)
+			out = parsePtrs(io, buf, nBlocks-int64(len(out)), out)
 			if int64(len(out)) == nBlocks {
 				return out, nil
 			}
 		}
 	} else {
 		for _, ib := range l1 {
-			ptrs, err := readPtrBlock(io, ib, nBlocks-int64(len(out)))
+			out, err = readPtrBlock(io, ib, nBlocks-int64(len(out)), out)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, ptrs...)
 			if int64(len(out)) == nBlocks {
 				return out, nil
 			}
@@ -280,11 +300,10 @@ func MetaBlocks(io BlockIO, root Root, nBlocks int64) ([]int64, error) {
 	if root.Double == NilBlock {
 		return nil, errors.New("ptree: missing double-indirect block")
 	}
-	l1, err := readPtrBlock(io, root.Double, ptrsPerBlock(io))
+	out, err := readPtrBlock(io, root.Double, ptrsPerBlock(io), out)
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, l1...)
 	out = append(out, root.Double)
 	return out, nil
 }

@@ -1,0 +1,35 @@
+//go:build amd64
+
+package sgcrypto
+
+import "stegfs/internal/cpux"
+
+// hasFastCTR gates the assembly keystream kernel: the Sealer precomputes
+// counter blocks in Go and encrypts them 8 at a time with AES-NI, which is
+// both faster than stdlib cipher.NewCTR at block granularity and — unlike
+// it — allocation-free, since no cipher.Stream object is constructed per
+// block.
+var hasFastCTR = cpux.HasAESNI
+
+// encryptBlocks256Asm encrypts nblocks 16-byte blocks of buf in place (ECB)
+// with the expanded AES-256 schedule at xk. Implemented in ctr_amd64.s.
+//
+//go:noescape
+func encryptBlocks256Asm(xk *byte, buf *byte, nblocks int64)
+
+// encryptBlocks256 encrypts len(buf)/16 blocks of buf in place. len(buf)
+// must be a positive multiple of 16.
+func encryptBlocks256(xk *[240]byte, buf []byte) {
+	encryptBlocks256Asm(&xk[0], &buf[0], int64(len(buf)/16))
+}
+
+// ctrXor256Asm is the fused counter-mode kernel in ctr_amd64.s.
+//
+//go:noescape
+func ctrXor256Asm(xk *byte, dst, src *byte, nblocks int64, hi, lo uint64)
+
+// ctrXor256 computes dst = src XOR keystream for len(src)/16 counter blocks
+// starting at (hi, lo). Lengths must be equal, positive multiples of 16.
+func ctrXor256(xk *[240]byte, dst, src []byte, hi, lo uint64) {
+	ctrXor256Asm(&xk[0], &dst[0], &src[0], int64(len(src)/16), hi, lo)
+}

@@ -224,7 +224,7 @@ func Recover(dev vdisk.Device, rd io.Reader) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs := &FS{dev: dev, alloc: al, sb: sb, params: params, objs: newLockTable()}
+	fs := &FS{dev: dev, alloc: al, sb: sb, params: params, objs: newLockTable(), sealers: newSealerCache()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
 
 	"stegfs/internal/alloc"
@@ -41,8 +42,9 @@ type FS struct {
 	// lockcheck:level 10 volume/nsMu
 	nsMu sync.Mutex // serializes compound namespace ops (directory updates)
 	// lockcheck:level 40 volume/fsMu
-	mu   sync.RWMutex // guards sb fields; serializes Sync/Backup metadata writes
-	objs *lockTable   // per-hidden-object locks, keyed by header block
+	mu      sync.RWMutex // guards sb fields; serializes Sync/Backup metadata writes
+	objs    *lockTable   // per-hidden-object locks, keyed by header block
+	sealers *sealerCache // open-state hints keyed by header signature (see sealcache.go)
 	// lockcheck:level 30 volume/createMu
 	createMu [createStripes]sync.Mutex // name stripes: same-(name,key) creates serialize here
 	dev      vdisk.Device
@@ -127,6 +129,38 @@ func WithWriteBehind(highWater int, flushWorkers ...int) Option {
 // default.
 func WithAllocGroups(groups int) Option {
 	return func(c *mountConfig) { c.allocGroups = groups }
+}
+
+// resolveAllocGroups turns the WithAllocGroups setting into a concrete group
+// count. Values > 0 pass through. The default scales with the machine and
+// the volume instead of a fixed constant: contention on a group mutex grows
+// with the number of goroutines that can run at once (alloc.Stats counts
+// exactly these collisions), so the default provisions 8 groups per
+// available CPU — enough that concurrent writers rarely meet — bounded
+// below for parallelism headroom and above by both a bookkeeping cap and a
+// 64-block minimum span per group on small volumes (alloc.New enforces the
+// same floor internally). Group count is runtime-only and allocation stays
+// uniform over the whole free space regardless of it (two-level
+// free-weighted sampling), so scaling it never touches the on-disk format
+// or the §3.1 uniformity guarantees.
+func resolveAllocGroups(configured int, dataBlocks int64) int {
+	if configured > 0 {
+		return configured
+	}
+	g := 8 * runtime.GOMAXPROCS(0)
+	if g < alloc.DefaultGroups {
+		g = alloc.DefaultGroups
+	}
+	if g > 256 {
+		g = 256
+	}
+	if bySpan := dataBlocks / 64; int64(g) > bySpan {
+		g = int(bySpan)
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // WithRetry mounts the volume through a vdisk.RetryDevice: transient device
@@ -265,7 +299,7 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (_ *FS, retErr erro
 			return nil, err
 		}
 	}
-	al, err := alloc.New(bm, dataStart, mcfg.allocGroups, params.Seed)
+	al, err := alloc.New(bm, dataStart, resolveAllocGroups(mcfg.allocGroups, n-dataStart), params.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +334,7 @@ func Format(dev vdisk.Device, params Params, opts ...Option) (_ *FS, retErr erro
 		}
 	}
 
-	fs := &FS{dev: dev, cache: cache, retry: mcfg.retry, alloc: al, sb: sb, params: params, objs: newLockTable()}
+	fs := &FS{dev: dev, cache: cache, retry: mcfg.retry, alloc: al, sb: sb, params: params, objs: newLockTable(), sealers: newSealerCache()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, inoStart, inoLen, dataStart, plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: params.MaxPlainFiles,
@@ -382,11 +416,11 @@ func Mount(dev vdisk.Device, opts ...Option) (_ *FS, retErr error) {
 		FillVolume:        true,
 		DeterministicKeys: sb.flags&flagDeterministicKeys != 0,
 	}
-	al, err := alloc.New(bm, int64(sb.dataStart), mcfg.allocGroups, sb.seed+2)
+	al, err := alloc.New(bm, int64(sb.dataStart), resolveAllocGroups(mcfg.allocGroups, dev.NumBlocks()-int64(sb.dataStart)), sb.seed+2)
 	if err != nil {
 		return nil, err
 	}
-	fs := &FS{dev: dev, cache: cache, retry: mcfg.retry, alloc: al, sb: sb, params: params, objs: newLockTable()}
+	fs := &FS{dev: dev, cache: cache, retry: mcfg.retry, alloc: al, sb: sb, params: params, objs: newLockTable(), sealers: newSealerCache()}
 	fs.plain, err = plainfs.NewEmbedded(dev, bm, int64(sb.inoStart), int64(sb.inoLen), int64(sb.dataStart), plainfs.Config{
 		Policy:   plainfs.Random,
 		MaxFiles: int(sb.maxPlain),

@@ -96,21 +96,37 @@ func encodeHeader(h *header, buf []byte) error {
 // signature does not match (the block belongs to something else or is free
 // space).
 func decodeHeader(buf []byte, wantSig [sgcrypto.SignatureLen]byte) (*header, bool, error) {
+	h := &header{}
+	ok, err := decodeHeaderInto(buf, wantSig, h)
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	return h, true, nil
+}
+
+// decodeHeaderInto is decodeHeader reusing h's backing storage (the direct
+// pointer and free-pool slices grow once and are re-sliced thereafter), so a
+// pooled ref re-reads its header without allocating.
+func decodeHeaderInto(buf []byte, wantSig [sgcrypto.SignatureLen]byte, h *header) (bool, error) {
 	if len(buf) < hdrFixedLen {
-		return nil, false, fmt.Errorf("stegfs: header buffer too small")
+		return false, fmt.Errorf("stegfs: header buffer too small")
 	}
 	if !bytes.Equal(buf[:32], wantSig[:]) {
-		return nil, false, nil
+		return false, nil
 	}
 	if !bytes.Equal(buf[32:36], hdrMagic[:]) {
 		// Signature matched but magic did not: a 2^-256 accident or real
 		// corruption. Report it loudly.
-		return nil, false, fmt.Errorf("stegfs: header signature match with corrupt magic")
+		return false, fmt.Errorf("stegfs: header signature match with corrupt magic")
 	}
 	if got := crc32.ChecksumIEEE(buf[hdrBodyOff:]); got != binary.BigEndian.Uint32(buf[hdrCRCOff:]) {
-		return nil, false, fmt.Errorf("stegfs: header content checksum mismatch")
+		return false, fmt.Errorf("stegfs: header content checksum mismatch")
 	}
-	h := &header{root: ptree.NewRoot(hdrNumDirect)}
+	if cap(h.root.Direct) >= hdrNumDirect {
+		h.root.Direct = h.root.Direct[:hdrNumDirect]
+	} else {
+		h.root.Direct = make([]int64, hdrNumDirect)
+	}
 	copy(h.sig[:], buf[:32])
 	h.flags = buf[36]
 	off := 44
@@ -127,13 +143,17 @@ func decodeHeader(buf []byte, wantSig [sgcrypto.SignatureLen]byte) (*header, boo
 	n := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
 	if n > freeCapacity(len(buf)) {
-		return nil, false, fmt.Errorf("stegfs: corrupt header: free count %d", n)
+		return false, fmt.Errorf("stegfs: corrupt header: free count %d", n)
 	}
-	h.free = make([]int64, n)
+	if cap(h.free) >= n {
+		h.free = h.free[:n]
+	} else {
+		h.free = make([]int64, n)
+	}
 	for i := 0; i < n; i++ {
 		h.free[i] = int64(binary.BigEndian.Uint64(buf[off+i*8:]))
 	}
-	return h, true, nil
+	return true, nil
 }
 
 // --- Sealed block I/O --------------------------------------------------------
@@ -206,7 +226,8 @@ func fanBlocks(n int, fn func(i int) error) error {
 type encIO struct {
 	dev     vdisk.Device
 	sealer  *sgcrypto.Sealer
-	scratch []byte // reused ciphertext staging for writes
+	scratch []byte   // reused ciphertext staging for writes
+	ctBufs  [][]byte // reused block views over scratch
 }
 
 func (e *encIO) BlockSize() int { return e.dev.BlockSize() }
@@ -251,10 +272,7 @@ func (e *encIO) WriteBlocks(ns []int64, bufs [][]byte) error {
 		e.scratch = make([]byte, len(ns)*bs)
 	}
 	ct := e.scratch[:len(ns)*bs]
-	cts := make([][]byte, len(ns))
-	for i := range cts {
-		cts[i] = ct[i*bs : (i+1)*bs]
-	}
+	cts := e.ctViews(ct, len(ns), bs)
 	if err := fanBlocks(len(ns), func(i int) error {
 		return e.sealer.Seal(ns[i], cts[i], bufs[i])
 	}); err != nil {
@@ -263,19 +281,117 @@ func (e *encIO) WriteBlocks(ns []int64, bufs [][]byte) error {
 	return vdisk.WriteBlocks(e.dev, ns, cts)
 }
 
+// ctViews re-slices the reused view list over the ciphertext staging area.
+func (e *encIO) ctViews(ct []byte, n, bs int) [][]byte {
+	if cap(e.ctBufs) < n {
+		e.ctBufs = make([][]byte, n)
+	}
+	cts := e.ctBufs[:n]
+	for i := range cts {
+		cts[i] = ct[i*bs : (i+1)*bs]
+	}
+	return cts
+}
+
+// ReadSpan is ReadBlocks for callers whose bufs are back-to-back views of
+// the contiguous buffer flat: the whole span decrypts in one vectored
+// OpenRange sweep instead of per-block Open calls. On a multi-CPU box large
+// batches keep the per-block fan-out, which spreads the CTR work across
+// cores.
+func (e *encIO) ReadSpan(ns []int64, flat []byte, bufs [][]byte) error {
+	if err := vdisk.ReadBlocks(e.dev, ns, bufs); err != nil {
+		return err
+	}
+	if runtime.GOMAXPROCS(0) > 1 && len(ns) >= sealFanMin {
+		return fanBlocks(len(ns), func(i int) error {
+			return e.sealer.Open(ns[i], bufs[i], bufs[i])
+		})
+	}
+	return e.sealer.OpenRange(ns, flat, flat)
+}
+
+// WriteSpan is WriteBlocks for a contiguous span: one vectored SealRange
+// into the reused staging area, then one sorted device submission.
+func (e *encIO) WriteSpan(ns []int64, flat []byte, bufs [][]byte) error {
+	bs := e.dev.BlockSize()
+	if cap(e.scratch) < len(flat) {
+		e.scratch = make([]byte, len(flat))
+	}
+	ct := e.scratch[:len(flat)]
+	cts := e.ctViews(ct, len(ns), bs)
+	if runtime.GOMAXPROCS(0) > 1 && len(ns) >= sealFanMin {
+		if err := fanBlocks(len(ns), func(i int) error {
+			return e.sealer.Seal(ns[i], cts[i], bufs[i])
+		}); err != nil {
+			return err
+		}
+	} else if err := e.sealer.SealRange(ns, ct, flat); err != nil {
+		return err
+	}
+	return vdisk.WriteBlocks(e.dev, ns, cts)
+}
+
 var _ ptree.BatchBlockIO = (*encIO)(nil)
 
-// hiddenRef is an open handle to a located hidden object.
+// hiddenRef is an open handle to a located hidden object. Refs come from a
+// pool and carry every piece of per-operation scratch the data path needs
+// (header storage, sealed-I/O adapter, block list, staging arena), so a
+// steady-state cached read allocates nothing. The storage is reused the
+// moment release returns the ref — callers must not retain the ref, r.hdr,
+// or anything r.io returned past release.
 type hiddenRef struct {
 	physName  string
 	fak       []byte
 	sealer    *sgcrypto.Sealer
 	headerBlk int64
+	sig       [sgcrypto.SignatureLen]byte // header signature (== hdr.sig once decoded)
 	hdr       *header
 	exclusive bool // lock mode held on fs.objs (set by open/createHidden)
+
+	// Reusable per-operation storage, retained across pool round trips.
+	hdrStore  header   // backing store for hdr
+	hdrBuf    []byte   // header-block read/write scratch
+	enc       encIO    // the adapter r.io returns
+	blockList []int64  // ptree.ReadInto destination
+	staging   []byte   // rwHidden span arena
+	spanBufs  [][]byte // block views over staging
 }
 
-func (r *hiddenRef) io(dev vdisk.Device) *encIO { return &encIO{dev: dev, sealer: r.sealer} }
+var refPool = sync.Pool{New: func() any { return new(hiddenRef) }}
+
+// getRef returns a pooled ref with its identity fields cleared and its
+// scratch storage intact.
+func getRef() *hiddenRef {
+	r := refPool.Get().(*hiddenRef)
+	r.physName, r.fak, r.sealer = "", nil, nil
+	r.headerBlk = 0
+	r.sig = [sgcrypto.SignatureLen]byte{}
+	r.hdr = nil
+	r.exclusive = false
+	return r
+}
+
+func putRef(r *hiddenRef) {
+	r.enc.dev, r.enc.sealer = nil, nil
+	refPool.Put(r)
+}
+
+// io returns the ref's embedded sealed-I/O adapter, bound to dev. Anything
+// that must outlive the ref (cursors) builds its own encIO instead.
+func (r *hiddenRef) io(dev vdisk.Device) *encIO {
+	r.enc.dev = dev
+	r.enc.sealer = r.sealer
+	return &r.enc
+}
+
+// blockBuf returns the ref's reusable block-size scratch buffer.
+func (r *hiddenRef) blockBuf(bs int) []byte {
+	if cap(r.hdrBuf) < bs {
+		r.hdrBuf = make([]byte, bs)
+	}
+	r.hdrBuf = r.hdrBuf[:bs]
+	return r.hdrBuf
+}
 
 // --- Locating, opening and creating headers ----------------------------------
 
@@ -296,7 +412,9 @@ func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
 	}
 	want := sgcrypto.Signature(physName, fak)
 	gen := sgcrypto.NewPRBG(sgcrypto.HeaderSeed(physName, fak), fs.dev.NumBlocks())
-	buf := make([]byte, fs.dev.BlockSize())
+	r := getRef()
+	r.physName, r.fak, r.sealer, r.sig = physName, fak, sealer, want
+	buf := r.blockBuf(fs.dev.BlockSize())
 	freeSeen := 0
 	for i := 0; i < fs.params.MaxHeaderProbes; i++ {
 		cand := gen.Next()
@@ -321,19 +439,26 @@ func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
 			continue
 		}
 		if err := fs.dev.ReadBlock(cand, buf); err != nil {
+			putRef(r)
 			return nil, err
 		}
 		if err := sealer.Open(cand, buf, buf); err != nil {
+			putRef(r)
 			return nil, err
 		}
-		h, ok, err := decodeHeader(buf, want)
+		ok, err := decodeHeaderInto(buf, want, &r.hdrStore)
 		if err != nil {
+			putRef(r)
 			return nil, err
 		}
 		if ok {
-			return &hiddenRef{physName: physName, fak: fak, sealer: sealer, headerBlk: cand, hdr: h}, nil
+			r.hdr = &r.hdrStore
+			r.headerBlk = cand
+			fs.sealers.add(want, sealer, cand)
+			return r, nil
 		}
 	}
+	putRef(r)
 	return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, physName)
 }
 
@@ -342,21 +467,21 @@ func (fs *FS) probeHeader(physName string, fak []byte) (*hiddenRef, error) {
 // current state (the object may have been rewritten — or deleted, reported
 // as ErrNotFound — between the probe and the lock acquisition).
 func (fs *FS) reloadHeader(r *hiddenRef) error {
-	buf := make([]byte, fs.dev.BlockSize())
+	buf := r.blockBuf(fs.dev.BlockSize())
 	if err := fs.dev.ReadBlock(r.headerBlk, buf); err != nil {
 		return err
 	}
 	if err := r.sealer.Open(r.headerBlk, buf, buf); err != nil {
 		return err
 	}
-	h, ok, err := decodeHeader(buf, r.hdr.sig)
+	ok, err := decodeHeaderInto(buf, r.sig, &r.hdrStore)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("%w: hidden object %q", fsapi.ErrNotFound, r.physName)
 	}
-	r.hdr = h
+	r.hdr = &r.hdrStore
 	return nil
 }
 
@@ -373,12 +498,45 @@ func (fs *FS) openExclusive(physName string, fak []byte) (*hiddenRef, error) {
 }
 
 func (fs *FS) openHidden(physName string, fak []byte, exclusive bool) (*hiddenRef, error) {
+	return fs.openHiddenSig(physName, fak, sgcrypto.Signature(physName, fak), exclusive)
+}
+
+// openHiddenSig is openHidden for callers that already hold the object's
+// header signature (views precompute it per name), saving the hash on the
+// hot path. The sealer cache turns the common case into a single sealed
+// header read: a cached (sealer, header block) hint skips both the key
+// derivation and the pseudorandom probe chain. The hint is verified under
+// the object lock — reloadHeader re-checks the embedded signature — and a
+// stale hint (object deleted, or re-created at a different block) falls
+// back to the full probe.
+func (fs *FS) openHiddenSig(physName string, fak []byte, sig [sgcrypto.SignatureLen]byte, exclusive bool) (*hiddenRef, error) {
 	if exclusive {
 		// Exclusive opens exist to mutate; a degraded mount refuses them
 		// up front (reads — shared opens — keep serving).
 		if err := fs.checkWritable(); err != nil {
 			return nil, err
 		}
+	}
+	if sealer, hb, ok := fs.sealers.get(sig); ok {
+		r := getRef()
+		r.physName, r.fak, r.sealer, r.headerBlk = physName, fak, sealer, hb
+		r.sig, r.exclusive = sig, exclusive
+		if exclusive {
+			fs.objs.Lock(hb)
+		} else {
+			fs.objs.RLock(hb)
+		}
+		err := fs.reloadHeader(r)
+		if err == nil {
+			return r, nil
+		}
+		fs.release(r)
+		fs.sealers.drop(sig)
+		if !errors.Is(err, fsapi.ErrNotFound) {
+			return nil, err
+		}
+		// Not-found on a hint only means the hint was stale; the full probe
+		// below is the authority.
 	}
 	r, err := fs.probeHeader(physName, fak)
 	if err != nil {
@@ -397,7 +555,9 @@ func (fs *FS) openHidden(physName string, fak []byte, exclusive bool) (*hiddenRe
 	return r, nil
 }
 
-// release drops the object lock taken by openShared/openExclusive.
+// release drops the object lock taken by openShared/openExclusive and
+// returns the ref to the pool — the caller must not touch r (or anything it
+// handed out: r.hdr, r.io results, ptree.ReadInto lists) afterwards.
 //
 // lockcheck:release volume/objLock
 // lockcheck:release volume/gate shared
@@ -407,6 +567,7 @@ func (fs *FS) release(r *hiddenRef) {
 	} else {
 		fs.objs.RUnlock(r.headerBlk)
 	}
+	putRef(r)
 }
 
 // allocHeaderBlock runs the generator in creation mode: the first candidate
@@ -516,7 +677,8 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 	fs.objs.EnterGate()
 	stripe := fs.createStripe(physName)
 	stripe.Lock()
-	if _, err := fs.probeHeader(physName, fak); err == nil {
+	if pr, err := fs.probeHeader(physName, fak); err == nil {
+		putRef(pr)
 		stripe.Unlock()
 		fs.objs.ExitGate()
 		return nil, fmt.Errorf("%w: hidden object %q", fsapi.ErrExists, physName)
@@ -527,12 +689,16 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 		fs.objs.ExitGate()
 		return nil, err
 	}
+	// Create-refs are handed to the caller and never released through
+	// fs.release, so they are built outside the pool.
 	r := &hiddenRef{physName: physName, fak: fak, sealer: sealer, headerBlk: hb, exclusive: true}
-	r.hdr = &header{
-		sig:   sgcrypto.Signature(physName, fak),
+	r.sig = sgcrypto.Signature(physName, fak)
+	r.hdrStore = header{
+		sig:   r.sig,
 		flags: flags,
 		root:  ptree.NewRoot(hdrNumDirect),
 	}
+	r.hdr = &r.hdrStore
 	// "When a hidden file is created, StegFS straightaway allocates several
 	// blocks to the file" — seed the internal free pool.
 	fs.poolTopUp(r)
@@ -573,6 +739,7 @@ func (fs *FS) createHidden(physName string, fak []byte, flags byte, data []byte)
 		fs.destroyHidden(r)
 		return nil, err
 	}
+	fs.sealers.add(r.sig, sealer, hb)
 	return r, nil
 }
 
@@ -650,7 +817,7 @@ func payloadBufs(data []byte, nBlocks, bs int) [][]byte {
 
 // flushHeader seals and writes the header block.
 func (fs *FS) flushHeader(r *hiddenRef) error {
-	buf := make([]byte, fs.dev.BlockSize())
+	buf := r.blockBuf(fs.dev.BlockSize())
 	if err := encodeHeader(r.hdr, buf); err != nil {
 		return err
 	}
@@ -664,20 +831,30 @@ func (fs *FS) flushHeader(r *hiddenRef) error {
 // fan-out. The caller holds the object's lock (shared suffices).
 func (fs *FS) readHidden(r *hiddenRef) ([]byte, error) {
 	io := r.io(fs.dev)
-	blocks, err := ptree.Read(io, r.hdr.root, r.hdr.nblocks)
+	blocks, err := ptree.ReadInto(io, r.hdr.root, r.hdr.nblocks, r.blockList)
 	if err != nil {
 		return nil, err
 	}
+	r.blockList = blocks
 	bs := fs.dev.BlockSize()
 	out := make([]byte, r.hdr.nblocks*int64(bs))
-	bufs := make([][]byte, len(blocks))
-	for i := range bufs {
-		bufs[i] = out[i*bs : (i+1)*bs]
-	}
-	if err := io.ReadBlocks(blocks, bufs); err != nil {
+	bufs := r.spanViews(out, len(blocks), bs)
+	if err := io.ReadSpan(blocks, out, bufs); err != nil {
 		return nil, err
 	}
 	return out[:r.hdr.size], nil
+}
+
+// spanViews re-slices the ref's reusable view list over a contiguous span.
+func (r *hiddenRef) spanViews(flat []byte, n, bs int) [][]byte {
+	if cap(r.spanBufs) < n {
+		r.spanBufs = make([][]byte, n)
+	}
+	bufs := r.spanBufs[:n]
+	for i := range bufs {
+		bufs[i] = flat[i*bs : (i+1)*bs]
+	}
+	return bufs
 }
 
 // rewriteHidden replaces the payload of an open hidden object. Same-shape
@@ -767,6 +944,10 @@ func (fs *FS) rewriteHidden(r *hiddenRef, data []byte) error {
 // blocks, pooled free blocks and the header itself. The caller holds the
 // object's exclusive lock; the blocks return to their allocation groups.
 func (fs *FS) destroyHidden(r *hiddenRef) {
+	// Forget the open-state hint first: after the free below the header
+	// block can be recycled by a new object, and a lingering hint would
+	// send every subsequent open through a wasted stale-header read.
+	fs.sealers.drop(r.sig)
 	io := r.io(fs.dev)
 	var victims []int64
 	if r.hdr != nil && r.hdr.nblocks > 0 {

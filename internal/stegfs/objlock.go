@@ -41,7 +41,15 @@ type lockTable struct {
 	mu sync.Mutex // guards m
 	// lockcheck:guardedby mu
 	m map[int64]*objLock
+	// lockcheck:guardedby mu
+	free []*objLock // reclaimed entries kept for reuse (bounded)
 }
+
+// lockFreelistCap bounds the reclaimed-entry freelist. Each per-object open
+// retires its lock entry on release; without reuse every open/release pair
+// allocates a fresh objLock, which alone keeps the cached read path off
+// zero allocations per operation.
+const lockFreelistCap = 128
 
 type objLock struct {
 	refs int
@@ -60,7 +68,13 @@ func (t *lockTable) get(b int64) *objLock {
 	defer t.mu.Unlock()
 	l, ok := t.m[b]
 	if !ok {
-		l = &objLock{}
+		if n := len(t.free); n > 0 {
+			l = t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+		} else {
+			l = &objLock{}
+		}
 		t.m[b] = l
 	}
 	l.refs++
@@ -85,7 +99,12 @@ func (t *lockTable) put(b int64) {
 	l := t.m[b]
 	l.refs--
 	if l.refs == 0 {
+		// At zero references there are neither holders nor waiters (see
+		// above), so the mutex is quiescent and the entry can be reused.
 		delete(t.m, b)
+		if len(t.free) < lockFreelistCap {
+			t.free = append(t.free, l)
+		}
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stegfs
+
+const raceEnabled = false

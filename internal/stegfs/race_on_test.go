@@ -1,0 +1,7 @@
+//go:build race
+
+package stegfs
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// its shadow-memory bookkeeping allocates, so alloc-count gates must skip.
+const raceEnabled = true

@@ -1,0 +1,74 @@
+package stegfs
+
+import (
+	"sync"
+
+	"stegfs/internal/sgcrypto"
+)
+
+// sealerDefaultMax bounds the sealer cache. An entry is one expanded AES
+// schedule plus a block number (~350 bytes), so the cap costs at most a
+// couple of megabytes while covering far more simultaneously hot objects
+// than any workload in this repository touches.
+const sealerDefaultMax = 4096
+
+// sealerCache memoizes the expensive part of opening a hidden object: the
+// key-derivation/AES-schedule work of building its Sealer and — more
+// importantly — the result of the pseudorandom header probe, keyed by the
+// object's header signature. A hit turns open from "hash chain + O(probes)
+// block reads" into a single sealed read of the remembered header block.
+//
+// Entries are hints, not truth. The open path re-reads the header block
+// under the object lock and verifies the embedded signature, falling back
+// to a full probe (and dropping the entry) when it no longer matches — an
+// object deleted, or deleted and re-created at a different header block,
+// costs one wasted block read but can never serve wrong data. destroyHidden
+// drops the entry eagerly; a probe racing a destroy can at worst re-insert
+// a stale hint, which the verify-on-open heals the same way.
+type sealerCache struct {
+	// mu is deliberately unleveled (guard discipline, like lockTable.mu): it
+	// protects only the map, is held for a few map operations at a time, and
+	// never wraps another acquisition.
+	mu sync.Mutex
+	// lockcheck:guardedby mu
+	m   map[[sgcrypto.SignatureLen]byte]sealerEntry
+	max int
+}
+
+type sealerEntry struct {
+	sealer    *sgcrypto.Sealer
+	headerBlk int64
+}
+
+func newSealerCache() *sealerCache {
+	return &sealerCache{m: make(map[[sgcrypto.SignatureLen]byte]sealerEntry), max: sealerDefaultMax}
+}
+
+// get returns the cached open state for sig, if any.
+func (c *sealerCache) get(sig [sgcrypto.SignatureLen]byte) (*sgcrypto.Sealer, int64, bool) {
+	c.mu.Lock()
+	e, ok := c.m[sig]
+	c.mu.Unlock()
+	return e.sealer, e.headerBlk, ok
+}
+
+// add remembers the open state for sig, evicting an arbitrary entry at
+// capacity (evicted objects simply pay the probe again on next open).
+func (c *sealerCache) add(sig [sgcrypto.SignatureLen]byte, s *sgcrypto.Sealer, headerBlk int64) {
+	c.mu.Lock()
+	if _, ok := c.m[sig]; !ok && len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[sig] = sealerEntry{sealer: s, headerBlk: headerBlk}
+	c.mu.Unlock()
+}
+
+// drop forgets sig (object destroyed, or its hint proved stale).
+func (c *sealerCache) drop(sig [sgcrypto.SignatureLen]byte) {
+	c.mu.Lock()
+	delete(c.m, sig)
+	c.mu.Unlock()
+}

@@ -30,12 +30,22 @@ type HiddenView struct {
 	// lockcheck:level 15 volume/viewMu
 	mu sync.RWMutex // guards faks
 	// lockcheck:guardedby mu
-	faks map[string][]byte
+	faks map[string]*viewFile
+}
+
+// viewFile is a view's per-name handle: the FAK plus the derived values
+// every open needs — the physical name (a string concatenation) and the
+// header signature (a hash) — computed once at Create/Adopt time so the hot
+// open path neither concatenates nor hashes.
+type viewFile struct {
+	fak  []byte
+	phys string
+	sig  [sgcrypto.SignatureLen]byte
 }
 
 // NewHiddenView creates a benchmarking/user view bound to a user id.
 func (fs *FS) NewHiddenView(uid string) *HiddenView {
-	return &HiddenView{fs: fs, uid: uid, faks: make(map[string][]byte)}
+	return &HiddenView{fs: fs, uid: uid, faks: make(map[string]*viewFile)}
 }
 
 // SchemeName implements fsapi.FileSystem.
@@ -43,33 +53,48 @@ func (v *HiddenView) SchemeName() string { return "StegFS" }
 
 func (v *HiddenView) phys(name string) string { return v.uid + "/" + name }
 
-// fakFor returns the remembered FAK for name.
-func (v *HiddenView) fakFor(name string) ([]byte, error) {
+// newViewFile builds the handle for a name/FAK pair.
+func (v *HiddenView) newViewFile(name string, fak []byte) *viewFile {
+	phys := v.phys(name)
+	return &viewFile{fak: fak, phys: phys, sig: sgcrypto.Signature(phys, fak)}
+}
+
+// fileFor returns the remembered handle for name.
+func (v *HiddenView) fileFor(name string) (*viewFile, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	fak, ok := v.faks[name]
+	vf, ok := v.faks[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", fsapi.ErrNotFound, name)
 	}
-	return fak, nil
+	return vf, nil
+}
+
+// fakFor returns the remembered FAK for name.
+func (v *HiddenView) fakFor(name string) ([]byte, error) {
+	vf, err := v.fileFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return vf.fak, nil
 }
 
 // openShared opens the named file with its object lock held shared.
 func (v *HiddenView) openShared(name string) (*hiddenRef, error) {
-	fak, err := v.fakFor(name)
+	vf, err := v.fileFor(name)
 	if err != nil {
 		return nil, err
 	}
-	return v.fs.openShared(v.phys(name), fak)
+	return v.fs.openHiddenSig(vf.phys, vf.fak, vf.sig, false)
 }
 
 // openExclusive opens the named file with its object lock held exclusively.
 func (v *HiddenView) openExclusive(name string) (*hiddenRef, error) {
-	fak, err := v.fakFor(name)
+	vf, err := v.fileFor(name)
 	if err != nil {
 		return nil, err
 	}
-	return v.fs.openExclusive(v.phys(name), fak)
+	return v.fs.openHiddenSig(vf.phys, vf.fak, vf.sig, true)
 }
 
 // Create stores a hidden file with a fresh random FAK.
@@ -94,7 +119,7 @@ func (v *HiddenView) Create(name string, data []byte) error {
 		return err
 	}
 	v.mu.Lock()
-	v.faks[name] = fak
+	v.faks[name] = v.newViewFile(name, fak)
 	v.mu.Unlock()
 	return nil
 }
@@ -113,11 +138,13 @@ func (v *HiddenView) Adopt(name string) error {
 // AdoptWithFAK registers an existing hidden file under its file access key,
 // verifying that the header can be located.
 func (v *HiddenView) AdoptWithFAK(name string, fak []byte) error {
-	if _, err := v.fs.probeHeader(v.phys(name), fak); err != nil {
+	pr, err := v.fs.probeHeader(v.phys(name), fak)
+	if err != nil {
 		return err
 	}
+	putRef(pr)
 	v.mu.Lock()
-	v.faks[name] = append([]byte(nil), fak...)
+	v.faks[name] = v.newViewFile(name, append([]byte(nil), fak...))
 	v.mu.Unlock()
 	return nil
 }
@@ -167,7 +194,7 @@ func (v *HiddenView) Sync() error { return v.fs.Sync() }
 func (v *HiddenView) Close() error {
 	err := v.fs.Sync()
 	v.mu.Lock()
-	v.faks = make(map[string][]byte)
+	v.faks = make(map[string]*viewFile)
 	v.mu.Unlock()
 	return err
 }
@@ -253,7 +280,11 @@ func (v *HiddenView) ReadCursor(name string) (fsapi.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hiddenCursor{fs: v.fs, io: r.io(v.fs.dev), blocks: blocks, buf: make([]byte, v.fs.dev.BlockSize())}, nil
+	// The cursor outlives the ref (released on return), so it gets its own
+	// encIO rather than the ref's pooled one. The sealer itself is shared
+	// and concurrency-safe.
+	cio := &encIO{dev: v.fs.dev, sealer: r.sealer}
+	return &hiddenCursor{fs: v.fs, io: cio, blocks: blocks, buf: make([]byte, v.fs.dev.BlockSize())}, nil
 }
 
 // WriteCursor implements fsapi.CursorFS for an in-place like-shaped
@@ -276,7 +307,8 @@ func (v *HiddenView) WriteCursor(name string, data []byte) (fsapi.Cursor, error)
 	if err := v.fs.flushHeader(r); err != nil {
 		return nil, err
 	}
-	return &hiddenCursor{fs: v.fs, io: r.io(v.fs.dev), blocks: blocks, data: data, buf: make([]byte, v.fs.dev.BlockSize())}, nil
+	cio := &encIO{dev: v.fs.dev, sealer: r.sealer}
+	return &hiddenCursor{fs: v.fs, io: cio, blocks: blocks, data: data, buf: make([]byte, v.fs.dev.BlockSize())}, nil
 }
 
 // Step performs the next block's sealed I/O.

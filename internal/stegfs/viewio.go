@@ -69,25 +69,30 @@ func (fs *FS) rwHidden(r *hiddenRef, p []byte, off int64, write bool) (int, erro
 	}
 	bs := int64(fs.dev.BlockSize())
 	io_ := r.io(fs.dev)
-	blocks, err := ptree.Read(io_, r.hdr.root, r.hdr.nblocks)
+	blocks, err := ptree.ReadInto(io_, r.hdr.root, r.hdr.nblocks, r.blockList)
 	if err != nil {
 		return 0, err
 	}
+	r.blockList = blocks
 	first := off / bs
 	last := (off + int64(len(p)) - 1) / bs
 	if last >= int64(len(blocks)) {
 		return 0, fmt.Errorf("stegfs: offset %d beyond mapped blocks", off+int64(len(p))-1)
 	}
 	span := blocks[first : last+1]
-	staging := make([]byte, int64(len(span))*bs)
-	bufs := make([][]byte, len(span))
-	for i := range bufs {
-		bufs[i] = staging[int64(i)*bs : int64(i+1)*bs]
+	// The span stages in the ref's reusable arena: with a warm cache the
+	// whole read path — lock, header reload, tree walk, batched read,
+	// vectored open — then runs without a single heap allocation.
+	need := int(int64(len(span)) * bs)
+	if cap(r.staging) < need {
+		r.staging = make([]byte, need)
 	}
+	staging := r.staging[:need]
+	bufs := r.spanViews(staging, len(span), int(bs))
 	inOff := off - first*bs // offset of p[0] within the staging area
 
 	if !write {
-		if err := io_.ReadBlocks(span, bufs); err != nil {
+		if err := io_.ReadSpan(span, staging, bufs); err != nil {
 			return 0, err
 		}
 		copy(p, staging[inOff:])
@@ -110,7 +115,7 @@ func (fs *FS) rwHidden(r *hiddenRef, p []byte, off int64, write bool) (int, erro
 		return 0, err
 	}
 	copy(staging[inOff:], p)
-	if err := io_.WriteBlocks(span, bufs); err != nil {
+	if err := io_.WriteSpan(span, staging, bufs); err != nil {
 		return 0, err
 	}
 	return len(p), nil
