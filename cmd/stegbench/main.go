@@ -17,7 +17,7 @@
 // Experiments: space, fig6, fig7, fig8, fig9, ablate-abandoned,
 // ablate-pool, ablate-dummy, ablate-cache, ablate-policy,
 // ablate-concurrency, ablate-write-concurrency, ablate-cached-write,
-// ablate-stegdb, ablate-faults, ida, speed, all.
+// ablate-stegdb, ablate-stegdb-write, ablate-faults, ida, speed, all.
 //
 // The speed experiment is the odd one out: it reports wall-clock CPU
 // throughput (MB/s and allocs/op) of the crypto primitives and the cached
@@ -92,7 +92,7 @@ func emitSeries(experiment string, series []bench.Series, xLabel, yLabel string)
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ablate-faults|ida|speed|all")
+		exp      = flag.String("exp", "all", "experiment: space|fig6|fig7|fig8|fig9|ablate-abandoned|ablate-pool|ablate-dummy|ablate-cache|ablate-policy|ablate-concurrency|ablate-write-concurrency|ablate-cached-write|ablate-stegdb|ablate-stegdb-write|ablate-faults|ida|speed|all")
 		scale    = flag.String("scale", "small", "workload scale: paper|small")
 		volume   = flag.Int64("volume", 0, "override volume size in bytes")
 		bs       = flag.Int("bs", 0, "override block size in bytes")
@@ -165,6 +165,7 @@ func main() {
 	run("ablate-write-concurrency", runAblateWriteConcurrency)
 	run("ablate-cached-write", runAblateCachedWrite)
 	run("ablate-stegdb", runAblateStegDB)
+	run("ablate-stegdb-write", runAblateStegDBWrite)
 	run("ablate-faults", runAblateFaults)
 	run("ida", runIDA)
 	run("speed", runSpeed)
@@ -267,11 +268,12 @@ func runAblateCachedWrite(cfg bench.Config) error {
 	}
 	fmt.Println("Ablation A7 — cached parallel write path (goroutines over one shared volume")
 	fmt.Println("mounted through the write-back cache with the async flush pipeline; cold reads +")
-	fmt.Println("mixed create/rewrite/delete; window ends at the Sync barrier; latency-emulated disk):")
-	fmt.Println("  goroutines  wall-sec     ops/s   speedup  disk-sec  hit-rate  writebacks  batches  wbehind  stalls")
+	fmt.Println("mixed create/rewrite/delete; window ends at the Sync barrier; latency-emulated disk;")
+	fmt.Println("sync-tail is the closing barrier alone — the elevator (C-SCAN) flusher keeps it short):")
+	fmt.Println("  goroutines  wall-sec     ops/s   speedup  disk-sec  sync-tail  hit-rate  writebacks  batches  wbehind  stalls")
 	for _, r := range rows {
-		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%  %10d  %7d  %7d  %6d\n",
-			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds,
+		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %9.3f  %7.1f%%  %10d  %7d  %7d  %6d\n",
+			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.SyncTailSeconds,
 			r.HitRate*100, r.WriteBacks, r.FlushBatches, r.WriteBehinds, r.FlushStalls)
 		emit("ablate-cached-write", r)
 	}
@@ -293,6 +295,24 @@ func runAblateStegDB(cfg bench.Config) error {
 		fmt.Printf("  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
 			r.Goroutines, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
 		emit("ablate-stegdb", r)
+	}
+	return nil
+}
+
+func runAblateStegDBWrite(cfg bench.Config) error {
+	rows, err := bench.StegDBWriteSweep(cfg, nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation A9 — stegdb write scalability (goroutines of a write-heavy mixed")
+	fmt.Println("Put/Delete/Get/Range op set over ONE shared PARTITIONED hidden table — B-link")
+	fmt.Println("tree writers, hash-sharded partitions, group-commit Sync between levels,")
+	fmt.Println("unmeasured; cached, latency-emulated volume; identical op set per level):")
+	fmt.Println("  goroutines  partitions  wall-sec     ops/s   speedup  disk-sec  hit-rate")
+	for _, r := range rows {
+		fmt.Printf("  %10d  %10d  %8.3f  %8.1f  %7.2fx  %8.3f  %7.1f%%\n",
+			r.Goroutines, r.Partitions, r.WallSeconds, r.OpsPerSec, r.Speedup, r.DiskSeconds, r.HitRate*100)
+		emit("ablate-stegdb-write", r)
 	}
 	return nil
 }

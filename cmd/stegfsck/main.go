@@ -63,12 +63,12 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Tables = []stegfs.TableRef{{UID: u, Name: n}}
-		opts.CheckTable = func(view *stegfs.HiddenView, name string) error {
-			tab, err := stegdb.OpenTable(view, name)
-			if err != nil {
-				return err
-			}
-			return tab.Check()
+		// CheckAny discovers whether the name is a plain table or partition
+		// zero of a partitioned one, adopts every constituent hidden file
+		// (partitions and journal siblings), and checks the whole structure;
+		// the returned file list feeds stegfs block accounting.
+		opts.CheckTable = func(view *stegfs.HiddenView, name string) ([]string, error) {
+			return stegdb.CheckAny(view, view.Adopt, name)
 		}
 	}
 

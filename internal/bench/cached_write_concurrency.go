@@ -23,6 +23,12 @@ type CachedWriteConcurrencyRow struct {
 	Speedup     float64 // OpsPerSec relative to the first (1-goroutine) row
 	DiskSeconds float64 // simulated-disk time consumed inside the window
 	HitRate     float64 // cache hit rate inside the window
+	// SyncTailSeconds is the closing FS.Sync barrier alone: the dirty
+	// backlog write-behind left for the barrier to drain. The elevator
+	// (C-SCAN) flusher keeps this tail short — without the sweep cursor the
+	// background runs restart at the lowest dirty block every time and the
+	// starved high-block tail lands on the barrier.
+	SyncTailSeconds float64
 
 	// Flush-pipeline evidence: deferred writes must reach the device as
 	// batched sorted runs, not per-block synchronous writes.
@@ -209,8 +215,12 @@ func CachedWriteConcurrencySweep(cfg Config, levels []int, emuScale float64) ([]
 		}
 		wg.Wait()
 		// The window ends at the Sync barrier: the level's full write-back
-		// cost is inside the measurement.
+		// cost is inside the measurement. The barrier is timed on its own —
+		// its tail is the write-behind debt the background flushers failed
+		// to retire inside the window.
+		syncStart := time.Now()
 		syncErr := fs.Sync()
+		syncTail := time.Since(syncStart)
 		wall := time.Since(start)
 		disk.EmulateLatency(0)
 		close(errs)
@@ -223,14 +233,15 @@ func CachedWriteConcurrencySweep(cfg Config, levels []int, emuScale float64) ([]
 
 		d := cache.Stats().Sub(preStats)
 		row := CachedWriteConcurrencyRow{
-			Goroutines:   g,
-			WallSeconds:  wall.Seconds(),
-			DiskSeconds:  (disk.Elapsed() - preDisk).Seconds(),
-			HitRate:      d.HitRate(),
-			WriteBacks:   d.WriteBacks,
-			FlushBatches: d.FlushBatches,
-			WriteBehinds: d.WriteBehinds,
-			FlushStalls:  d.FlushStalls,
+			Goroutines:      g,
+			WallSeconds:     wall.Seconds(),
+			DiskSeconds:     (disk.Elapsed() - preDisk).Seconds(),
+			HitRate:         d.HitRate(),
+			SyncTailSeconds: syncTail.Seconds(),
+			WriteBacks:      d.WriteBacks,
+			FlushBatches:    d.FlushBatches,
+			WriteBehinds:    d.WriteBehinds,
+			FlushStalls:     d.FlushStalls,
 		}
 		if wall > 0 {
 			row.OpsPerSec = float64(totalOps) / wall.Seconds()

@@ -185,6 +185,8 @@ type Cache struct {
 	closed bool
 	wg     sync.WaitGroup
 	// lockcheck:guardedby mu
+	sweep int64 // elevator cursor: where the next truncated flush run starts
+	// lockcheck:guardedby mu
 	wbErr error // sticky deferred write-back failure; surfaced at the next barrier
 	// lockcheck:guardedby mu
 	stats Stats
@@ -707,8 +709,23 @@ func (c *Cache) evictLocked() bool {
 	return true
 }
 
-// dirtyRunLocked returns up to limit unstaged dirty entries in ascending
-// block order (limit <= 0 means all).
+// dirtyRunLocked returns up to limit unstaged dirty entries (limit <= 0
+// means all, in ascending block order — the barrier path).
+//
+// When the limit truncates the backlog, selection is an elevator (C-SCAN):
+// the run starts at the first dirty block at or above the sweep cursor left
+// by the previous truncated run and wraps to the lowest dirty block if it
+// reaches the top of the stroke, advancing the cursor past what it took.
+// Successive write-behind runs then service the whole backlog in one
+// repeating ascending sweep. Without the cursor every run restarts at the
+// lowest dirty block, which both pays a full-stroke seek back per run and
+// starves high-numbered blocks while writers keep re-dirtying low ones —
+// the starved tail is then flushed by the next Sync barrier itself, which
+// is exactly the latency the barrier caller sees. A run that wraps keeps
+// the pipeline's ascending-batch contract: the picked set is re-sorted
+// before submission (the classic C-SCAN return stroke is one long seek
+// either way), and the cursor still advances past the wrapped tail so the
+// next run resumes mid-stroke, not at zero.
 // lockcheck:holds volume/cacheMu
 func (c *Cache) dirtyRunLocked(limit int) []*entry {
 	run := make([]*entry, 0, c.dirty-c.staged)
@@ -718,10 +735,25 @@ func (c *Cache) dirtyRunLocked(limit int) []*entry {
 		}
 	}
 	sort.Slice(run, func(i, j int) bool { return run[i].block < run[j].block })
-	if limit > 0 && len(run) > limit {
-		run = run[:limit]
+	if limit <= 0 || len(run) <= limit {
+		return run
 	}
-	return run
+	cursor := c.sweep
+	start := sort.Search(len(run), func(i int) bool { return run[i].block >= cursor })
+	if start == len(run) {
+		start = 0 // cursor above the highest dirty block: wrap the sweep
+	}
+	end := min(start+limit, len(run))
+	picked := run[start:end:end]
+	if rem := limit - len(picked); rem > 0 && start > 0 {
+		wrapped := run[:min(rem, start)] // C-SCAN return stroke
+		c.sweep = wrapped[len(wrapped)-1].block + 1
+		picked = append(picked, wrapped...)
+		sort.Slice(picked, func(i, j int) bool { return picked[i].block < picked[j].block })
+	} else {
+		c.sweep = picked[len(picked)-1].block + 1
+	}
+	return picked
 }
 
 // minWorkerRun is the smallest backlog share worth waking another flusher

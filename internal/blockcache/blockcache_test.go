@@ -493,3 +493,65 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+// TestElevatorSweepCursor: truncated flush runs must service the dirty
+// backlog as one repeating ascending sweep (C-SCAN) — each run picks up
+// where the previous one stopped and wraps at the top of the stroke —
+// while untruncated (barrier) runs always return the whole backlog in
+// ascending order and leave the cursor alone.
+func TestElevatorSweepCursor(t *testing.T) {
+	dev := newTraceDev(t, 256, 64)
+	c := New(dev, 256)
+	defer c.Close()
+	payload := blockPayload(64, 0x5A)
+	for i := 0; i < 100; i++ {
+		if err := c.WriteBlock(int64(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blocksOf := func(run []*entry) []int64 {
+		ns := make([]int64, len(run))
+		for i, e := range run {
+			ns[i] = e.block
+		}
+		return ns
+	}
+	want := func(label string, got []int64, from, n int) {
+		t.Helper()
+		if len(got) != n {
+			t.Fatalf("%s: got %d blocks %v, want %d", label, len(got), got, n)
+		}
+		for i, b := range got {
+			if b != int64((from+i)%100) {
+				t.Fatalf("%s: block[%d] = %d, want %d (run %v)", label, i, b, (from+i)%100, got)
+			}
+		}
+	}
+
+	want("run 1", blocksOf(c.dirtyRunLocked(40)), 0, 40)
+	want("run 2", blocksOf(c.dirtyRunLocked(40)), 40, 40)
+	// Third run reaches the top of the stroke and wraps, servicing 80..99
+	// plus the wrapped tail 0..19 — re-sorted ascending so the batch keeps
+	// the pipeline's sorted-submission contract.
+	wrap := blocksOf(c.dirtyRunLocked(40))
+	if len(wrap) != 40 {
+		t.Fatalf("run 3 (wrap): got %d blocks %v, want 40", len(wrap), wrap)
+	}
+	for i, b := range wrap {
+		w := int64(i) // 0..19
+		if i >= 20 {
+			w = int64(i) + 60 // 80..99
+		}
+		if b != w {
+			t.Fatalf("run 3 (wrap): block[%d] = %d, want %d (run %v)", i, b, w, wrap)
+		}
+	}
+	want("run 4", blocksOf(c.dirtyRunLocked(40)), 20, 40)
+
+	// An untruncated run (the barrier path) is the whole backlog ascending,
+	// regardless of where the sweep cursor sits.
+	want("barrier run", blocksOf(c.dirtyRunLocked(0)), 0, 100)
+}

@@ -68,11 +68,11 @@ func (c *pageCache) setCap(n int) {
 
 // pin returns the frame for page id with its reference count raised,
 // creating (empty, invalid) frames on miss and evicting over-capacity
-// victims. flush is called — with the victim's exclusive latch held — to
-// write back a dirty victim before it is dropped; a flush error keeps the
-// victim cached (the error resurfaces at the next Sync/FlushPages).
-// Callers must unpin the returned entry.
-func (c *pageCache) pin(id int64, flush func(*pageEntry) error) *pageEntry {
+// clean victims. The cache is strictly no-steal: dirty frames never reach
+// the hidden file outside a commit, so eviction skips them (the cache may
+// run over capacity by the size of the uncommitted working set, which the
+// commit bounds by flushing). Callers must unpin the returned entry.
+func (c *pageCache) pin(id int64) *pageEntry {
 	c.mu.Lock()
 	e, ok := c.entries[id]
 	if ok {
@@ -85,36 +85,17 @@ func (c *pageCache) pin(id int64, flush func(*pageEntry) error) *pageEntry {
 	e.elem = c.lru.PushFront(e)
 	c.entries[id] = e
 
-	// Evict while over capacity, scanning from the LRU tail. Pinned frames
-	// are skipped; clean frames drop inline; dirty frames are pinned,
-	// flushed outside the cache mutex, and re-examined.
-	for c.lru.Len() > c.cap {
-		var victim *pageEntry
-		for el := c.lru.Back(); el != nil; el = el.Prev() {
+	// Evict clean, unpinned frames from the LRU tail while over capacity.
+	over := c.lru.Len() - c.cap
+	if over > 0 {
+		var el, prev *list.Element
+		for el = c.lru.Back(); el != nil && over > 0; el = prev {
+			prev = el.Prev()
 			cand := el.Value.(*pageEntry)
-			if cand.refs == 0 {
-				victim = cand
-				break
+			if cand.refs == 0 && !cand.dirty {
+				c.removeLocked(cand)
+				over--
 			}
-		}
-		if victim == nil {
-			break // everything pinned; stay over capacity
-		}
-		if !victim.dirty {
-			c.removeLocked(victim)
-			continue
-		}
-		victim.refs++
-		c.mu.Unlock()
-		victim.latch.Lock()
-		err := flush(victim)
-		victim.latch.Unlock()
-		c.mu.Lock()
-		victim.refs--
-		if err == nil && !victim.dirty && victim.refs == 0 {
-			c.removeLocked(victim)
-		} else if err != nil {
-			break // leave the dirty victim; don't spin on a failing device
 		}
 	}
 	c.mu.Unlock()
@@ -135,14 +116,28 @@ func (c *pageCache) unpin(e *pageEntry) {
 	c.mu.Unlock()
 }
 
-// markDirty records that the frame content is newer than the hidden file.
-// Caller holds the frame's exclusive latch.
+// markDirty records that the frame content is newer than the hidden file,
+// returning whether the frame was already dirty (so a failed write can
+// revert the flag it set without clobbering an earlier writer's). Caller
+// holds the frame's exclusive latch.
 //
 // lockcheck:holds stegdb/latch
-func (c *pageCache) markDirty(e *pageEntry) {
+func (c *pageCache) markDirty(e *pageEntry) (wasDirty bool) {
 	c.mu.Lock()
+	wasDirty = e.dirty
 	e.dirty = true
 	e.gen++
+	c.mu.Unlock()
+	return wasDirty
+}
+
+// unmarkDirty reverts a markDirty after the guarded write failed; caller
+// holds the frame's exclusive latch and knows no content changed.
+//
+// lockcheck:holds stegdb/latch
+func (c *pageCache) unmarkDirty(e *pageEntry) {
+	c.mu.Lock()
+	e.dirty = false
 	c.mu.Unlock()
 }
 

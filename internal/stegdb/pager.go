@@ -10,19 +10,25 @@
 // hidden behind the (name, key) pair.
 //
 // Concurrency: the pager is safe for concurrent use. Pages live in a small
-// write-back cache with per-page latches (shared for reads, exclusive for
-// writes), the meta page has its own mutex, and AllocPage/FreePage are
-// atomic against concurrent allocators. Readers that must not block behind
-// writers take copy-on-write snapshots (BeginSnapshot) pinned at an epoch;
-// see snapshot.go. Durability point: WritePage is write-back — pages (and
-// the meta page) reach the hidden file at Sync/Close, at a flush-on-evict,
-// or at an explicit FlushPages. Lock order inside the package, outermost
-// first: Table key shards → BTree.mu / HashIndex stripes → HashIndex.dirMu
-// → Pager.allocMu → page latches → Pager.snapMu → Pager.metaMu (the
-// pageCache mutex is an independent leaf). This order is not just prose:
-// each lock carries a lockcheck:level annotation in the stegdb domain and
-// cmd/lockcheck enforces it in CI — see docs/ANALYSIS.md for the grammar
-// and the level map.
+// no-steal write-back cache with per-page latches (shared for reads,
+// exclusive for writes), the meta page has its own mutex, and
+// AllocPage/FreePage are atomic against concurrent allocators. Structural
+// writers run in parallel over the B-link tree (btree.go); readers that
+// must not block behind writers take copy-on-write snapshots
+// (BeginSnapshot) pinned at an epoch; see snapshot.go. Durability point:
+// WritePage is write-back — dirty pages reach the hidden file only at
+// Sync/Close, which runs a group commit through a physical redo journal
+// (commit.go): journal + header, barrier, home writes, barrier. Crash
+// recovery replays a CRC-valid journal at OpenPager, so the on-device
+// state is always exactly some committed epoch (old-or-new, never a mix).
+// Lock order inside the package, outermost first: PartitionedTable
+// snapGate → Table key shards → Pager commit lock → tree latches →
+// HashIndex stripes → HashIndex.dirMu → BTree rootMu → Pager.allocMu →
+// page latches → Pager.snapMu → Pager.metaMu → the pageCache mutex. This
+// order is not just prose: each lock carries a lockcheck:level annotation
+// in the stegdb domain and cmd/lockcheck enforces it in CI — see
+// docs/ANALYSIS.md for the grammar and the level map, and docs/STEGDB.md
+// for the protocols that rely on it.
 package stegdb
 
 import (
@@ -43,13 +49,19 @@ const PageSize = 4096
 const pagerMagic = "SGDB0001"
 
 // metaLayout (page 0): magic(8) numPages(8) freeHead(8) btreeRoot(8)
-// hashRoot(8) rows(8).
+// hashRoot(8) rows(8) commitEpoch(8) partCount(8) partIndex(8).
+// commitEpoch is stamped into the journaled meta image at each commit;
+// partCount/partIndex are zero for plain tables and identify the shard for
+// partitioned ones (partition.go).
 const (
-	metaNumPages  = 8
-	metaFreeHead  = 16
-	metaBTreeRoot = 24
-	metaHashRoot  = 32
-	metaRows      = 40
+	metaNumPages    = 8
+	metaFreeHead    = 16
+	metaBTreeRoot   = 24
+	metaHashRoot    = 32
+	metaRows        = 40
+	metaCommitEpoch = 48
+	metaPartCount   = 56
+	metaPartIndex   = 64
 )
 
 // nilPage is the null page id (page 0 is the meta page, never allocatable).
@@ -79,21 +91,43 @@ type View interface {
 }
 
 // Pager provides page-granular storage inside one hidden file, with a
-// free-list for recycling and amortized-doubling growth.
+// free-list for recycling, amortized-doubling growth, and a physical redo
+// journal (a sibling hidden file, name + ".wal") making every Sync an
+// atomic commit.
 type Pager struct {
 	view View
 	name string
 
+	// walName is the sibling journal file; walOK records whether it exists
+	// and is writable. When it does not (a database adopted without its
+	// journal), Sync degrades to the legacy flush path, which is correct
+	// for clean shutdowns but not torn-crash-atomic.
+	walName string
+	walOK   bool
+
+	// commitMu serializes the commit pipeline of this pager (journal write
+	// through home writes). It is held across hidden-file I/O by design and
+	// is multi: a partitioned table's group commit holds the commit locks
+	// of all its partitions at once, always in partition order.
+	// lockcheck:level 15 stegdb/commitMu multi
+	commitMu sync.Mutex
+
+	// gc batches concurrent Sync callers into shared commits.
+	gc groupCommit
+
 	// metaMu guards the meta page buffer and its dirty flag. It is the
-	// innermost leveled lock of the package hierarchy; flushMetaLocked
-	// deliberately writes the hidden file while holding it (the meta page
-	// must not change mid-write), so it is not noio.
+	// innermost leveled mutex of the package hierarchy bar the page-cache
+	// mutex; flushMetaLocked deliberately writes the hidden file while
+	// holding it (the meta page must not change mid-write), so it is not
+	// noio.
 	// lockcheck:level 70 stegdb/metaMu
 	metaMu sync.Mutex
 	// lockcheck:guardedby metaMu
 	meta [PageSize]byte
 	// lockcheck:guardedby metaMu
 	metaDirty bool
+	// lockcheck:guardedby metaMu
+	metaGen uint64 // bumped on every setMeta; write-wins on commit
 
 	// allocMu serializes AllocPage/FreePage so free-list updates, file
 	// growth and the numPages counter stay atomic under concurrency. It
@@ -126,6 +160,7 @@ func newPager(view View, name string) *Pager {
 	return &Pager{
 		view:      view,
 		name:      name,
+		walName:   name + walSuffix,
 		cache:     newPageCache(defaultPageCacheSize),
 		epoch:     1,
 		snaps:     make(map[int64]int64),
@@ -134,14 +169,19 @@ func newPager(view View, name string) *Pager {
 	}
 }
 
-// CreatePager creates the named hidden file and initializes an empty
-// database in it. The file starts with capacity for a handful of pages and
-// doubles as needed.
+// CreatePager creates the named hidden file (plus its journal sibling) and
+// initializes an empty database in it. The file starts with capacity for a
+// handful of pages and doubles as needed.
 func CreatePager(view View, name string) (*Pager, error) {
 	if err := view.Create(name, make([]byte, 8*PageSize)); err != nil {
 		return nil, err
 	}
 	p := newPager(view, name)
+	// An all-zero journal header has no magic, so it never replays.
+	if err := view.Create(p.walName, make([]byte, PageSize)); err != nil {
+		return nil, fmt.Errorf("stegdb: create journal: %w", err)
+	}
+	p.walOK = true
 	// lockcheck:ignore the pager has not been published yet; CreatePager has it to itself
 	copy(p.meta[:], pagerMagic)
 	// lockcheck:ignore the pager has not been published yet; CreatePager has it to itself
@@ -152,9 +192,16 @@ func CreatePager(view View, name string) (*Pager, error) {
 	return p, nil
 }
 
-// OpenPager opens an existing database file.
+// OpenPager opens an existing database file, first replaying the sibling
+// journal if it holds a complete commit (crash recovery). A database
+// adopted without its journal file still opens — every commit lands fully
+// in the home file before the journal is needed again — but runs with the
+// legacy non-atomic Sync until recreated.
 func OpenPager(view View, name string) (*Pager, error) {
 	p := newPager(view, name)
+	if err := p.recoverWAL(); err != nil {
+		return nil, err
+	}
 	// lockcheck:ignore the pager has not been published yet; OpenPager has it to itself
 	if _, err := view.ReadAt(name, p.meta[:], 0); err != nil {
 		return nil, fmt.Errorf("stegdb: read meta page: %w", err)
@@ -177,6 +224,7 @@ func (p *Pager) getMeta(off int) int64 { return int64(binary.BigEndian.Uint64(p.
 func (p *Pager) setMeta(off int, v int64) {
 	binary.BigEndian.PutUint64(p.meta[off:], uint64(v))
 	p.metaDirty = true
+	p.metaGen++
 }
 
 // metaField returns one meta page field under the meta mutex.
@@ -227,13 +275,15 @@ func (p *Pager) NumPages() int64 { return p.metaField(metaNumPages) }
 func (p *Pager) Rows() int64 { return p.metaField(metaRows) }
 
 // SetPageCacheSize adjusts the page cache capacity (frames of PageSize
-// bytes). Shrinking evicts clean unpinned frames immediately; dirty frames
-// are flushed as they are evicted by later operations.
+// bytes). Shrinking takes effect as later pins evict clean unpinned
+// frames; dirty frames stay cached until the next commit (no-steal).
 func (p *Pager) SetPageCacheSize(n int) { p.cache.setCap(n) }
 
 // InvalidatePageCache flushes every dirty page and drops all unpinned
 // frames, so subsequent reads go back through the hidden file. Benchmarks
-// use it to restore a cold-cache state between measurement windows.
+// use it to restore a cold-cache state between measurement windows. The
+// flush bypasses the commit journal, so it is a maintenance path: call it
+// only at quiescent points, never as a durability barrier.
 func (p *Pager) InvalidatePageCache() error {
 	if err := p.FlushPages(); err != nil {
 		return err
@@ -250,7 +300,7 @@ func (p *Pager) ReadPage(id int64, buf []byte) error {
 	if id <= nilPage || id >= p.NumPages() {
 		return fmt.Errorf("stegdb: page %d out of range [1,%d)", id, p.NumPages())
 	}
-	e := p.cache.pin(id, p.flushEntry)
+	e := p.cache.pin(id)
 	defer p.cache.unpin(e)
 	if err := p.ensureLoaded(e); err != nil {
 		return err
@@ -282,9 +332,15 @@ func (p *Pager) ensureLoaded(e *pageEntry) error {
 }
 
 // WritePage writes buf (len PageSize) to page id. The write is write-back:
-// the frame is marked dirty and reaches the hidden file at Sync, FlushPages
-// or a flush-on-evict. If a snapshot could still see the page's previous
-// content, that content is saved as a copy-on-write version first.
+// the frame is marked dirty and reaches the hidden file at the next commit
+// (Sync/Close). If a snapshot could still see the page's previous content,
+// that content is saved as a copy-on-write version first.
+//
+// The frame is marked dirty BEFORE the epoch stamp inside
+// saveVersionLocked: a commit pins its epoch under snapMu, so a write
+// stamped at or before that epoch must already be visible to the commit's
+// dirty-list capture — the reverse order could journal a cut that silently
+// misses this page.
 func (p *Pager) WritePage(id int64, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("stegdb: page buffer %d != %d", len(buf), PageSize)
@@ -292,28 +348,19 @@ func (p *Pager) WritePage(id int64, buf []byte) error {
 	if id <= nilPage || id >= p.NumPages() {
 		return fmt.Errorf("stegdb: page %d out of range [1,%d)", id, p.NumPages())
 	}
-	e := p.cache.pin(id, p.flushEntry)
+	e := p.cache.pin(id)
 	defer p.cache.unpin(e)
 	e.latch.Lock()
 	defer e.latch.Unlock()
+	wasDirty := p.cache.markDirty(e)
 	if err := p.saveVersionLocked(e); err != nil {
+		if !wasDirty {
+			p.cache.unmarkDirty(e)
+		}
 		return err
 	}
 	copy(e.buf[:], buf)
 	e.valid = true
-	p.cache.markDirty(e)
-	return nil
-}
-
-// flushEntry writes one frame through to the hidden file. The caller holds
-// the frame's exclusive latch (flush-on-evict path).
-//
-// lockcheck:holds stegdb/latch
-func (p *Pager) flushEntry(e *pageEntry) error {
-	if _, err := p.view.WriteAt(p.name, e.buf[:], e.id*PageSize); err != nil {
-		return err
-	}
-	p.cache.clearDirty(e, p.cache.gen(e))
 	return nil
 }
 
@@ -406,11 +453,24 @@ func (p *Pager) FreePage(id int64) error {
 	return nil
 }
 
-// Sync is the durability barrier: dirty pages out (data before metadata),
-// then the meta page, then the underlying volume — flushing any block cache
-// the volume is mounted through. Databases that ride a cached StegFS volume
-// call this at transaction boundaries.
+// Sync is the durability barrier and commit point: concurrent callers are
+// batched into shared commits (group commit), each of which journals a
+// consistent cut of the dirty pages plus the meta page, barriers, writes
+// everything home, and barriers again. After a torn crash anywhere inside,
+// recovery at OpenPager leaves the database at exactly the old or the new
+// epoch. When the journal file is unavailable (walOK false), Sync falls
+// back to the legacy flush path: durable on success, but a torn crash
+// mid-flush can mix epochs.
 func (p *Pager) Sync() error {
+	if !p.walOK {
+		return p.legacySync()
+	}
+	return p.gc.do(p.commitOnce)
+}
+
+// legacySync is the pre-journal durability path: dirty pages out (data
+// before metadata), then the meta page, then the underlying volume.
+func (p *Pager) legacySync() error {
 	if err := p.FlushPages(); err != nil {
 		return err
 	}
@@ -422,10 +482,16 @@ func (p *Pager) Sync() error {
 	}
 	// A Sync opens a new epoch, so snapshots taken afterwards are pinned at
 	// a post-Sync boundary.
+	p.bumpEpoch()
+	return p.view.Sync()
+}
+
+// bumpEpoch opens a new epoch after a commit, so snapshots taken afterwards
+// are pinned at a post-commit boundary.
+func (p *Pager) bumpEpoch() {
 	p.snapMu.Lock()
 	p.epoch++
 	p.snapMu.Unlock()
-	return p.view.Sync()
 }
 
 // Close is the database shutdown path: everything durable on the device.

@@ -13,12 +13,17 @@ import (
 // block writers and never see torn structures — the basis of stegdb's
 // Scan/Range/Get isolation.
 //
-// Contract: BeginSnapshot must not race a multi-page structural write —
-// callers exclude writers for the instant of the begin (BTree.Snapshot
-// takes the tree lock shared, which waits out in-flight exclusive writers;
-// registration then happens-before any later writer's version-save check).
-// Versions live only while at least one snapshot is active; when the last
-// closes, all saved versions and epoch tracking are dropped.
+// Contract: BeginSnapshot needs no external exclusion, even against
+// multi-page structural writes. The epoch pin and the meta-page freeze
+// happen atomically under snapMu (metaMu nests inside), and the B-link
+// tree's split protocol (new right sibling stored before the shrunken left
+// half, child stored before the parent's pointer to it) makes every write
+// sequence prefix-consistent: any page pointer the frozen meta can reach
+// leads to content stamped at or before the pinned epoch. Versions live
+// only while at least one snapshot is active; when the last closes, all
+// saved versions and epoch tracking are dropped. The commit path reuses
+// the same machinery to capture a consistent cut of the dirty set (see
+// commit.go).
 
 // pageVersion is one saved pre-image: the page's content as of liveEpoch
 // `epoch` (i.e. visible to snapshots pinned at >= epoch... < next write).
@@ -41,8 +46,20 @@ type Snapshot struct {
 
 // BeginSnapshot pins a new snapshot at the current epoch and advances the
 // epoch, so every later write is distinguishable from content the snapshot
-// saw. See the contract above for excluding concurrent structural writers.
+// saw.
 func (p *Pager) BeginSnapshot() *Snapshot {
+	return p.beginSnapshot(nil, nil)
+}
+
+// beginSnapshot is the shared implementation: pin an epoch and freeze the
+// meta fields in one atomic step. The meta freeze MUST happen inside the
+// snapMu critical section (metaMu nests inside snapMu, order 60 -> 70):
+// releasing snapMu first would let a root growth land in the window, giving
+// the snapshot a root page whose content it cannot read back. When metaImg
+// and metaGen are non-nil the full meta page image and its generation are
+// captured too — the commit path uses this to journal the exact meta state
+// its dirty-page cut corresponds to.
+func (p *Pager) beginSnapshot(metaImg []byte, metaGen *uint64) *Snapshot {
 	p.snapMu.Lock()
 	p.nextSnapID++
 	s := &Snapshot{pg: p, id: p.nextSnapID, epoch: p.epoch}
@@ -51,13 +68,18 @@ func (p *Pager) BeginSnapshot() *Snapshot {
 	if s.epoch > p.maxSnapEpoch {
 		p.maxSnapEpoch = s.epoch
 	}
-	p.snapMu.Unlock()
-
 	p.metaMu.Lock()
 	s.numPages = p.getMeta(metaNumPages)
 	s.btreeRoot = p.getMeta(metaBTreeRoot)
 	s.rows = p.getMeta(metaRows)
+	if metaImg != nil {
+		copy(metaImg, p.meta[:])
+	}
+	if metaGen != nil {
+		*metaGen = p.metaGen
+	}
 	p.metaMu.Unlock()
+	p.snapMu.Unlock()
 	return s
 }
 
@@ -103,7 +125,7 @@ func (s *Snapshot) ReadPage(id int64, buf []byte) error {
 		return fmt.Errorf("stegdb: snapshot page %d out of range [1,%d)", id, s.numPages)
 	}
 	p := s.pg
-	e := p.cache.pin(id, p.flushEntry)
+	e := p.cache.pin(id)
 	defer p.cache.unpin(e)
 	if err := p.ensureLoaded(e); err != nil {
 		return err

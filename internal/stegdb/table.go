@@ -161,17 +161,12 @@ func (t *Table) Delete(key []byte) (bool, error) {
 func (t *Table) Scan(fn func(key, val []byte) bool) error { return t.tree.Scan(fn) }
 
 // Range visits rows with lo <= key < hi in order (nil bounds are open),
-// with the same snapshot semantics as Scan.
+// with the same snapshot semantics as Scan. The B-link leaf chain makes
+// this a seek to lo plus a bounded walk, not a filtered full scan.
 func (t *Table) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
-	return t.tree.Scan(func(k, v []byte) bool {
-		if lo != nil && string(k) < string(lo) {
-			return true
-		}
-		if hi != nil && string(k) >= string(hi) {
-			return false
-		}
-		return fn(k, v)
-	})
+	s := t.Snapshot()
+	defer s.Close()
+	return s.Range(lo, hi, fn)
 }
 
 // Snapshot pins a point-in-time read view of the table's ordered rows.

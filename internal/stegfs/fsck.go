@@ -42,11 +42,16 @@ type CheckOptions struct {
 	Keys []KeyRef
 	// Tables lists embedded stegdb tables to open and check.
 	Tables []TableRef
-	// CheckTable structurally checks one embedded database table through an
-	// adopted view. Callers wire it to stegdb (OpenTable + Table.Check);
-	// stegfs cannot import stegdb itself — the database is a layer *above*
-	// the filesystem. Nil limits table checks to the underlying hidden file.
-	CheckTable func(view *HiddenView, name string) error
+	// CheckTable structurally checks one embedded database table through a
+	// view and returns the hidden file names the table lives in. Callers
+	// wire it to stegdb (CheckAny discovers plain and partitioned layouts,
+	// adopts every constituent file — partitions, journal siblings — into
+	// the view, and runs the structural check); stegfs cannot import stegdb
+	// itself — the database is a layer *above* the filesystem. The checker
+	// then gives each returned file the full hidden-object verification so
+	// all of the table's blocks are accounted. Nil limits table checks to
+	// the single underlying hidden file named by the TableRef.
+	CheckTable func(view *HiddenView, name string) ([]string, error)
 	// Repair re-marks reachable-but-free blocks as used and persists the
 	// bitmap. Nothing else is mutated; without Repair, Check never writes.
 	Repair bool
@@ -259,36 +264,58 @@ func Check(dev vdisk.Device, opts CheckOptions) (*CheckReport, error) {
 		}
 	}
 
-	// 6. Embedded database tables: the underlying hidden file gets the full
-	// object check (header CRC, ptree, block accounting), then the injected
-	// checker validates the database structure living inside it.
+	// 6. Embedded database tables: the injected checker runs first — it is
+	// the only layer that knows whether the name is a plain table or the
+	// zeroth member of a partitioned one, and it adopts every constituent
+	// hidden file (partitions, journal siblings) into the view as it
+	// discovers them. Each discovered file then gets the full object check
+	// (header CRC, ptree walk, block accounting) using the key the view
+	// remembered at adoption, so a multi-file table is accounted whole.
 	for _, tr := range opts.Tables {
 		label := fmt.Sprintf("table %s/%s", tr.UID, tr.Name)
-		fak := tr.FAK
-		if fak == nil {
-			if sb.flags&flagDeterministicKeys == 0 {
-				rep.errf("%s: nil FAK requires a DeterministicKeys volume", label)
-				continue
-			}
-			fak = deriveViewFAK(sb, tr.UID, tr.Name)
-		}
-		if !checkObject(label, tr.UID+"/"+tr.Name, fak) {
+		if tr.FAK == nil && sb.flags&flagDeterministicKeys == 0 {
+			rep.errf("%s: nil FAK requires a DeterministicKeys volume", label)
 			continue
 		}
 		if opts.CheckTable == nil {
-			rep.TablesChecked++
+			// No database layer injected: only the named hidden file can be
+			// verified (partitioned tables need CheckTable for discovery).
+			fak := tr.FAK
+			if fak == nil {
+				fak = deriveViewFAK(sb, tr.UID, tr.Name)
+			}
+			if checkObject(label, tr.UID+"/"+tr.Name, fak) {
+				rep.TablesChecked++
+			}
 			continue
 		}
 		view := fs.NewHiddenView(tr.UID)
-		if err := view.AdoptWithFAK(tr.Name, fak); err != nil {
+		if tr.FAK != nil {
+			if err := view.AdoptWithFAK(tr.Name, tr.FAK); err != nil {
+				rep.errf("%s: %v", label, err)
+				continue
+			}
+		}
+		files, err := opts.CheckTable(view, tr.Name)
+		if err != nil {
 			rep.errf("%s: %v", label, err)
 			continue
 		}
-		if err := opts.CheckTable(view, tr.Name); err != nil {
-			rep.errf("%s: %v", label, err)
-			continue
+		clean := true
+		for _, f := range files {
+			fak, err := view.fakFor(f)
+			if err != nil {
+				rep.errf("%s: constituent %q: %v", label, f, err)
+				clean = false
+				continue
+			}
+			if !checkObject(fmt.Sprintf("%s file %q", label, f), tr.UID+"/"+f, fak) {
+				clean = false
+			}
 		}
-		rep.TablesChecked++
+		if clean {
+			rep.TablesChecked++
+		}
 	}
 
 	// 7. Accounting. Used-but-unowned data blocks are counted, not flagged:

@@ -67,12 +67,8 @@ func newFsckVolume(t *testing.T) (*vdisk.MemStore, CheckOptions) {
 			"bob":   {"plans"},
 		},
 		Tables: []TableRef{{UID: "db", Name: "accounts"}},
-		CheckTable: func(view *HiddenView, name string) error {
-			tab, err := stegdb.OpenTable(view, name)
-			if err != nil {
-				return err
-			}
-			return tab.Check()
+		CheckTable: func(view *HiddenView, name string) ([]string, error) {
+			return stegdb.CheckAny(view, view.Adopt, name)
 		},
 	}
 	return mem, opts
@@ -243,6 +239,80 @@ func TestFsckDetectsCorruptHiddenHeader(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("corruption not attributed to ledger:\n%s", rep.Summary())
+	}
+}
+
+// TestFsckPartitionedTable: a partitioned stegdb table is discovered from
+// its base name, every partition (and journal sibling) is verified and
+// accounted, and a missing partition file is an error.
+func TestFsckPartitionedTable(t *testing.T) {
+	mem, err := vdisk.NewMemStore(8192, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(mem, fsckParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := stegdb.CreatePartitionedTable(fs.NewHiddenView("db"), "ledger", 3, true, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		k := []byte{byte(i), byte(i >> 4)}
+		if err := pt.Put(k, bytes.Repeat(k, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	opts := CheckOptions{
+		Tables: []TableRef{{UID: "db", Name: "ledger"}},
+		CheckTable: func(view *HiddenView, name string) ([]string, error) {
+			return stegdb.CheckAny(view, view.Adopt, name)
+		},
+	}
+	rep, err := Check(mem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.TablesChecked != 1 {
+		t.Fatalf("partitioned table check failed:\n%s", rep.Summary())
+	}
+
+	// Every partition's blocks must be accounted: a blind pass (no table
+	// ref) leaves strictly more used blocks unaccounted.
+	blind, err := Check(mem, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind.UnaccountedUsed <= rep.UnaccountedUsed {
+		t.Fatalf("table keys did not shrink the unaccounted set (%d vs %d)",
+			blind.UnaccountedUsed, rep.UnaccountedUsed)
+	}
+
+	// Deleting one partition file must fail discovery loudly.
+	fs2, err := Mount(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := fs2.NewHiddenView("db")
+	if err := db.Adopt("ledger.p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("ledger.p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Check(mem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.TablesChecked != 0 {
+		t.Fatalf("missing partition not detected:\n%s", rep.Summary())
 	}
 }
 

@@ -1,0 +1,54 @@
+# Compare a fresh stegbench JSONL run against the committed baseline
+# (BENCH_seed.json). Invoked by scripts/compare_bench.sh with
+# --slurpfile base / --slurpfile cur.
+#
+# Only columns the workload itself determines are compared — wall-clock
+# and MB/s depend on the machine and are never gated here:
+#
+#   ablate-stegdb-write : simulated-disk seconds (±5%) and block-cache
+#                         hit rate (±2pp) per goroutine level — the op set
+#                         is deterministic, so these must reproduce; plus
+#                         an absolute floor on the 8-goroutine speedup
+#                         (the A9 acceptance gate, with slack for noisy
+#                         shared runners).
+#   speed               : allocs/op per operation (+0.5 slack) — the heap
+#                         cost of the sealed data path must not regress.
+
+def abs: if . < 0 then -. else . end;
+
+($base | map(select(.experiment == "ablate-stegdb-write"))) as $ba9
+| ($cur | map(select(.experiment == "ablate-stegdb-write"))) as $ca9
+| ($base | map(select(.experiment == "speed"))) as $bsp
+| ($cur | map(select(.experiment == "speed"))) as $csp
+| [
+    ($ba9[] as $b
+     | ($ca9 | map(select(.Goroutines == $b.Goroutines)) | first) as $c
+     | if $c == null
+       then "A9 g=\($b.Goroutines): row missing from current run"
+       elif (($c.DiskSeconds - $b.DiskSeconds) | abs) > 0.05 * $b.DiskSeconds
+       then "A9 g=\($b.Goroutines): disk-sec \($c.DiskSeconds) drifted >5% from baseline \($b.DiskSeconds)"
+       elif (($c.HitRate - $b.HitRate) | abs) > 0.02
+       then "A9 g=\($b.Goroutines): hit-rate \($c.HitRate) drifted >2pp from baseline \($b.HitRate)"
+       else empty
+       end),
+    (($ca9 | map(select(.Goroutines == 8)) | first) as $c
+     | if $c == null
+       then "A9: no 8-goroutine row in current run"
+       elif $c.Speedup < 3.0
+       then "A9: speedup at 8 goroutines is \($c.Speedup)x, below the 3.0x CI floor"
+       else empty
+       end),
+    ($bsp[] as $b
+     | ($csp | map(select(.op == $b.op)) | first) as $c
+     | if $c == null
+       then "speed \($b.op): row missing from current run"
+       elif $c.allocsPerOp > $b.allocsPerOp + 0.5
+       then "speed \($b.op): allocs/op \($c.allocsPerOp) regressed past baseline \($b.allocsPerOp)+0.5"
+       else empty
+       end)
+  ]
+| if length == 0
+  then "bench-compare: all rows within tolerance of BENCH_seed.json"
+  else (.[] | "bench-compare: FAIL: \(.)"),
+       ("\(length) bench row(s) outside tolerance" | halt_error(1))
+  end
